@@ -1,0 +1,222 @@
+//! The Ultrix buffer cache: fixed-size, 8 KB blocks, LRU, delayed write.
+
+use std::collections::{HashMap, VecDeque};
+
+use epcm_sim::disk::FileId;
+
+/// The Ultrix unit of I/O transfer (two 4 KB pages).
+pub const TRANSFER_UNIT: u64 = 8192;
+
+type Key = (FileId, u64); // (file, 8 KB block index)
+
+/// A fixed-capacity LRU cache of 8 KB file blocks with delayed write.
+///
+/// Contents are not stored here — the backing
+/// [`FileStore`](epcm_sim::disk::FileStore) is the source
+/// of truth for bytes; the cache tracks *presence* and *dirtiness* so the
+/// VM can decide when a syscall pays device latency. (Delayed writes mean
+/// a dirty block's latest bytes are pushed to the store immediately but
+/// the device latency is only charged at eviction/sync, which is how the
+/// paper's cached-file runs avoid device noise.)
+#[derive(Debug, Clone)]
+pub struct BufferCache {
+    capacity: usize,
+    blocks: HashMap<Key, bool>, // -> dirty
+    lru: VecDeque<Key>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferCache {
+    /// Creates a cache of `capacity` 8 KB blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer cache needs at least one block");
+        BufferCache {
+            capacity,
+            blocks: HashMap::new(),
+            lru: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in 8 KB blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn promote(&mut self, key: Key) {
+        if let Some(pos) = self.lru.iter().position(|&k| k == key) {
+            self.lru.remove(pos);
+        }
+        self.lru.push_back(key);
+    }
+
+    /// Touches a block for reading or writing. Returns `(was_hit,
+    /// evicted)`: `evicted` is a dirty block that must be flushed to make
+    /// room.
+    pub fn touch(&mut self, file: FileId, block: u64, write: bool) -> (bool, Option<Key>) {
+        let key = (file, block);
+        if let Some(dirty) = self.blocks.get_mut(&key) {
+            *dirty = *dirty || write;
+            self.hits += 1;
+            self.promote(key);
+            return (true, None);
+        }
+        self.misses += 1;
+        let mut evicted = None;
+        if self.blocks.len() >= self.capacity {
+            if let Some(old) = self.lru.pop_front() {
+                if self.blocks.remove(&old) == Some(true) {
+                    evicted = Some(old);
+                }
+            }
+        }
+        self.blocks.insert(key, write);
+        self.lru.push_back(key);
+        (false, evicted)
+    }
+
+    /// Whether a block is resident.
+    pub fn contains(&self, file: FileId, block: u64) -> bool {
+        self.blocks.contains_key(&(file, block))
+    }
+
+    /// Pre-loads a block clean (warming the cache, as the paper did to
+    /// exclude I/O from the Table 2 runs). Returns `false` if full.
+    pub fn warm(&mut self, file: FileId, block: u64) -> bool {
+        if self.blocks.len() >= self.capacity && !self.blocks.contains_key(&(file, block)) {
+            return false;
+        }
+        let key = (file, block);
+        self.blocks.entry(key).or_insert(false);
+        self.promote(key);
+        true
+    }
+
+    /// Drains all dirty blocks (sync), returning them for latency
+    /// accounting.
+    pub fn sync(&mut self) -> Vec<Key> {
+        let dirty: Vec<Key> = self
+            .blocks
+            .iter()
+            .filter(|(_, &d)| d)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in &dirty {
+            self.blocks.insert(*k, false);
+        }
+        dirty
+    }
+
+    /// Drops all blocks of a closed file; returns the dirty ones.
+    pub fn purge(&mut self, file: FileId) -> Vec<Key> {
+        let mine: Vec<Key> = self
+            .blocks
+            .keys()
+            .filter(|(f, _)| *f == file)
+            .copied()
+            .collect();
+        let mut dirty = Vec::new();
+        for k in mine {
+            if self.blocks.remove(&k) == Some(true) {
+                dirty.push(k);
+            }
+            if let Some(pos) = self.lru.iter().position(|&x| x == k) {
+                self.lru.remove(pos);
+            }
+        }
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(id: u32) -> FileId {
+        FileId::from_raw(id)
+    }
+
+    #[test]
+    fn hit_and_miss_tracking() {
+        let mut c = BufferCache::new(4);
+        let (hit, _) = c.touch(f(0), 0, false);
+        assert!(!hit);
+        let (hit, _) = c.touch(f(0), 0, false);
+        assert!(hit);
+        assert_eq!(c.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let mut c = BufferCache::new(2);
+        c.touch(f(0), 0, true); // dirty
+        c.touch(f(0), 1, false);
+        c.touch(f(0), 0, false); // promote block 0
+        let (_, evicted) = c.touch(f(0), 2, false); // evicts block 1 (clean)
+        assert_eq!(evicted, None);
+        assert!(c.contains(f(0), 0));
+        assert!(!c.contains(f(0), 1));
+        // Now block 0 (dirty) is oldest.
+        let (_, evicted) = c.touch(f(0), 3, false);
+        assert_eq!(evicted, Some((f(0), 0)));
+    }
+
+    #[test]
+    fn write_marks_dirty_and_sync_cleans() {
+        let mut c = BufferCache::new(4);
+        c.touch(f(0), 0, true);
+        c.touch(f(0), 1, false);
+        let dirty = c.sync();
+        assert_eq!(dirty, vec![(f(0), 0)]);
+        assert!(c.sync().is_empty(), "sync is idempotent");
+    }
+
+    #[test]
+    fn warm_is_clean_and_respects_capacity() {
+        let mut c = BufferCache::new(2);
+        assert!(c.warm(f(0), 0));
+        assert!(c.warm(f(0), 1));
+        assert!(!c.warm(f(0), 2), "cache full");
+        assert!(c.sync().is_empty(), "warmed blocks are clean");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn purge_returns_dirty_blocks_of_file() {
+        let mut c = BufferCache::new(8);
+        c.touch(f(0), 0, true);
+        c.touch(f(0), 1, false);
+        c.touch(f(1), 0, true);
+        let dirty = c.purge(f(0));
+        assert_eq!(dirty, vec![(f(0), 0)]);
+        assert!(!c.contains(f(0), 1));
+        assert!(c.contains(f(1), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_capacity_panics() {
+        BufferCache::new(0);
+    }
+}

@@ -1,0 +1,531 @@
+//! The monolithic Ultrix-style virtual-memory system.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use epcm_sim::clock::{Clock, Micros, Timestamp};
+use epcm_sim::cost::CostModel;
+use epcm_sim::disk::{Device, FileStore};
+
+use crate::cache::{BufferCache, TRANSFER_UNIT};
+
+/// A 4 KB page, matching the DECstation page size.
+const PAGE: u64 = 4096;
+
+/// An open file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileHandle(u32);
+
+/// An anonymous memory region (heap, stack, bss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(u32);
+
+/// Kernel-internal counters for the baseline VM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UltrixStats {
+    /// Page faults serviced.
+    pub faults: u64,
+    /// Security zero-fills (one per fresh allocation — the Ultrix tax).
+    pub zero_fills: u64,
+    /// Pages brought back from swap.
+    pub swap_ins: u64,
+    /// Pages evicted by the kernel clock.
+    pub evictions: u64,
+    /// Dirty pages/blocks written to the device.
+    pub writebacks: u64,
+    /// `read` system calls.
+    pub read_syscalls: u64,
+    /// `write` system calls.
+    pub write_syscalls: u64,
+    /// User-level (signal + mprotect) faults serviced.
+    pub user_faults: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    size_pages: u64,
+    resident: BTreeSet<u64>,
+    referenced: BTreeSet<u64>,
+    dirty: BTreeSet<u64>,
+    swapped: BTreeSet<u64>,
+}
+
+/// The Ultrix 4.1-like baseline VM.
+///
+/// # Example
+///
+/// ```
+/// use epcm_baseline::UltrixVm;
+///
+/// let mut vm = UltrixVm::new(1024); // 4 MB machine
+/// let heap = vm.create_region(16);
+/// vm.touch(heap, 0, true); // in-kernel fault + zero-fill
+/// assert_eq!(vm.stats().zero_fills, 1);
+/// assert_eq!(
+///     vm.now().as_micros(),
+///     vm.costs().ultrix_minimal_fault().as_micros()
+/// );
+/// ```
+#[derive(Debug)]
+pub struct UltrixVm {
+    clock: Clock,
+    costs: CostModel,
+    store: FileStore,
+    cache: BufferCache,
+    anon_budget: u64,
+    resident_anon: u64,
+    regions: BTreeMap<u32, Region>,
+    next_region: u32,
+    files: BTreeMap<u32, epcm_sim::disk::FileId>,
+    next_file: u32,
+    ring: VecDeque<(u32, u64)>,
+    stats: UltrixStats,
+}
+
+impl UltrixVm {
+    /// Creates a VM over `frames` 4 KB frames with the DECstation cost
+    /// model and an instant device (the paper's warm-cache setting). A
+    /// tenth of memory is dedicated to the buffer cache, Ultrix-style.
+    pub fn new(frames: usize) -> Self {
+        UltrixVm::with_config(
+            frames,
+            CostModel::decstation_5000_200(),
+            Device::Instant,
+            (frames / 10).max(2),
+        )
+    }
+
+    /// Full control: `cache_frames` 4 KB frames are dedicated to the
+    /// buffer cache (rounded down to whole 8 KB blocks, minimum one).
+    pub fn with_config(
+        frames: usize,
+        costs: CostModel,
+        device: Device,
+        cache_frames: usize,
+    ) -> Self {
+        let cache_blocks = (cache_frames / 2).max(1);
+        let anon_budget = frames.saturating_sub(cache_blocks * 2).max(1) as u64;
+        UltrixVm {
+            clock: Clock::new(),
+            costs,
+            store: FileStore::new(device),
+            cache: BufferCache::new(cache_blocks),
+            anon_budget,
+            resident_anon: 0,
+            regions: BTreeMap::new(),
+            next_region: 0,
+            files: BTreeMap::new(),
+            next_file: 0,
+            ring: VecDeque::new(),
+            stats: UltrixStats::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// The cost model in force.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Kernel counters.
+    pub fn stats(&self) -> UltrixStats {
+        self.stats
+    }
+
+    /// The backing store (to create workload input files).
+    pub fn store_mut(&mut self) -> &mut FileStore {
+        &mut self.store
+    }
+
+    /// Buffer-cache hit/miss counters.
+    pub fn cache_hit_miss(&self) -> (u64, u64) {
+        self.cache.hit_miss()
+    }
+
+    /// Burns application compute time.
+    pub fn charge_compute(&mut self, d: Micros) {
+        self.clock.advance(d);
+    }
+
+    // ----- files ---------------------------------------------------------
+
+    /// Opens a named file from the store.
+    pub fn open(&mut self, name: &str) -> Option<FileHandle> {
+        let file = self.store.find(name)?;
+        let fh = FileHandle(self.next_file);
+        self.next_file += 1;
+        self.files.insert(fh.0, file);
+        Some(fh)
+    }
+
+    /// Pre-loads a file into the buffer cache without charging time (the
+    /// paper's "run with the files they read cached in memory").
+    pub fn warm_file(&mut self, fh: FileHandle) -> bool {
+        let Some(&file) = self.files.get(&fh.0) else {
+            return false;
+        };
+        let size = self.store.size(file).unwrap_or(0);
+        let blocks = size.div_ceil(TRANSFER_UNIT);
+        (0..blocks).all(|b| self.cache.warm(file, b))
+    }
+
+    /// `read(2)`: reads `len` bytes at `offset`. The C library issues one
+    /// system call per 8 KB transfer unit; each 4 KB page within a call
+    /// pays lookup + copy (Table 1: 211 µs for a one-page read). Cache
+    /// misses add device latency.
+    pub fn read(&mut self, fh: FileHandle, offset: u64, len: u64) {
+        self.file_io(fh, offset, len, false);
+    }
+
+    /// `write(2)`: delayed write into the buffer cache (Table 1: 311 µs
+    /// for one page). Device latency is deferred to eviction or
+    /// [`UltrixVm::sync`].
+    pub fn write(&mut self, fh: FileHandle, offset: u64, len: u64) {
+        self.file_io(fh, offset, len, true);
+    }
+
+    fn file_io(&mut self, fh: FileHandle, offset: u64, len: u64, write: bool) {
+        if len == 0 {
+            return;
+        }
+        let Some(&file) = self.files.get(&fh.0) else {
+            return;
+        };
+        let first_call = offset / TRANSFER_UNIT;
+        let last_call = (offset + len - 1) / TRANSFER_UNIT;
+        for block in first_call..=last_call {
+            // One syscall per transfer unit.
+            self.clock.advance(self.costs.ultrix_syscall);
+            if write {
+                self.stats.write_syscalls += 1;
+            } else {
+                self.stats.read_syscalls += 1;
+            }
+            // Bytes of this call actually covered by [offset, offset+len).
+            let call_lo = (block * TRANSFER_UNIT).max(offset);
+            let call_hi = ((block + 1) * TRANSFER_UNIT).min(offset + len);
+            let pages = (call_hi - call_lo).div_ceil(PAGE).max(1);
+            let per_page = if write {
+                self.costs.ultrix_write_buffer + self.costs.page_copy_4k
+            } else {
+                self.costs.ultrix_file_lookup + self.costs.page_copy_4k
+            };
+            self.clock.advance(per_page * pages);
+            let (hit, evicted) = self.cache.touch(file, block, write);
+            if !hit && !write {
+                // Read miss: fetch the 8 KB block from the device.
+                self.clock.advance(self.costs.disk_access_4k * 2);
+            }
+            if let Some(_dirty) = evicted {
+                self.clock.advance(self.costs.disk_access_4k * 2);
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    /// `fsync`/close: flushes delayed writes, paying device latency.
+    pub fn sync(&mut self) {
+        for _ in self.cache.sync() {
+            self.clock.advance(self.costs.disk_access_4k * 2);
+            self.stats.writebacks += 1;
+        }
+    }
+
+    // ----- anonymous memory ------------------------------------------------
+
+    /// Creates an anonymous region of `pages` pages.
+    pub fn create_region(&mut self, pages: u64) -> RegionId {
+        let id = RegionId(self.next_region);
+        self.next_region += 1;
+        self.regions.insert(
+            id.0,
+            Region {
+                size_pages: pages,
+                resident: BTreeSet::new(),
+                referenced: BTreeSet::new(),
+                dirty: BTreeSet::new(),
+                swapped: BTreeSet::new(),
+            },
+        );
+        id
+    }
+
+    /// References a page; the kernel services any fault internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region or page is out of range (a segfault).
+    pub fn touch(&mut self, region: RegionId, page: u64, write: bool) {
+        let r = self.regions.get(&region.0).expect("unknown region");
+        assert!(page < r.size_pages, "segfault: {page} out of range");
+        if r.resident.contains(&page) {
+            let r = self.regions.get_mut(&region.0).expect("checked");
+            r.referenced.insert(page);
+            if write {
+                r.dirty.insert(page);
+            }
+            return;
+        }
+        // In-kernel fault service.
+        self.stats.faults += 1;
+        self.clock
+            .advance(self.costs.trap_entry + self.costs.ultrix_fault_service);
+        let swapped = self
+            .regions
+            .get(&region.0)
+            .expect("checked")
+            .swapped
+            .contains(&page);
+        if swapped {
+            self.clock.advance(self.costs.disk_access_4k);
+            self.stats.swap_ins += 1;
+        } else {
+            // Every fresh allocation is zeroed for security.
+            self.clock.advance(self.costs.page_zero_4k);
+            self.stats.zero_fills += 1;
+        }
+        if self.resident_anon >= self.anon_budget {
+            self.evict_one();
+        }
+        let r = self.regions.get_mut(&region.0).expect("checked");
+        r.resident.insert(page);
+        r.referenced.insert(page);
+        r.swapped.remove(&page);
+        if write {
+            r.dirty.insert(page);
+        }
+        self.resident_anon += 1;
+        self.ring.push_back((region.0, page));
+    }
+
+    fn evict_one(&mut self) {
+        let mut budget = self.ring.len() * 2;
+        while budget > 0 {
+            budget -= 1;
+            let Some((reg, page)) = self.ring.pop_front() else {
+                return;
+            };
+            let Some(r) = self.regions.get_mut(&reg) else {
+                continue;
+            };
+            if !r.resident.contains(&page) {
+                continue;
+            }
+            if r.referenced.remove(&page) {
+                self.ring.push_back((reg, page)); // second chance
+                continue;
+            }
+            r.resident.remove(&page);
+            r.swapped.insert(page);
+            let was_dirty = r.dirty.remove(&page);
+            self.resident_anon -= 1;
+            self.stats.evictions += 1;
+            if was_dirty {
+                self.clock.advance(self.costs.disk_access_4k);
+                self.stats.writebacks += 1;
+            }
+            return;
+        }
+    }
+
+    /// Destroys a region, freeing its pages (no writeback — anonymous
+    /// data dies with the process).
+    pub fn destroy_region(&mut self, region: RegionId) {
+        if let Some(r) = self.regions.remove(&region.0) {
+            self.resident_anon -= r.resident.len() as u64;
+        }
+    }
+
+    /// Resident pages of a region.
+    pub fn resident_pages(&self, region: RegionId) -> u64 {
+        self.regions
+            .get(&region.0)
+            .map_or(0, |r| r.resident.len() as u64)
+    }
+
+    // ----- user-level fault handling ------------------------------------------
+
+    /// A user-level protection-fault handler that changes protection and
+    /// resumes: signal delivery + `mprotect` + sigreturn, the in-text
+    /// 152 µs primitive.
+    pub fn user_protection_fault(&mut self) -> Micros {
+        let before = self.clock.now();
+        self.clock.advance(self.costs.ultrix_user_protection_fault());
+        self.stats.user_faults += 1;
+        self.clock.now().duration_since(before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_fault_costs_table1() {
+        let mut vm = UltrixVm::new(256);
+        let heap = vm.create_region(8);
+        let t0 = vm.now();
+        vm.touch(heap, 0, true);
+        assert_eq!(
+            vm.now().duration_since(t0),
+            vm.costs().ultrix_minimal_fault()
+        );
+        assert_eq!(vm.stats().zero_fills, 1);
+        // Second touch of the same page is free.
+        let t1 = vm.now();
+        vm.touch(heap, 0, false);
+        assert_eq!(vm.now(), t1);
+    }
+
+    #[test]
+    fn every_allocation_zeroes() {
+        let mut vm = UltrixVm::new(256);
+        let heap = vm.create_region(16);
+        for p in 0..16 {
+            vm.touch(heap, p, true);
+        }
+        assert_eq!(vm.stats().zero_fills, 16, "Ultrix zeroes every page");
+    }
+
+    #[test]
+    fn cached_read_costs_table1() {
+        let mut vm = UltrixVm::new(1024);
+        vm.store_mut().create("f", 65536);
+        let fh = vm.open("f").unwrap();
+        assert!(vm.warm_file(fh));
+        let t0 = vm.now();
+        vm.read(fh, 0, 4096);
+        assert_eq!(vm.now().duration_since(t0), vm.costs().ultrix_read_4k());
+    }
+
+    #[test]
+    fn cached_write_costs_table1() {
+        let mut vm = UltrixVm::new(1024);
+        vm.store_mut().create("f", 65536);
+        let fh = vm.open("f").unwrap();
+        vm.warm_file(fh);
+        let t0 = vm.now();
+        vm.write(fh, 0, 4096);
+        assert_eq!(vm.now().duration_since(t0), vm.costs().ultrix_write_4k());
+    }
+
+    #[test]
+    fn eight_kb_transfer_unit_halves_syscalls() {
+        let mut vm = UltrixVm::new(1024);
+        vm.store_mut().create("f", 65536);
+        let fh = vm.open("f").unwrap();
+        vm.warm_file(fh);
+        vm.read(fh, 0, 65536);
+        assert_eq!(vm.stats().read_syscalls, 8, "64 KB / 8 KB transfer unit");
+    }
+
+    #[test]
+    fn uncached_read_pays_device_latency() {
+        let mut vm = UltrixVm::with_config(
+            1024,
+            CostModel::decstation_5000_200(),
+            Device::disk_1992(),
+            64,
+        );
+        vm.store_mut().create("f", 8192);
+        let fh = vm.open("f").unwrap();
+        let t0 = vm.now();
+        vm.read(fh, 0, 4096); // miss
+        let miss_cost = vm.now().duration_since(t0);
+        assert!(miss_cost > vm.costs().disk_access_4k);
+        let t1 = vm.now();
+        vm.read(fh, 0, 4096); // hit
+        assert_eq!(vm.now().duration_since(t1), vm.costs().ultrix_read_4k());
+    }
+
+    #[test]
+    fn memory_pressure_swaps_and_recovers() {
+        let mut vm = UltrixVm::with_config(
+            32,
+            CostModel::decstation_5000_200(),
+            Device::Instant,
+            4,
+        );
+        let heap = vm.create_region(64);
+        // 30 frames of anon budget; touch 40 pages.
+        for p in 0..40 {
+            vm.touch(heap, p, true);
+        }
+        assert!(vm.stats().evictions > 0);
+        assert!(vm.stats().writebacks > 0, "dirty evictions write back");
+        // Refault an early page: swap-in, not zero-fill.
+        let zeroes = vm.stats().zero_fills;
+        vm.touch(heap, 0, false);
+        assert_eq!(vm.stats().zero_fills, zeroes);
+        assert!(vm.stats().swap_ins >= 1);
+    }
+
+    #[test]
+    fn clock_gives_second_chance_to_referenced_pages() {
+        let mut vm = UltrixVm::with_config(
+            12,
+            CostModel::decstation_5000_200(),
+            Device::Instant,
+            2,
+        );
+        // Budget: 12 - 2 = 10 anon frames.
+        let heap = vm.create_region(64);
+        for p in 0..10 {
+            vm.touch(heap, p, false);
+        }
+        // Page 0 most recently *referenced*; pages enter ring in order.
+        // Touch 0 again to set its reference bit fresh, then overflow.
+        vm.touch(heap, 0, false);
+        vm.touch(heap, 10, false);
+        // Page 0 survived (second chance); the eviction took another page.
+        let r = vm.resident_pages(heap);
+        assert_eq!(r, 10);
+        assert!(vm.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn sync_flushes_delayed_writes() {
+        let mut vm = UltrixVm::new(1024);
+        vm.store_mut().create("out", 0);
+        let fh = vm.open("out").unwrap();
+        vm.write(fh, 0, 16384);
+        let wb_before = vm.stats().writebacks;
+        vm.sync();
+        assert_eq!(vm.stats().writebacks, wb_before + 2, "two 8 KB blocks");
+        vm.sync();
+        assert_eq!(vm.stats().writebacks, wb_before + 2);
+    }
+
+    #[test]
+    fn user_fault_is_152us() {
+        let mut vm = UltrixVm::new(64);
+        assert_eq!(vm.user_protection_fault(), Micros::new(152));
+        assert_eq!(vm.stats().user_faults, 1);
+    }
+
+    #[test]
+    fn destroy_region_frees_frames() {
+        let mut vm = UltrixVm::new(64);
+        let heap = vm.create_region(8);
+        for p in 0..8 {
+            vm.touch(heap, p, true);
+        }
+        vm.destroy_region(heap);
+        assert_eq!(vm.resident_pages(heap), 0);
+        // New allocations proceed without eviction.
+        let heap2 = vm.create_region(8);
+        vm.touch(heap2, 0, true);
+        assert_eq!(vm.stats().evictions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "segfault")]
+    fn out_of_range_touch_panics() {
+        let mut vm = UltrixVm::new(64);
+        let heap = vm.create_region(4);
+        vm.touch(heap, 4, false);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the Ultrix baseline: frame accounting,
+//! swap/zero bookkeeping and cost monotonicity under random workloads.
+
+use epcm_baseline::UltrixVm;
+use epcm_sim::cost::CostModel;
+use epcm_sim::disk::Device;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Residency never exceeds the anonymous budget; every fault is
+    /// either a zero-fill (first touch) or a swap-in (return), never both.
+    #[test]
+    fn residency_and_fault_accounting(
+        touches in proptest::collection::vec((0u64..96, any::<bool>()), 1..300),
+    ) {
+        let mut vm = UltrixVm::with_config(
+            40,
+            CostModel::decstation_5000_200(),
+            Device::Instant,
+            8,
+        );
+        let heap = vm.create_region(96);
+        let budget = 40 - 8; // frames minus buffer cache
+        for (page, write) in touches {
+            vm.touch(heap, page, write);
+            prop_assert!(vm.resident_pages(heap) <= budget);
+            let s = vm.stats();
+            prop_assert_eq!(s.faults, s.zero_fills + s.swap_ins);
+            // A page can only swap in after having been evicted.
+            prop_assert!(s.swap_ins <= s.evictions);
+        }
+    }
+
+    /// Virtual time is monotone and file I/O cost scales with length.
+    #[test]
+    fn io_cost_scales(len_kb in 1u64..64) {
+        let mut vm = UltrixVm::new(2048);
+        vm.store_mut().create("f", (64 * 1024) as usize);
+        let fh = vm.open("f").unwrap();
+        vm.warm_file(fh);
+        let t0 = vm.now();
+        vm.read(fh, 0, len_kb * 1024);
+        let short = vm.now().duration_since(t0);
+        let t1 = vm.now();
+        vm.read(fh, 0, 64 * 1024);
+        let full = vm.now().duration_since(t1);
+        prop_assert!(full >= short, "64 KB read {full} vs {len_kb} KB read {short}");
+    }
+
+    /// Destroying regions always releases exactly their resident pages.
+    #[test]
+    fn destroy_accounting(regions in proptest::collection::vec(1u64..20, 1..8)) {
+        let mut vm = UltrixVm::new(512);
+        let mut handles = Vec::new();
+        let mut expected = 0u64;
+        for pages in &regions {
+            let r = vm.create_region(*pages);
+            for p in 0..*pages {
+                vm.touch(r, p, true);
+            }
+            expected += pages;
+            handles.push((r, *pages));
+        }
+        let total: u64 = handles.iter().map(|&(r, _)| vm.resident_pages(r)).sum();
+        prop_assert_eq!(total, expected);
+        for (r, _) in handles {
+            vm.destroy_region(r);
+            prop_assert_eq!(vm.resident_pages(r), 0);
+        }
+    }
+}

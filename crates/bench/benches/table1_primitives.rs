@@ -1,0 +1,67 @@
+//! Regenerates Table 1 (printed before timing) and benchmarks the real
+//! wall-clock cost of the underlying kernel primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epcm_core::flags::PageFlags;
+use epcm_core::types::{AccessKind, PageNumber, SegmentKind};
+use epcm_managers::Machine;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", epcm_bench::table1::render());
+
+    // Real-time cost of the kernel's fault dispatch + MigratePages path:
+    // migrate a page back and forth between two segments.
+    c.bench_function("kernel_migrate_roundtrip", |b| {
+        let mut m = Machine::with_default_manager(256);
+        let a = m.create_segment(SegmentKind::Anonymous, 4).unwrap();
+        let bseg = m.create_segment(SegmentKind::Anonymous, 4).unwrap();
+        m.touch(a, 0, AccessKind::Write).unwrap();
+        b.iter(|| {
+            m.kernel_mut()
+                .migrate_pages(a, bseg, PageNumber(0), PageNumber(0), 1, PageFlags::RW, PageFlags::empty())
+                .unwrap();
+            m.kernel_mut()
+                .migrate_pages(bseg, a, PageNumber(0), PageNumber(0), 1, PageFlags::RW, PageFlags::empty())
+                .unwrap();
+        });
+    });
+
+    // Resident reference (TLB-hit analog).
+    c.bench_function("kernel_reference_hit", |b| {
+        let mut m = Machine::with_default_manager(256);
+        let seg = m.create_segment(SegmentKind::Anonymous, 4).unwrap();
+        m.touch(seg, 0, AccessKind::Write).unwrap();
+        b.iter(|| {
+            m.kernel_mut()
+                .reference(seg, PageNumber(0), AccessKind::Read)
+                .unwrap()
+        });
+    });
+
+    // Cached 4 KB UIO read.
+    c.bench_function("uio_read_4k_cached", |b| {
+        let mut m = Machine::with_default_manager(512);
+        m.store_mut().create("f", 16384);
+        let seg = m.open_file("f").unwrap();
+        let mut buf = vec![0u8; 4096];
+        m.uio_read(seg, 0, &mut buf).unwrap();
+        b.iter(|| m.uio_read(seg, 0, &mut buf).unwrap());
+    });
+
+    // GetPageAttributes over a 64-page range (manager scan primitive).
+    c.bench_function("get_page_attributes_64", |b| {
+        let mut m = Machine::with_default_manager(256);
+        let seg = m.create_segment(SegmentKind::Anonymous, 64).unwrap();
+        for p in 0..64 {
+            m.touch(seg, p, AccessKind::Write).unwrap();
+        }
+        b.iter(|| {
+            m.kernel_mut()
+                .get_page_attributes(seg, PageNumber(0), 64)
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

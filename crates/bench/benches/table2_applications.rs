@@ -1,0 +1,22 @@
+//! Regenerates Table 2 (printed before timing) and benchmarks complete
+//! application runs on both VM implementations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epcm_workloads::apps::diff_spec;
+use epcm_workloads::runner::{run_on_ultrix, run_on_vpp};
+
+fn bench(c: &mut Criterion) {
+    let results = epcm_bench::table23::results();
+    println!("{}", epcm_bench::table23::render_table2(&results));
+
+    let spec = diff_spec();
+    c.bench_function("diff_on_vpp", |b| {
+        b.iter(|| run_on_vpp(&spec, 8192).unwrap());
+    });
+    c.bench_function("diff_on_ultrix", |b| {
+        b.iter(|| run_on_ultrix(&spec, 8192));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates Table 3 (printed before timing) and benchmarks the
+//! manager-activity hot paths it counts: fault dispatch and the
+//! reclamation/rescue cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epcm_core::types::{AccessKind, SegmentKind};
+use epcm_managers::default_manager::{DefaultManagerConfig, DefaultSegmentManager};
+use epcm_managers::{Machine, ManagerMode};
+
+fn bench(c: &mut Criterion) {
+    let results = epcm_bench::table23::results();
+    println!("{}", epcm_bench::table23::render_table3(&results));
+
+    // One full fault dispatch through the server-mode default manager.
+    c.bench_function("fault_dispatch_server", |b| {
+        let mut m = Machine::with_default_manager(65536);
+        let seg = m.create_segment(SegmentKind::Anonymous, 60000).unwrap();
+        let mut p = 0u64;
+        b.iter(|| {
+            m.touch(seg, p % 60000, AccessKind::Write).unwrap();
+            p += 1;
+        });
+    });
+
+    // Eviction + laundry rescue cycle under memory pressure.
+    c.bench_function("reclaim_and_rescue", |b| {
+        let mut m = Machine::new(64);
+        let id = m.register_manager(Box::new(DefaultSegmentManager::with_config(
+            ManagerMode::Server,
+            DefaultManagerConfig {
+                target_free: 8,
+                low_water: 2,
+                refill_batch: 8,
+                ..DefaultManagerConfig::default()
+            },
+        )));
+        m.set_default_manager(id);
+        let seg = m.create_segment(SegmentKind::Anonymous, 256).unwrap();
+        let mut p = 0u64;
+        b.iter(|| {
+            m.touch(seg, p % 96, AccessKind::Write).unwrap();
+            p += 1;
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Table 4 (printed before timing, at reduced scale for
+//! speed; run the `reproduce` binary for paper scale) and benchmarks the
+//! transaction engine and lock manager.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epcm_dbms::config::{DbmsConfig, IndexStrategy};
+use epcm_dbms::engine::run;
+use epcm_dbms::lock::{LockManager, LockMode, Resource, TxnId};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", epcm_bench::table4::render(&epcm_bench::table4::quick_results()));
+    println!("(reduced txn count; `cargo run -p epcm-bench --bin reproduce --release -- --table 4` runs paper scale)");
+
+    for strategy in IndexStrategy::all() {
+        c.bench_function(&format!("dbms_{}", strategy.label().replace(' ', "_")), |b| {
+            let mut cfg = DbmsConfig::quick(strategy);
+            cfg.txn_count = 500;
+            cfg.warmup = 50;
+            b.iter(|| run(&cfg));
+        });
+    }
+
+    c.bench_function("lock_acquire_release_cycle", |b| {
+        let mut lm = LockManager::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            let txn = TxnId(t);
+            t += 1;
+            lm.acquire(txn, Resource::Database, LockMode::IntentExclusive);
+            lm.acquire(txn, Resource::Relation(1), LockMode::IntentExclusive);
+            lm.acquire(txn, Resource::Page(1, t % 1024), LockMode::Exclusive);
+            lm.release_all(txn);
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

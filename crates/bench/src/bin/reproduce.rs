@@ -1,0 +1,48 @@
+//! Regenerates every table of the paper's evaluation, printing
+//! paper-vs-measured rows, plus (with `--ablations`) the design-choice
+//! sweeps from DESIGN.md.
+//!
+//! ```text
+//! reproduce              # Tables 1-4
+//! reproduce --table 4    # one table
+//! reproduce --quick      # Table 4 at reduced transaction count
+//! reproduce --ablations  # ablation sweeps only
+//! ```
+
+use epcm_bench::{ablations, table1, table23, table4};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only_table: Option<u32> = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    if args.iter().any(|a| a == "--ablations") {
+        print!("{}", ablations::render());
+        return;
+    }
+    let want = |n: u32| only_table.is_none() || only_table == Some(n);
+    if want(1) {
+        print!("{}", table1::render());
+    }
+    if want(2) || want(3) {
+        let results = table23::results();
+        if want(2) {
+            print!("{}", table23::render_table2(&results));
+        }
+        if want(3) {
+            print!("{}", table23::render_table3(&results));
+        }
+    }
+    if want(4) {
+        let results = if quick {
+            table4::quick_results()
+        } else {
+            table4::results()
+        };
+        print!("{}", table4::render(&results));
+    }
+    println!("\n(Figures 1 and 2 are architecture diagrams; run `cargo run --example address_space` and `cargo run --example fault_walkthrough` for their executable equivalents.)");
+}

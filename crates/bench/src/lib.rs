@@ -1,0 +1,58 @@
+//! # epcm-bench — the evaluation harness
+//!
+//! Regenerates every table of the paper's evaluation section from the
+//! mechanisms in the other crates, and adds the ablation sweeps DESIGN.md
+//! calls out. The [`reproduce`](../reproduce/index.html) binary prints
+//! paper-vs-measured rows; the Criterion benches (one per table) print
+//! the same rows and then time the underlying primitives for real.
+//!
+//! * [`table1`] — system primitive times (µs), V++ vs Ultrix, measured by
+//!   driving the live machines, not by reading the cost model.
+//! * [`table23`] — application elapsed times and VM activity.
+//! * [`table4`] — the DBMS index space-time tradeoff.
+//! * [`ablations`] — manager-mode, zeroing, transfer-unit, protection
+//!   batching, replacement policy, prefetch depth, page coloring, memory
+//!   market, and DBMS fault-latency sweeps.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod table1;
+pub mod table23;
+pub mod table4;
+
+/// Formats a `paper vs measured` row with a deviation percentage.
+pub fn fmt_row(label: &str, paper: f64, measured: f64, unit: &str) -> String {
+    let dev = if paper == 0.0 {
+        0.0
+    } else {
+        (measured - paper) / paper * 100.0
+    };
+    format!("{label:<44} {paper:>10.2} {measured:>10.2} {unit:<4} {dev:>+7.1}%")
+}
+
+/// Table header matching [`fmt_row`].
+pub fn fmt_header(title: &str) -> String {
+    format!(
+        "\n=== {title} ===\n{:<44} {:>10} {:>10} {:<4} {:>8}",
+        "row", "paper", "measured", "unit", "dev"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formatting_includes_deviation() {
+        let r = fmt_row("x", 100.0, 110.0, "us");
+        assert!(r.contains("+10.0%"));
+        let r = fmt_row("x", 0.0, 5.0, "us");
+        assert!(r.contains("+0.0%"));
+    }
+
+    #[test]
+    fn header_contains_title() {
+        assert!(fmt_header("Table 1").contains("Table 1"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Tables 2 and 3: application elapsed times and VM activity.
+
+use epcm_sim::cost::CostModel;
+use epcm_workloads::apps::{table2_apps, PaperRow};
+use epcm_workloads::runner::{run_on_ultrix, run_on_vpp, RunReport, PAPER_FRAMES};
+
+/// One application's complete measurement set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppResult {
+    /// The paper's numbers.
+    pub paper: PaperRow,
+    /// The V++ run.
+    pub vpp: RunReport,
+    /// The Ultrix run.
+    pub ultrix: RunReport,
+}
+
+impl AppResult {
+    /// Table 3 column 3: manager overhead in milliseconds, computed as
+    /// the paper does — the per-fault cost difference between the default
+    /// manager and the Ultrix kernel, times the number of manager calls.
+    pub fn overhead_ms(&self) -> f64 {
+        let costs = CostModel::decstation_5000_200();
+        let per_call = costs.vpp_minimal_fault_server() - costs.ultrix_minimal_fault();
+        (per_call * self.vpp.manager_calls).as_millis_f64()
+    }
+
+    /// Manager overhead as a fraction of V++ elapsed time (the paper's
+    /// 1.9% / 0.63% / 0.35%).
+    pub fn overhead_fraction(&self) -> f64 {
+        self.overhead_ms() / self.vpp.elapsed.as_millis_f64()
+    }
+}
+
+/// Runs all three applications on both systems.
+pub fn results() -> Vec<AppResult> {
+    table2_apps()
+        .into_iter()
+        .map(|(spec, paper)| AppResult {
+            paper,
+            vpp: run_on_vpp(&spec, PAPER_FRAMES).expect("vpp run"),
+            ultrix: run_on_ultrix(&spec, PAPER_FRAMES),
+        })
+        .collect()
+}
+
+/// Renders Table 2.
+pub fn render_table2(results: &[AppResult]) -> String {
+    let mut out = String::new();
+    out.push_str("\n=== Table 2: Application Elapsed Time (seconds) ===\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>13} {:>13}\n",
+        "Program", "V++ paper", "V++ here", "Ultrix paper", "Ultrix here"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<12} {:>10.2} {:>10.2} {:>13.2} {:>13.2}\n",
+            r.vpp.name,
+            r.paper.vpp_secs,
+            r.vpp.elapsed.as_secs_f64(),
+            r.paper.ultrix_secs,
+            r.ultrix.elapsed.as_secs_f64(),
+        ));
+    }
+    out
+}
+
+/// Renders Table 3.
+pub fn render_table3(results: &[AppResult]) -> String {
+    let mut out = String::new();
+    out.push_str("\n=== Table 3: VM System Activity and Costs ===\n");
+    out.push_str(&format!(
+        "{:<12} {:>11} {:>11} {:>12} {:>12} {:>13} {:>13}\n",
+        "Program", "calls paper", "calls here", "migr. paper", "migr. here", "ovhd paper", "ovhd here"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<12} {:>11} {:>11} {:>12} {:>12} {:>10} mS {:>10.0} mS\n",
+            r.vpp.name,
+            r.paper.manager_calls,
+            r.vpp.manager_calls,
+            r.paper.migrate_calls,
+            r.vpp.migrate_calls,
+            r.paper.overhead_ms,
+            r.overhead_ms(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_apps_land_near_paper() {
+        for r in results() {
+            let v = r.vpp.elapsed.as_secs_f64();
+            assert!(
+                (v - r.paper.vpp_secs).abs() / r.paper.vpp_secs < 0.01,
+                "{}: {v} vs {}",
+                r.vpp.name,
+                r.paper.vpp_secs
+            );
+            assert_eq!(r.vpp.migrate_calls, r.paper.migrate_calls);
+            // Overhead within 2 ms of the paper's column.
+            assert!((r.overhead_ms() - r.paper.overhead_ms as f64).abs() < 2.0);
+            // "a small percentage of program execution time".
+            assert!(r.overhead_fraction() < 0.02);
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let rs = results();
+        let t2 = render_table2(&rs);
+        assert!(t2.contains("diff"));
+        assert!(t2.contains("latex"));
+        let t3 = render_table3(&rs);
+        assert!(t3.contains("uncompress"));
+        assert!(t3.contains("mS"));
+    }
+}

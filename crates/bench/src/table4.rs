@@ -1,0 +1,77 @@
+//! Table 4: the database index space-time tradeoff.
+
+use epcm_dbms::config::{DbmsConfig, IndexStrategy};
+use epcm_dbms::engine::{run, DbmsReport};
+
+/// Paper Table 4 reference values `(average ms, worst-case ms)`.
+pub fn paper_values(strategy: IndexStrategy) -> (f64, f64) {
+    match strategy {
+        IndexStrategy::NoIndex => (866.0, 3770.0),
+        IndexStrategy::InMemory => (43.0, 410.0),
+        IndexStrategy::Paging => (575.0, 3930.0),
+        IndexStrategy::Regeneration => (55.0, 680.0),
+    }
+}
+
+/// Runs all four configurations at paper scale.
+pub fn results() -> Vec<DbmsReport> {
+    IndexStrategy::all()
+        .into_iter()
+        .map(|s| run(&DbmsConfig::paper(s)))
+        .collect()
+}
+
+/// Runs all four configurations at reduced scale (for quick checks and
+/// Criterion timing).
+pub fn quick_results() -> Vec<DbmsReport> {
+    IndexStrategy::all()
+        .into_iter()
+        .map(|s| run(&DbmsConfig::quick(s)))
+        .collect()
+}
+
+/// Renders the table.
+pub fn render(results: &[DbmsReport]) -> String {
+    let mut out = String::new();
+    out.push_str("\n=== Table 4: Effect of Memory Usage on Transaction Response (ms) ===\n");
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>10} {:>12} {:>12}\n",
+        "Configuration", "avg paper", "avg here", "worst paper", "worst here"
+    ));
+    for r in results {
+        let (avg, worst) = paper_values(r.strategy);
+        out.push_str(&format!(
+            "{:<22} {:>10.0} {:>10.0} {:>12.0} {:>12.0}\n",
+            r.strategy.label(),
+            avg,
+            r.average_ms(),
+            worst,
+            r.worst_ms(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_runs_preserve_the_ordering() {
+        let rs = quick_results();
+        let avg: Vec<f64> = rs.iter().map(|r| r.average_ms()).collect();
+        // no-index and paging are the slow pair; in-memory and
+        // regeneration the fast pair.
+        assert!(avg[0] > 5.0 * avg[1], "no-index {} vs in-memory {}", avg[0], avg[1]);
+        assert!(avg[2] > 5.0 * avg[3], "paging {} vs regen {}", avg[2], avg[3]);
+        assert!(avg[3] < 2.0 * avg[1], "regen {} near in-memory {}", avg[3], avg[1]);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = render(&quick_results());
+        for strategy in IndexStrategy::all() {
+            assert!(s.contains(strategy.label()));
+        }
+    }
+}

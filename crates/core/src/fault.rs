@@ -1,0 +1,132 @@
+//! Page-fault events delivered to segment managers.
+//!
+//! When a memory reference cannot be satisfied from the kernel's mapping
+//! structures, the kernel does **not** resolve it itself — it packages a
+//! [`FaultEvent`] and forwards it to the segment's registered manager
+//! (Figure 2 of the paper). The kernel's only obligations are to identify
+//! the faulting page and classify the fault.
+
+use std::fmt;
+
+use crate::flags::PageFlags;
+use crate::types::{AccessKind, ManagerId, PageNumber, SegmentId};
+
+/// Why a reference could not be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The page has no frame in the segment (or in the segment a bound
+    /// region forwards it to).
+    Missing,
+    /// A frame is present but its protection flags deny the access. The
+    /// current flags are included so a manager implementing
+    /// reference-sampling (the default manager's clock) or user-level VM
+    /// tricks (Appel–Li) can decide without a `GetPageAttributes` call.
+    Protection {
+        /// Flags on the resident page at fault time.
+        flags: PageFlags,
+    },
+    /// A write hit a copy-on-write binding: the manager must supply a
+    /// destination frame, and the kernel will copy the source page into it
+    /// ("the kernel performs the copy after the manager has allocated a
+    /// page", §2.1).
+    CopyOnWrite {
+        /// The segment the COW binding reads through to.
+        source_segment: SegmentId,
+        /// The page in the source segment.
+        source_page: PageNumber,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Missing => write!(f, "missing"),
+            FaultKind::Protection { flags } => write!(f, "protection({flags})"),
+            FaultKind::CopyOnWrite {
+                source_segment,
+                source_page,
+            } => write!(f, "copy-on-write from {source_segment} {source_page}"),
+        }
+    }
+}
+
+/// A fault the kernel forwards to a segment manager.
+///
+/// `segment`/`page` name the location the manager must repair: for a fault
+/// through a bound region this is already the *owning* segment (migrating a
+/// frame there satisfies the faulting reference), except for copy-on-write,
+/// where it is the binding segment that receives the private copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The manager responsible for the faulting segment.
+    pub manager: ManagerId,
+    /// The segment needing repair.
+    pub segment: SegmentId,
+    /// The page needing repair (in `segment`'s page numbering).
+    pub page: PageNumber,
+    /// The kind of repair required.
+    pub kind: FaultKind,
+    /// The access that faulted.
+    pub access: AccessKind,
+    /// The segment the application actually referenced (differs from
+    /// `segment` when the reference went through a bound region).
+    pub via_segment: SegmentId,
+    /// The page in `via_segment` that was referenced.
+    pub via_page: PageNumber,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault on {} {} (referenced via {} {}) -> {}",
+            self.access, self.segment, self.page, self.via_segment, self.via_page, self.manager
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultEvent {
+        FaultEvent {
+            manager: ManagerId(2),
+            segment: SegmentId(5),
+            page: PageNumber(9),
+            kind: FaultKind::Missing,
+            access: AccessKind::Write,
+            via_segment: SegmentId(6),
+            via_page: PageNumber(1),
+        }
+    }
+
+    #[test]
+    fn display_names_all_parties() {
+        let s = sample().to_string();
+        assert!(s.contains("seg#5"));
+        assert!(s.contains("page 9"));
+        assert!(s.contains("mgr#2"));
+        assert!(s.contains("write"));
+        assert!(s.contains("seg#6"));
+    }
+
+    #[test]
+    fn kind_displays() {
+        assert_eq!(FaultKind::Missing.to_string(), "missing");
+        let p = FaultKind::Protection {
+            flags: PageFlags::READ,
+        };
+        assert!(p.to_string().contains("protection"));
+        let c = FaultKind::CopyOnWrite {
+            source_segment: SegmentId(1),
+            source_page: PageNumber(2),
+        };
+        assert!(c.to_string().contains("copy-on-write"));
+    }
+
+    #[test]
+    fn events_are_comparable() {
+        assert_eq!(sample(), sample());
+    }
+}

@@ -1,0 +1,241 @@
+//! Page-frame state flags.
+//!
+//! The paper's `MigratePages` and `ModifyPageFlags` let a manager set and
+//! clear page state "such as the *dirty* flag in addition to the protection
+//! flags accessible with the conventional Unix mprotect". `PageFlags` is a
+//! typed flag set over `u16` (a hand-rolled equivalent of the `bitflags`
+//! crate, which is outside this project's allowed dependency set).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not, Sub};
+
+/// A set of per-page state and protection flags.
+///
+/// # Example
+///
+/// ```
+/// use epcm_core::flags::PageFlags;
+///
+/// let rw = PageFlags::READ | PageFlags::WRITE;
+/// assert!(rw.contains(PageFlags::READ));
+/// let read_only = rw - PageFlags::WRITE;
+/// assert!(!read_only.contains(PageFlags::WRITE));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PageFlags(u16);
+
+impl PageFlags {
+    /// No flags set: the page is mapped with no access (references fault).
+    pub const NONE: PageFlags = PageFlags(0);
+    /// Reads are permitted.
+    pub const READ: PageFlags = PageFlags(1 << 0);
+    /// Writes are permitted.
+    pub const WRITE: PageFlags = PageFlags(1 << 1);
+    /// Instruction fetches are permitted.
+    pub const EXECUTE: PageFlags = PageFlags(1 << 2);
+    /// The page has been modified since the flag was last cleared.
+    pub const DIRTY: PageFlags = PageFlags(1 << 3);
+    /// The page has been referenced since the flag was last cleared (used
+    /// by clock-style replacement).
+    pub const REFERENCED: PageFlags = PageFlags(1 << 4);
+    /// The manager has pinned this page: advisory to the manager's own
+    /// replacement policy (the kernel never reclaims pages in V++).
+    pub const PINNED: PageFlags = PageFlags(1 << 5);
+    /// Manager-private flag A (e.g. "discardable: garbage, never write
+    /// back" in the Subramanian-style manager).
+    pub const MANAGER_A: PageFlags = PageFlags(1 << 6);
+    /// Manager-private flag B.
+    pub const MANAGER_B: PageFlags = PageFlags(1 << 7);
+
+    /// The conventional read+write protection.
+    pub const RW: PageFlags = PageFlags(1 << 0 | 1 << 1);
+
+    /// The empty set.
+    pub const fn empty() -> PageFlags {
+        PageFlags(0)
+    }
+
+    /// Every defined flag.
+    pub const fn all() -> PageFlags {
+        PageFlags(0xff)
+    }
+
+    /// Whether every flag in `other` is also set in `self`.
+    pub const fn contains(self, other: PageFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether any flag in `other` is set in `self`.
+    pub const fn intersects(self, other: PageFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether no flags are set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `self` with the flags in `set` added and those in `clear` removed.
+    /// When a flag appears in both, `clear` wins (matching the kernel's
+    /// `sFlgs`/`cFlgs` processing order).
+    #[must_use]
+    pub const fn apply(self, set: PageFlags, clear: PageFlags) -> PageFlags {
+        PageFlags((self.0 | set.0) & !clear.0)
+    }
+
+    /// Whether this protection permits the access.
+    pub fn permits(self, access: crate::types::AccessKind) -> bool {
+        match access {
+            crate::types::AccessKind::Read => self.contains(PageFlags::READ),
+            crate::types::AccessKind::Write => self.contains(PageFlags::WRITE),
+        }
+    }
+
+    /// The raw bits.
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs a flag set from raw bits, ignoring undefined bits.
+    pub const fn from_bits_truncate(bits: u16) -> PageFlags {
+        PageFlags(bits & Self::all().0)
+    }
+}
+
+impl BitOr for PageFlags {
+    type Output = PageFlags;
+    fn bitor(self, rhs: PageFlags) -> PageFlags {
+        PageFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for PageFlags {
+    fn bitor_assign(&mut self, rhs: PageFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for PageFlags {
+    type Output = PageFlags;
+    fn bitand(self, rhs: PageFlags) -> PageFlags {
+        PageFlags(self.0 & rhs.0)
+    }
+}
+
+impl Sub for PageFlags {
+    type Output = PageFlags;
+    /// Set difference: flags in `self` that are not in `rhs`.
+    fn sub(self, rhs: PageFlags) -> PageFlags {
+        PageFlags(self.0 & !rhs.0)
+    }
+}
+
+impl Not for PageFlags {
+    type Output = PageFlags;
+    fn not(self) -> PageFlags {
+        PageFlags(!self.0 & Self::all().0)
+    }
+}
+
+impl fmt::Debug for PageFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageFlags(")?;
+        fmt::Display::fmt(self, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for PageFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "-");
+        }
+        let names = [
+            (PageFlags::READ, "R"),
+            (PageFlags::WRITE, "W"),
+            (PageFlags::EXECUTE, "X"),
+            (PageFlags::DIRTY, "D"),
+            (PageFlags::REFERENCED, "r"),
+            (PageFlags::PINNED, "P"),
+            (PageFlags::MANAGER_A, "a"),
+            (PageFlags::MANAGER_B, "b"),
+        ];
+        for (flag, name) in names {
+            if self.contains(flag) {
+                write!(f, "{name}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AccessKind;
+
+    #[test]
+    fn contains_and_intersects() {
+        let rw = PageFlags::RW;
+        assert!(rw.contains(PageFlags::READ));
+        assert!(rw.contains(PageFlags::WRITE));
+        assert!(!rw.contains(PageFlags::EXECUTE));
+        assert!(rw.intersects(PageFlags::READ | PageFlags::EXECUTE));
+        assert!(!rw.intersects(PageFlags::EXECUTE));
+    }
+
+    #[test]
+    fn apply_set_then_clear() {
+        let f = PageFlags::READ;
+        let g = f.apply(PageFlags::WRITE | PageFlags::DIRTY, PageFlags::READ);
+        assert_eq!(g, PageFlags::WRITE | PageFlags::DIRTY);
+        // Clear wins on overlap.
+        let h = f.apply(PageFlags::WRITE, PageFlags::WRITE);
+        assert_eq!(h, PageFlags::READ);
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let f = PageFlags::READ | PageFlags::DIRTY;
+        let set = PageFlags::REFERENCED;
+        let clear = PageFlags::DIRTY;
+        let once = f.apply(set, clear);
+        let twice = once.apply(set, clear);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn permits_matches_protection() {
+        assert!(PageFlags::READ.permits(AccessKind::Read));
+        assert!(!PageFlags::READ.permits(AccessKind::Write));
+        assert!(PageFlags::RW.permits(AccessKind::Write));
+        assert!(!PageFlags::NONE.permits(AccessKind::Read));
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = PageFlags::READ | PageFlags::WRITE;
+        let b = PageFlags::WRITE | PageFlags::DIRTY;
+        assert_eq!(a & b, PageFlags::WRITE);
+        assert_eq!(a - b, PageFlags::READ);
+        assert_eq!(a | b, PageFlags::READ | PageFlags::WRITE | PageFlags::DIRTY);
+        assert!((!PageFlags::all()).is_empty());
+    }
+
+    #[test]
+    fn from_bits_truncate_masks_undefined() {
+        let f = PageFlags::from_bits_truncate(0xffff);
+        assert_eq!(f, PageFlags::all());
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        assert_eq!(PageFlags::empty().to_string(), "-");
+        assert_eq!(PageFlags::RW.to_string(), "RW");
+        assert_eq!(
+            (PageFlags::READ | PageFlags::DIRTY | PageFlags::PINNED).to_string(),
+            "RDP"
+        );
+        assert!(format!("{:?}", PageFlags::READ).contains("PageFlags"));
+    }
+}

@@ -1,0 +1,281 @@
+//! The physical frame table.
+//!
+//! Frames carry *real* byte contents (lazily allocated; an unallocated
+//! buffer reads as zeros) so that file caching, copy-on-write and the DBMS
+//! index structures operate on actual data. The time cost of zeroing and
+//! copying remains a [`CostModel`](epcm_sim::cost::CostModel) charge — the
+//! simulation's real heap behaviour is not what is being measured.
+
+use std::fmt;
+
+use crate::types::{FrameId, PageNumber, SegmentId, UserId, BASE_PAGE_SIZE};
+
+/// One physical base (4 KB) page frame.
+#[derive(Debug, Clone, Default)]
+pub struct Frame {
+    /// Byte contents; `None` is logically all-zero.
+    data: Option<Box<[u8]>>,
+    /// The segment slot currently holding this frame, if any.
+    owner: Option<(SegmentId, PageNumber)>,
+    /// The last user principal whose data touched this frame, for V++'s
+    /// zero-only-across-users security rule.
+    last_user: UserId,
+}
+
+impl Frame {
+    /// The segment slot currently holding this frame.
+    pub fn owner(&self) -> Option<(SegmentId, PageNumber)> {
+        self.owner
+    }
+
+    /// The last user whose data touched this frame.
+    pub fn last_user(&self) -> UserId {
+        self.last_user
+    }
+
+    /// Whether the frame's buffer has been materialised (false = logically
+    /// zero without backing allocation).
+    pub fn is_materialised(&self) -> bool {
+        self.data.is_some()
+    }
+}
+
+/// The machine's physical memory: an indexed table of [`Frame`]s.
+///
+/// # Example
+///
+/// ```
+/// use epcm_core::frame::FrameTable;
+///
+/// let table = FrameTable::new(1024); // 4 MB machine
+/// assert_eq!(table.len(), 1024);
+/// assert_eq!(table.total_bytes(), 4 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameTable {
+    frames: Vec<Frame>,
+}
+
+impl FrameTable {
+    /// Creates `frames` zeroed frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero or exceeds `u32::MAX`.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "a machine needs at least one page frame");
+        assert!(frames <= u32::MAX as usize, "frame index must fit in u32");
+        FrameTable {
+            frames: vec![Frame::default(); frames],
+        }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the table is empty (never true: construction requires at
+    /// least one frame).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total physical memory in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.frames.len() as u64 * BASE_PAGE_SIZE
+    }
+
+    /// Whether `frame` is a valid index.
+    pub fn is_valid(&self, frame: FrameId) -> bool {
+        frame.index() < self.frames.len()
+    }
+
+    /// The frame's current owner slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is out of range.
+    pub fn owner(&self, frame: FrameId) -> Option<(SegmentId, PageNumber)> {
+        self.frames[frame.index()].owner
+    }
+
+    /// Sets the frame's owner slot (kernel-internal, used by migration).
+    pub(crate) fn set_owner(&mut self, frame: FrameId, owner: Option<(SegmentId, PageNumber)>) {
+        self.frames[frame.index()].owner = owner;
+    }
+
+    /// The last user whose data touched the frame.
+    pub fn last_user(&self, frame: FrameId) -> UserId {
+        self.frames[frame.index()].last_user
+    }
+
+    /// Records the user now using the frame.
+    pub(crate) fn set_last_user(&mut self, frame: FrameId, user: UserId) {
+        self.frames[frame.index()].last_user = user;
+    }
+
+    /// Reads bytes from the frame at `offset` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the 4 KB frame.
+    pub fn read(&self, frame: FrameId, offset: usize, buf: &mut [u8]) {
+        assert!(
+            offset + buf.len() <= BASE_PAGE_SIZE as usize,
+            "read of {} bytes at {offset} exceeds frame size",
+            buf.len()
+        );
+        match &self.frames[frame.index()].data {
+            Some(data) => buf.copy_from_slice(&data[offset..offset + buf.len()]),
+            None => buf.fill(0),
+        }
+    }
+
+    /// Writes `buf` into the frame at `offset`, materialising the buffer on
+    /// first write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the 4 KB frame.
+    pub fn write(&mut self, frame: FrameId, offset: usize, buf: &[u8]) {
+        assert!(
+            offset + buf.len() <= BASE_PAGE_SIZE as usize,
+            "write of {} bytes at {offset} exceeds frame size",
+            buf.len()
+        );
+        let data = self.frames[frame.index()]
+            .data
+            .get_or_insert_with(|| vec![0u8; BASE_PAGE_SIZE as usize].into_boxed_slice());
+        data[offset..offset + buf.len()].copy_from_slice(buf);
+    }
+
+    /// Zero-fills the frame (releases the lazily-allocated buffer).
+    pub fn zero(&mut self, frame: FrameId) {
+        self.frames[frame.index()].data = None;
+    }
+
+    /// Copies the full 4 KB contents of `src` into `dst`.
+    pub fn copy(&mut self, src: FrameId, dst: FrameId) {
+        let data = self.frames[src.index()].data.clone();
+        self.frames[dst.index()].data = data;
+    }
+
+    /// A shared view of one frame.
+    pub fn frame(&self, frame: FrameId) -> &Frame {
+        &self.frames[frame.index()]
+    }
+
+    /// Iterates over all frame ids in physical-address order.
+    pub fn ids(&self) -> impl Iterator<Item = FrameId> + '_ {
+        (0..self.frames.len() as u32).map(FrameId)
+    }
+}
+
+impl fmt::Display for FrameTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} frames ({} MB)",
+            self.frames.len(),
+            self.total_bytes() / (1024 * 1024)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_table_is_zeroed_and_unowned() {
+        let t = FrameTable::new(4);
+        for id in t.ids() {
+            assert_eq!(t.owner(id), None);
+            assert!(!t.frame(id).is_materialised());
+            let mut buf = [1u8; 16];
+            t.read(id, 0, &mut buf);
+            assert_eq!(buf, [0u8; 16]);
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut t = FrameTable::new(2);
+        let f = FrameId(1);
+        t.write(f, 100, b"hello");
+        let mut buf = [0u8; 5];
+        t.read(f, 100, &mut buf);
+        assert_eq!(&buf, b"hello");
+        assert!(t.frame(f).is_materialised());
+    }
+
+    #[test]
+    fn zero_releases_buffer() {
+        let mut t = FrameTable::new(1);
+        let f = FrameId(0);
+        t.write(f, 0, b"x");
+        t.zero(f);
+        assert!(!t.frame(f).is_materialised());
+        let mut buf = [9u8; 1];
+        t.read(f, 0, &mut buf);
+        assert_eq!(buf, [0]);
+    }
+
+    #[test]
+    fn copy_duplicates_contents() {
+        let mut t = FrameTable::new(2);
+        t.write(FrameId(0), 0, b"abc");
+        t.copy(FrameId(0), FrameId(1));
+        let mut buf = [0u8; 3];
+        t.read(FrameId(1), 0, &mut buf);
+        assert_eq!(&buf, b"abc");
+        // Copy of a zero frame zeroes the destination.
+        t.copy(FrameId(1), FrameId(0));
+        t.write(FrameId(1), 0, b"zzz");
+        t.read(FrameId(0), 0, &mut buf);
+        assert_eq!(&buf, b"abc", "copy must be by value, not aliased");
+    }
+
+    #[test]
+    fn owner_tracking() {
+        let mut t = FrameTable::new(1);
+        let f = FrameId(0);
+        t.set_owner(f, Some((SegmentId(3), PageNumber(7))));
+        assert_eq!(t.owner(f), Some((SegmentId(3), PageNumber(7))));
+        t.set_owner(f, None);
+        assert_eq!(t.owner(f), None);
+    }
+
+    #[test]
+    fn user_tracking() {
+        let mut t = FrameTable::new(1);
+        let f = FrameId(0);
+        assert_eq!(t.last_user(f), UserId::SYSTEM);
+        t.set_last_user(f, UserId(5));
+        assert_eq!(t.last_user(f), UserId(5));
+    }
+
+    #[test]
+    fn totals() {
+        let t = FrameTable::new(256);
+        assert_eq!(t.total_bytes(), 1024 * 1024);
+        assert!(t.is_valid(FrameId(255)));
+        assert!(!t.is_valid(FrameId(256)));
+        assert!(!t.is_empty());
+        assert!(t.to_string().contains("256 frames"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds frame size")]
+    fn oversized_write_panics() {
+        let mut t = FrameTable::new(1);
+        t.write(FrameId(0), 4090, &[0u8; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page frame")]
+    fn zero_frames_panics() {
+        FrameTable::new(0);
+    }
+}

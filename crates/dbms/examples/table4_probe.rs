@@ -1,0 +1,34 @@
+//! Calibration probe for Table 4: runs the four configurations at paper
+//! scale with service constants overridable via environment variables
+//! (SCAN/IDX/FAULT/REGEN/DC, all in milliseconds), printing average and
+//! worst-case responses against the paper's targets. Used once to fix
+//! the constants in `DbmsConfig::paper` (see EXPERIMENTS.md).
+
+use epcm_dbms::config::{DbmsConfig, IndexStrategy};
+use epcm_dbms::engine::run;
+use epcm_sim::clock::Micros;
+
+fn main() {
+    let scan: u64 = std::env::var("SCAN").map(|v| v.parse().unwrap()).unwrap_or(430);
+    let idx: u64 = std::env::var("IDX").map(|v| v.parse().unwrap()).unwrap_or(110);
+    let fault: u64 = std::env::var("FAULT").map(|v| v.parse().unwrap()).unwrap_or(15);
+    let regen: u64 = std::env::var("REGEN").map(|v| v.parse().unwrap()).unwrap_or(280);
+    let dc: u64 = std::env::var("DC").map(|v| v.parse().unwrap()).unwrap_or(9);
+    println!("scan={scan} idx={idx} fault={fault} regen={regen} dc={dc}");
+    for s in IndexStrategy::all() {
+        let mut cfg = DbmsConfig::paper(s);
+        cfg.join_scan_service = Micros::from_millis(scan);
+        cfg.join_index_service = Micros::from_millis(idx);
+        cfg.fault_delay = Micros::from_millis(fault);
+        cfg.regen_service = Micros::from_millis(regen);
+        cfg.dc_service = Micros::from_millis(dc);
+        let r = run(&cfg);
+        println!(
+            "{:<22} avg={:>6.0} worst={:>6.0}",
+            s.label(),
+            r.average_ms(),
+            r.worst_ms(),
+        );
+    }
+    println!("paper: 866/3770  43/410  575/3930  55/680");
+}

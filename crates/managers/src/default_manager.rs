@@ -1,0 +1,981 @@
+//! The default segment manager (§2.3) — the extended UCDS.
+//!
+//! Conventional programs never see external page-cache management: this
+//! server-mode manager gives them a transparent demand-paged system built
+//! entirely from the kernel's exported operations. It maintains a
+//! free-page segment, fills file pages from the backing store, swaps
+//! anonymous pages, batches allocation for file appends in 16 KB units
+//! (the paper's noted difference from Ultrix), runs a clock replacement
+//! policy driven by protection-fault reference sampling with batched
+//! re-enabling, and keeps reclaimed-but-unreused frames rescuable (the
+//! paper's migrate-it-back trick).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use epcm_core::fault::{FaultEvent, FaultKind};
+use epcm_core::flags::PageFlags;
+use epcm_core::kernel::Kernel;
+use epcm_core::types::{ManagerId, PageNumber, SegmentId, SegmentKind, BASE_PAGE_SIZE};
+use epcm_sim::disk::FileId;
+
+use crate::manager::{Env, ManagerError, ManagerMode, SegmentManager};
+use crate::policy::{ClockPolicy, Probe, ReplacementPolicy};
+use crate::spcm::PhysConstraint;
+
+/// Where a managed segment's page data lives when not resident.
+#[derive(Debug, Clone)]
+enum Backing {
+    /// A cached file: pages are the file's blocks.
+    File(FileId),
+    /// Anonymous memory, swapped on demand; the swap file is created
+    /// lazily, `swapped` lists pages with valid swap copies.
+    Anonymous {
+        swap: Option<FileId>,
+        swapped: BTreeSet<u64>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct ManagedSegment {
+    backing: Backing,
+}
+
+/// Counters exposed for Table 3 and the extended analyses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefaultManagerStats {
+    /// Faults handled, all kinds.
+    pub faults: u64,
+    /// Minimal faults (frame handed over with no fill).
+    pub minimal_faults: u64,
+    /// Pages filled from a backing file.
+    pub file_fills: u64,
+    /// Pages filled from swap.
+    pub swap_ins: u64,
+    /// Dirty pages written back.
+    pub writebacks: u64,
+    /// Pages reclaimed by the replacement policy.
+    pub reclaimed: u64,
+    /// Reclaimed pages rescued before reuse (migrated straight back).
+    pub laundry_rescues: u64,
+    /// Protection faults that were reference-sampling events.
+    pub sampling_faults: u64,
+    /// Copy-on-write faults serviced.
+    pub cow_faults: u64,
+    /// Append faults that allocated a 16 KB batch.
+    pub append_batches: u64,
+    /// `MigratePages` invocations made by this manager while handling
+    /// faults (Table 3 column 2).
+    pub migrate_calls: u64,
+}
+
+/// Tuning knobs for the default manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefaultManagerConfig {
+    /// Free-pool size the manager tries to keep on hand.
+    pub target_free: u64,
+    /// Refill the pool when it drops below this.
+    pub low_water: u64,
+    /// Frames requested from the SPCM per refill.
+    pub refill_batch: u64,
+    /// Pages allocated per append fault (16 KB = 4 pages, §3.2).
+    pub append_batch: u64,
+    /// Contiguous pages re-enabled per sampling protection fault ("the
+    /// default manager changes the protection on a number of contiguous
+    /// pages, rather than a single page").
+    pub protection_batch: u64,
+    /// Resident pages protection-revoked per tick for reference sampling
+    /// (0 disables sampling).
+    pub sample_batch: u64,
+}
+
+impl Default for DefaultManagerConfig {
+    fn default() -> Self {
+        DefaultManagerConfig {
+            target_free: 64,
+            low_water: 8,
+            refill_batch: 64,
+            append_batch: 4,
+            protection_batch: 16,
+            sample_batch: 0,
+        }
+    }
+}
+
+/// The default segment manager.
+///
+/// # Example
+///
+/// ```
+/// use epcm_managers::{DefaultSegmentManager, Machine};
+/// use epcm_core::{AccessKind, SegmentKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut machine = Machine::with_default_manager(512);
+/// let heap = machine.create_segment(SegmentKind::Anonymous, 16)?;
+/// machine.touch(heap, 7, AccessKind::Write)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DefaultSegmentManager {
+    id: ManagerId,
+    mode: ManagerMode,
+    config: DefaultManagerConfig,
+    free_seg: Option<SegmentId>,
+    managed: BTreeMap<u32, ManagedSegment>,
+    policy: ClockPolicy,
+    /// Reclaimed pages whose frames still sit (data intact) in the free
+    /// segment: `(segment, page) -> free-segment slot`. FIFO reuse order.
+    laundry: BTreeMap<(u32, u64), PageNumber>,
+    laundry_order: VecDeque<(u32, u64)>,
+    /// Cursor for the sampling sweep.
+    sample_cursor: (u32, u64),
+    stats: DefaultManagerStats,
+}
+
+impl DefaultSegmentManager {
+    /// A default manager in the paper's deployed configuration: a separate
+    /// server process.
+    pub fn server() -> Self {
+        DefaultSegmentManager::with_config(ManagerMode::Server, DefaultManagerConfig::default())
+    }
+
+    /// A manager executing in the faulting process — the cheap dispatch
+    /// mode of Table 1 row 1, used by application-specific managers.
+    pub fn in_process() -> Self {
+        DefaultSegmentManager::with_config(
+            ManagerMode::FaultingProcess,
+            DefaultManagerConfig::default(),
+        )
+    }
+
+    /// Full control over mode and tuning.
+    pub fn with_config(mode: ManagerMode, config: DefaultManagerConfig) -> Self {
+        DefaultSegmentManager {
+            id: ManagerId(u32::MAX),
+            mode,
+            config,
+            free_seg: None,
+            managed: BTreeMap::new(),
+            policy: ClockPolicy::new(),
+            laundry: BTreeMap::new(),
+            laundry_order: VecDeque::new(),
+            sample_cursor: (0, 0),
+            stats: DefaultManagerStats::default(),
+        }
+    }
+
+    /// Manager counters.
+    pub fn manager_stats(&self) -> DefaultManagerStats {
+        self.stats
+    }
+
+    /// The manager's free-page segment, once created.
+    pub fn free_segment(&self) -> Option<SegmentId> {
+        self.free_seg
+    }
+
+    fn free_seg(&mut self, env: &mut Env<'_>) -> Result<SegmentId, ManagerError> {
+        if let Some(seg) = self.free_seg {
+            return Ok(seg);
+        }
+        // Size the free segment to the whole machine: slots are cheap and
+        // this lets the pool grow to whatever the SPCM will grant.
+        let frames = env.kernel.frames().len() as u64;
+        let seg = env.kernel.create_segment(
+            SegmentKind::FramePool,
+            epcm_core::UserId::SYSTEM,
+            self.id,
+            1,
+            frames,
+        )?;
+        self.free_seg = Some(seg);
+        Ok(seg)
+    }
+
+    fn free_count(&self, kernel: &Kernel) -> u64 {
+        self.free_seg
+            .and_then(|s| kernel.resident_pages(s).ok())
+            .unwrap_or(0)
+    }
+
+    /// Ensures at least `want` frames sit in the free pool, requesting
+    /// from the SPCM and then reclaiming managed pages if refused.
+    fn ensure_free(&mut self, env: &mut Env<'_>, want: u64) -> Result<(), ManagerError> {
+        let free_seg = self.free_seg(env)?;
+        let have = self.free_count(env.kernel);
+        if have >= want {
+            return Ok(());
+        }
+        let ask = (want - have).max(self.config.refill_batch);
+        let grant =
+            env.spcm
+                .request_frames(env.kernel, self.id, free_seg, ask, PhysConstraint::Any)?;
+        if self.free_count(env.kernel) >= want {
+            return Ok(());
+        }
+        let _ = grant;
+        // SPCM would not (fully) provide: reclaim our own pages.
+        let deficit = want - self.free_count(env.kernel);
+        self.reclaim_into_pool(env, deficit)?;
+        if self.free_count(env.kernel) >= want {
+            Ok(())
+        } else {
+            Err(ManagerError::OutOfFrames { manager: self.id })
+        }
+    }
+
+    /// Takes one free slot, evicting the oldest laundry entry if every
+    /// free frame is acting as a laundry page.
+    fn take_free_slot(&mut self, env: &mut Env<'_>) -> Result<PageNumber, ManagerError> {
+        let free_seg = self.free_seg(env)?;
+        self.ensure_free(env, 1)?;
+        let laundry_slots: BTreeSet<u64> = self.laundry.values().map(|p| p.as_u64()).collect();
+        let pick = env
+            .kernel
+            .segment(free_seg)?
+            .resident()
+            .map(|(p, _)| p)
+            .find(|p| !laundry_slots.contains(&p.as_u64()));
+        if let Some(p) = pick {
+            return Ok(p);
+        }
+        // All free frames hold laundry: drop the oldest mapping (its data
+        // was already written back at reclaim time).
+        while let Some(key) = self.laundry_order.pop_front() {
+            if let Some(slot) = self.laundry.remove(&key) {
+                return Ok(slot);
+            }
+        }
+        Err(ManagerError::OutOfFrames { manager: self.id })
+    }
+
+    /// Reclaims `count` pages from managed segments into the free pool,
+    /// writing dirty data back first. Reclaimed pages stay rescuable until
+    /// their frame is reused.
+    fn reclaim_into_pool(&mut self, env: &mut Env<'_>, count: u64) -> Result<u64, ManagerError> {
+        let free_seg = self.free_seg(env)?;
+        let mut reclaimed = 0;
+        for _ in 0..count {
+            let victim = {
+                let kernel = &mut *env.kernel;
+                self.policy.select_victim(&mut |s, p| {
+                    match kernel.get_page_attributes(s, p, 1) {
+                        Ok(attrs) if attrs[0].present => {
+                            let flags = attrs[0].flags;
+                            if flags.contains(PageFlags::PINNED) {
+                                Probe::Pinned
+                            } else if flags.contains(PageFlags::REFERENCED) {
+                                // Second chance: clear the bit.
+                                let _ = kernel.modify_page_flags(
+                                    s,
+                                    p,
+                                    1,
+                                    PageFlags::empty(),
+                                    PageFlags::REFERENCED,
+                                );
+                                Probe::Referenced
+                            } else {
+                                Probe::NotReferenced
+                            }
+                        }
+                        _ => Probe::Gone,
+                    }
+                })
+            };
+            let Some((seg, page)) = victim else { break };
+            self.evict(env, free_seg, seg, page)?;
+            reclaimed += 1;
+        }
+        Ok(reclaimed)
+    }
+
+    /// Writes back (if dirty) and migrates one page into the free pool.
+    fn evict(
+        &mut self,
+        env: &mut Env<'_>,
+        free_seg: SegmentId,
+        seg: SegmentId,
+        page: PageNumber,
+    ) -> Result<(), ManagerError> {
+        let entry = env
+            .kernel
+            .segment(seg)?
+            .entry(page)
+            .ok_or(epcm_core::KernelError::PageNotPresent { segment: seg, page })?;
+        if entry.flags.contains(PageFlags::DIRTY) {
+            self.writeback(env, seg, page)?;
+        }
+        // Destination: first empty slot in the free segment.
+        let slot = first_empty_slot(env.kernel, free_seg)?;
+        env.kernel.migrate_pages(
+            seg,
+            free_seg,
+            page,
+            slot,
+            1,
+            PageFlags::RW,
+            PageFlags::DIRTY | PageFlags::REFERENCED | PageFlags::MANAGER_B,
+        )?;
+        let key = (seg.as_u32(), page.as_u64());
+        self.laundry.insert(key, slot);
+        self.laundry_order.push_back(key);
+        self.stats.reclaimed += 1;
+        Ok(())
+    }
+
+    /// Writes one dirty page to its backing store (file or swap).
+    fn writeback(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: SegmentId,
+        page: PageNumber,
+    ) -> Result<(), ManagerError> {
+        let Some(ms) = self.managed.get_mut(&seg.as_u32()) else {
+            return Ok(()); // unmanaged (e.g. free segment itself): nothing to do
+        };
+        let mut buf = vec![0u8; BASE_PAGE_SIZE as usize];
+        env.kernel.manager_read_page(seg, page, &mut buf)?;
+        env.kernel.charge(env.kernel.costs().page_copy_4k);
+        let (file, mark) = match &mut ms.backing {
+            Backing::File(f) => (*f, None),
+            Backing::Anonymous { swap, swapped } => {
+                let f = match swap {
+                    Some(f) => *f,
+                    None => {
+                        let f = env
+                            .store
+                            .create(&format!("swap-{}", seg.as_u32()), 0);
+                        *swap = Some(f);
+                        f
+                    }
+                };
+                (f, Some(swapped))
+            }
+        };
+        let latency = env.store.write(file, page.as_u64() * BASE_PAGE_SIZE, &buf)?;
+        env.kernel.charge(latency);
+        if let Some(swapped) = mark {
+            swapped.insert(page.as_u64());
+        }
+        self.stats.writebacks += 1;
+        Ok(())
+    }
+
+    /// Handles a missing-page fault.
+    fn handle_missing(&mut self, env: &mut Env<'_>, fault: &FaultEvent) -> Result<(), ManagerError> {
+        let seg = fault.segment;
+        let page = fault.page;
+        let free_seg = self.free_seg(env)?;
+
+        // Laundry rescue: the frame is still intact in the free pool.
+        let key = (seg.as_u32(), page.as_u64());
+        if let Some(slot) = self.laundry.remove(&key) {
+            env.kernel.migrate_pages(
+                free_seg,
+                seg,
+                slot,
+                page,
+                1,
+                PageFlags::RW,
+                PageFlags::empty(),
+            )?;
+            self.policy.note_resident(seg, page);
+            self.stats.laundry_rescues += 1;
+            self.stats.migrate_calls += 1;
+            return Ok(());
+        }
+
+        let fill = match self.managed.get(&seg.as_u32()) {
+            Some(ms) => match &ms.backing {
+                Backing::File(f) => {
+                    let size = env.store.size(*f).map_err(epcm_core::KernelError::from)?;
+                    if page.as_u64() * BASE_PAGE_SIZE < size {
+                        Some((*f, false))
+                    } else {
+                        None // append beyond EOF: minimal fault
+                    }
+                }
+                Backing::Anonymous { swap, swapped } => {
+                    if swapped.contains(&page.as_u64()) {
+                        Some((swap.expect("swapped implies swap file"), true))
+                    } else {
+                        None
+                    }
+                }
+            },
+            None => return Err(ManagerError::NotManaged { segment: seg }),
+        };
+
+        match fill {
+            Some((file, is_swap)) => {
+                env.kernel.charge(env.kernel.costs().manager_alloc);
+                let slot = self.take_free_slot(env)?;
+                let mut buf = vec![0u8; BASE_PAGE_SIZE as usize];
+                let offset = page.as_u64() * BASE_PAGE_SIZE;
+                let size = env.store.size(file).map_err(epcm_core::KernelError::from)?;
+                let n = (BASE_PAGE_SIZE).min(size.saturating_sub(offset)) as usize;
+                if n > 0 {
+                    let latency = env.store.read(file, offset, &mut buf[..n])?;
+                    env.kernel.charge(latency);
+                }
+                env.kernel.manager_write_page(free_seg, slot, &buf)?;
+                env.kernel.charge(env.kernel.costs().page_copy_4k);
+                env.kernel.migrate_pages(
+                    free_seg,
+                    seg,
+                    slot,
+                    page,
+                    1,
+                    PageFlags::RW,
+                    PageFlags::DIRTY | PageFlags::REFERENCED | PageFlags::MANAGER_B,
+                )?;
+                self.policy.note_resident(seg, page);
+                self.stats.migrate_calls += 1;
+                if is_swap {
+                    self.stats.swap_ins += 1;
+                    // The swap copy stays registered: it remains valid
+                    // while the page is clean, so a later clean eviction
+                    // can drop the frame without I/O and still refill.
+                    // A dirty eviction overwrites it.
+                } else {
+                    self.stats.file_fills += 1;
+                }
+                Ok(())
+            }
+            None => {
+                // Minimal fault. For file appends, allocate a 16 KB batch.
+                let is_file = matches!(
+                    self.managed.get(&seg.as_u32()),
+                    Some(ManagedSegment {
+                        backing: Backing::File(_)
+                    })
+                );
+                let batch = if is_file {
+                    self.config.append_batch.max(1)
+                } else {
+                    1
+                };
+                env.kernel.charge(env.kernel.costs().manager_alloc);
+                // Appends grow the file segment in whole allocation units
+                // ("allocates pages in 16K units" for appends, §3.2).
+                if is_file && page.as_u64() + batch > env.kernel.segment(seg)?.size_pages() {
+                    env.kernel.resize_segment(seg, page.as_u64() + batch)?;
+                }
+                let size = env.kernel.segment(seg)?.size_pages();
+                // How many consecutive destination pages are allocatable.
+                let mut want = 0;
+                for i in 0..batch {
+                    let p = page.offset(i);
+                    if p.as_u64() >= size || env.kernel.segment(seg)?.entry(p).is_some() {
+                        break;
+                    }
+                    want += 1;
+                }
+                let want = want.max(1);
+                self.ensure_free(env, want)?;
+                // Prefer a consecutive run of free slots so the batch is a
+                // single MigratePages invocation (the 16 KB append unit).
+                let run = find_free_run(env.kernel, free_seg, want, &self.laundry)?;
+                match run {
+                    Some((start, len)) => {
+                        env.kernel.migrate_pages(
+                            free_seg,
+                            seg,
+                            start,
+                            page,
+                            len,
+                            PageFlags::RW,
+                            PageFlags::DIRTY | PageFlags::REFERENCED | PageFlags::MANAGER_B,
+                        )?;
+                        self.stats.migrate_calls += 1;
+                        for i in 0..len {
+                            self.policy.note_resident(seg, page.offset(i));
+                        }
+                        if len > 1 {
+                            self.stats.append_batches += 1;
+                        }
+                    }
+                    None => {
+                        let slot = self.take_free_slot(env)?;
+                        env.kernel.migrate_pages(
+                            free_seg,
+                            seg,
+                            slot,
+                            page,
+                            1,
+                            PageFlags::RW,
+                            PageFlags::DIRTY | PageFlags::REFERENCED | PageFlags::MANAGER_B,
+                        )?;
+                        self.stats.migrate_calls += 1;
+                        self.policy.note_resident(seg, page);
+                    }
+                }
+                self.stats.minimal_faults += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Handles a protection fault: reference-sampling restore (batched).
+    fn handle_protection(
+        &mut self,
+        env: &mut Env<'_>,
+        fault: &FaultEvent,
+    ) -> Result<(), ManagerError> {
+        let seg = fault.segment;
+        let page = fault.page;
+        // If the page itself already permits the access, the denial came
+        // from a bound region's protection — nothing the manager should
+        // lift; the application gets the error (a SIGSEGV analog).
+        if let FaultKind::Protection { flags } = fault.kind {
+            if flags.permits(fault.access) {
+                return Err(ManagerError::ProtectionDenied { segment: seg, page });
+            }
+        }
+        self.stats.sampling_faults += 1;
+        // The faulting page was genuinely referenced.
+        self.policy.note_referenced(seg, page);
+        // Restore protection on a batch of contiguous resident pages to
+        // amortise fault cost (§2.3).
+        let size = env.kernel.segment(seg)?.size_pages();
+        let batch = self.config.protection_batch.max(1);
+        for i in 0..batch {
+            let p = page.offset(i);
+            if p.as_u64() >= size {
+                break;
+            }
+            if env.kernel.segment(seg)?.entry(p).is_none() {
+                break;
+            }
+            env.kernel.modify_page_flags(
+                seg,
+                p,
+                1,
+                PageFlags::RW,
+                PageFlags::MANAGER_B,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Handles a copy-on-write fault: provide a frame; the kernel copies.
+    fn handle_cow(&mut self, env: &mut Env<'_>, fault: &FaultEvent) -> Result<(), ManagerError> {
+        let free_seg = self.free_seg(env)?;
+        env.kernel.charge(env.kernel.costs().manager_alloc);
+        let slot = self.take_free_slot(env)?;
+        env.kernel.migrate_pages(
+            free_seg,
+            fault.segment,
+            slot,
+            fault.page,
+            1,
+            PageFlags::RW,
+            PageFlags::MANAGER_B,
+        )?;
+        self.policy.note_resident(fault.segment, fault.page);
+        self.stats.cow_faults += 1;
+        self.stats.migrate_calls += 1;
+        Ok(())
+    }
+
+    /// Revokes protection on up to `sample_batch` resident pages to gather
+    /// reference information for the clock (the sampling sweep).
+    fn sampling_sweep(&mut self, env: &mut Env<'_>) -> Result<(), ManagerError> {
+        if self.config.sample_batch == 0 {
+            return Ok(());
+        }
+        let mut remaining = self.config.sample_batch;
+        let seg_ids: Vec<u32> = self.managed.keys().copied().collect();
+        if seg_ids.is_empty() {
+            return Ok(());
+        }
+        let start = self.sample_cursor;
+        for &sid in seg_ids.iter().cycle().skip_while(|&&s| s < start.0).take(seg_ids.len()) {
+            if remaining == 0 {
+                break;
+            }
+            let seg = match env.kernel.segment_ids().find(|s| s.as_u32() == sid) {
+                Some(s) => s,
+                None => continue,
+            };
+            let pages: Vec<PageNumber> = env
+                .kernel
+                .segment(seg)?
+                .resident()
+                .filter(|(p, e)| {
+                    e.flags.contains(PageFlags::READ)
+                        && !e.flags.contains(PageFlags::PINNED)
+                        && (sid, p.as_u64()) >= (start.0, if sid == start.0 { start.1 } else { 0 })
+                })
+                .map(|(p, _)| p)
+                .take(remaining as usize)
+                .collect();
+            for p in pages {
+                env.kernel.modify_page_flags(
+                    seg,
+                    p,
+                    1,
+                    PageFlags::MANAGER_B,
+                    PageFlags::READ | PageFlags::WRITE,
+                )?;
+                remaining -= 1;
+                self.sample_cursor = (sid, p.as_u64() + 1);
+            }
+        }
+        if remaining > 0 {
+            self.sample_cursor = (0, 0); // wrap the sweep
+        }
+        Ok(())
+    }
+}
+
+/// Longest run (up to `want`) of consecutive free-segment slots holding
+/// frames, avoiding slots that are keeping laundry data alive. Returns
+/// `(start, len)` with `len >= 1`, or `None` if only laundry slots remain.
+fn find_free_run(
+    kernel: &Kernel,
+    free_seg: SegmentId,
+    want: u64,
+    laundry: &BTreeMap<(u32, u64), PageNumber>,
+    ) -> Result<Option<(PageNumber, u64)>, epcm_core::KernelError> {
+    let in_laundry: BTreeSet<u64> = laundry.values().map(|p| p.as_u64()).collect();
+    let s = kernel.segment(free_seg)?;
+    let mut best: Option<(u64, u64)> = None; // (start, len)
+    let mut run_start: Option<u64> = None;
+    let mut prev: Option<u64> = None;
+    for (p, _) in s.resident() {
+        let p = p.as_u64();
+        if in_laundry.contains(&p) {
+            run_start = None;
+            prev = None;
+            continue;
+        }
+        match (run_start, prev) {
+            (Some(start), Some(q)) if p == q + 1 => {
+                let len = p - start + 1;
+                if best.is_none_or(|(_, bl)| len > bl) {
+                    best = Some((start, len));
+                }
+                if len >= want {
+                    return Ok(Some((PageNumber(start), want)));
+                }
+            }
+            _ => {
+                run_start = Some(p);
+                if best.is_none() {
+                    best = Some((p, 1));
+                }
+            }
+        }
+        prev = Some(p);
+    }
+    Ok(best.map(|(start, len)| (PageNumber(start), len.min(want))))
+}
+
+/// First page slot in `seg` holding no frame.
+fn first_empty_slot(kernel: &Kernel, seg: SegmentId) -> Result<PageNumber, epcm_core::KernelError> {
+    let s = kernel.segment(seg)?;
+    let mut expected = 0u64;
+    for (p, _) in s.resident() {
+        if p.as_u64() != expected {
+            return Ok(PageNumber(expected));
+        }
+        expected += 1;
+    }
+    Ok(PageNumber(expected))
+}
+
+impl SegmentManager for DefaultSegmentManager {
+    fn id(&self) -> ManagerId {
+        self.id
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn set_id(&mut self, id: ManagerId) {
+        self.id = id;
+    }
+
+    fn mode(&self) -> ManagerMode {
+        self.mode
+    }
+
+    fn attach(&mut self, env: &mut Env<'_>, segment: SegmentId) -> Result<(), ManagerError> {
+        let kind = env.kernel.segment(segment)?.kind();
+        let backing = match kind {
+            SegmentKind::CachedFile(f) => Backing::File(f),
+            _ => Backing::Anonymous {
+                swap: None,
+                swapped: BTreeSet::new(),
+            },
+        };
+        env.kernel.set_segment_manager(segment, self.id)?;
+        self.managed
+            .insert(segment.as_u32(), ManagedSegment { backing });
+        // Seed policy with already-resident pages (ownership assumption of
+        // an existing segment, §2.2).
+        let resident: Vec<PageNumber> = env
+            .kernel
+            .segment(segment)?
+            .resident()
+            .map(|(p, _)| p)
+            .collect();
+        for p in resident {
+            self.policy.note_resident(segment, p);
+        }
+        Ok(())
+    }
+
+    fn handle_fault(&mut self, env: &mut Env<'_>, fault: &FaultEvent) -> Result<(), ManagerError> {
+        self.stats.faults += 1;
+        match fault.kind {
+            FaultKind::Missing => self.handle_missing(env, fault),
+            FaultKind::Protection { .. } => self.handle_protection(env, fault),
+            FaultKind::CopyOnWrite { .. } => self.handle_cow(env, fault),
+        }
+    }
+
+    fn reclaim(&mut self, env: &mut Env<'_>, count: u64) -> Result<u64, ManagerError> {
+        // Forced return to the SPCM: first make frames free, then hand the
+        // free pool's frames back.
+        let free_seg = self.free_seg(env)?;
+        let have = self.free_count(env.kernel);
+        if have < count {
+            self.reclaim_into_pool(env, count - have)?;
+        }
+        let give: Vec<PageNumber> = env
+            .kernel
+            .segment(free_seg)?
+            .resident()
+            .map(|(p, _)| p)
+            .take(count as usize)
+            .collect();
+        // Frames leaving our pool invalidate any laundry they hold.
+        let leaving: BTreeSet<u64> = give.iter().map(|p| p.as_u64()).collect();
+        self.laundry.retain(|_, slot| !leaving.contains(&slot.as_u64()));
+        env.spcm
+            .return_frames(env.kernel, self.id, free_seg, &give)?;
+        Ok(give.len() as u64)
+    }
+
+    fn segment_closed(&mut self, env: &mut Env<'_>, segment: SegmentId) -> Result<(), ManagerError> {
+        let free_seg = self.free_seg(env)?;
+        let pages: Vec<(PageNumber, PageFlags)> = env
+            .kernel
+            .segment(segment)?
+            .resident()
+            .map(|(p, e)| (p, e.flags))
+            .collect();
+        let is_file = matches!(
+            self.managed.get(&segment.as_u32()),
+            Some(ManagedSegment {
+                backing: Backing::File(_)
+            })
+        );
+        for (p, flags) in pages {
+            // File data must survive the close; anonymous data dies with
+            // the segment (no writeback).
+            if is_file && flags.contains(PageFlags::DIRTY) {
+                self.writeback(env, segment, p)?;
+            }
+            let slot = first_empty_slot(env.kernel, free_seg)?;
+            env.kernel.migrate_pages(
+                segment,
+                free_seg,
+                p,
+                slot,
+                1,
+                PageFlags::RW,
+                PageFlags::DIRTY | PageFlags::REFERENCED | PageFlags::MANAGER_B,
+            )?;
+            self.policy.note_removed(segment, p);
+            self.laundry.remove(&(segment.as_u32(), p.as_u64()));
+        }
+        self.managed.remove(&segment.as_u32());
+        Ok(())
+    }
+
+    fn tick(&mut self, env: &mut Env<'_>) -> Result<(), ManagerError> {
+        if self.free_count(env.kernel) < self.config.low_water {
+            // Opportunistic refill; ignore refusal (we reclaim on demand).
+            let _ = self.ensure_free(env, self.config.target_free);
+        }
+        self.sampling_sweep(env)
+    }
+
+    fn free_frames(&self, kernel: &Kernel) -> u64 {
+        self.free_count(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use epcm_core::types::AccessKind;
+
+    fn machine_with(config: DefaultManagerConfig, frames: usize) -> (Machine, ManagerId) {
+        let mut m = Machine::new(frames);
+        let id = m.register_manager(Box::new(DefaultSegmentManager::with_config(
+            ManagerMode::Server,
+            config,
+        )));
+        m.set_default_manager(id);
+        (m, id)
+    }
+
+    #[test]
+    fn anonymous_first_touch_is_minimal_fault() {
+        let (mut m, _) = machine_with(DefaultManagerConfig::default(), 256);
+        let seg = m.create_segment(SegmentKind::Anonymous, 8).unwrap();
+        m.touch(seg, 0, AccessKind::Write).unwrap();
+        assert_eq!(m.kernel().resident_pages(seg).unwrap(), 1);
+        // No file fill happened: store untouched.
+        assert_eq!(m.store().read_count(), 0);
+    }
+
+    #[test]
+    fn file_fault_fills_from_store() {
+        let (mut m, _) = machine_with(DefaultManagerConfig::default(), 256);
+        let content: Vec<u8> = (0..8192u32).map(|i| (i % 256) as u8).collect();
+        m.store_mut().create_with("f", content.clone());
+        let seg = m.open_file("f").unwrap();
+        let mut buf = vec![0u8; 8192];
+        m.load(seg, 0, &mut buf).unwrap();
+        assert_eq!(buf, content);
+        assert!(m.store().read_count() >= 2);
+    }
+
+    #[test]
+    fn append_allocates_16k_batches() {
+        let (mut m, _) = machine_with(DefaultManagerConfig::default(), 256);
+        m.store_mut().create("out", 0);
+        let seg = m.open_file("out").unwrap();
+        m.kernel_mut().resize_segment(seg, 16).unwrap();
+        // Touch the first page beyond EOF: the manager should allocate 4.
+        m.touch(seg, 0, AccessKind::Write).unwrap();
+        assert_eq!(m.kernel().resident_pages(seg).unwrap(), 4);
+        // Next three pages are already resident: no further manager calls.
+        let calls = m.stats().manager_calls;
+        for p in 1..4 {
+            m.touch(seg, p, AccessKind::Write).unwrap();
+        }
+        assert_eq!(m.stats().manager_calls, calls);
+    }
+
+    #[test]
+    fn eviction_writes_back_and_rescues() {
+        let config = DefaultManagerConfig {
+            target_free: 4,
+            low_water: 1,
+            refill_batch: 4,
+            ..DefaultManagerConfig::default()
+        };
+        // Tiny machine: 24 frames total forces reclamation.
+        let (mut m, id) = machine_with(config, 24);
+        let seg = m.create_segment(SegmentKind::Anonymous, 64).unwrap();
+        // Write distinct data to many pages, exceeding memory.
+        for p in 0..40u64 {
+            let data = [p as u8; 16];
+            m.store_bytes(seg, p * BASE_PAGE_SIZE, &data).unwrap();
+        }
+        // Earlier pages were evicted; re-reading them faults and refills
+        // from swap (or rescues from laundry) with data intact.
+        for p in 0..40u64 {
+            let mut buf = [0u8; 16];
+            m.load(seg, p * BASE_PAGE_SIZE, &mut buf).unwrap();
+            assert_eq!(buf, [p as u8; 16], "page {p} lost its data");
+        }
+        let _ = id;
+    }
+
+    #[test]
+    fn close_writes_file_pages_back() {
+        let (mut m, _) = machine_with(DefaultManagerConfig::default(), 256);
+        m.store_mut().create("out", 0);
+        let seg = m.open_file("out").unwrap();
+        m.uio_write(seg, 0, b"persist me").unwrap();
+        m.close_segment(seg).unwrap();
+        let f = m.store().find("out").unwrap();
+        let mut buf = [0u8; 10];
+        m.store_mut().read(f, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"persist me");
+    }
+
+    #[test]
+    fn sampling_generates_protection_faults_and_restores_batches() {
+        let config = DefaultManagerConfig {
+            sample_batch: 8,
+            protection_batch: 4,
+            ..DefaultManagerConfig::default()
+        };
+        let (mut m, _) = machine_with(config, 256);
+        let seg = m.create_segment(SegmentKind::Anonymous, 16).unwrap();
+        for p in 0..8 {
+            m.touch(seg, p, AccessKind::Write).unwrap();
+        }
+        m.tick().unwrap(); // revokes protection on the 8 resident pages
+        let faults_before = m.kernel_stats().faults_protection;
+        m.touch(seg, 0, AccessKind::Read).unwrap(); // sampling fault
+        assert_eq!(m.kernel_stats().faults_protection, faults_before + 1);
+        // The batch restored pages 0..4: touching them is fault-free.
+        let calls = m.stats().manager_calls;
+        for p in 1..4 {
+            m.touch(seg, p, AccessKind::Read).unwrap();
+        }
+        assert_eq!(m.stats().manager_calls, calls);
+        // Page 4 still revoked: next touch faults again.
+        m.touch(seg, 4, AccessKind::Read).unwrap();
+        assert_eq!(m.stats().manager_calls, calls + 1);
+    }
+
+    #[test]
+    fn forced_reclaim_returns_frames_to_spcm() {
+        let (mut m, id) = machine_with(DefaultManagerConfig::default(), 128);
+        let seg = m.create_segment(SegmentKind::Anonymous, 32).unwrap();
+        for p in 0..32 {
+            m.touch(seg, p, AccessKind::Write).unwrap();
+        }
+        let granted_before = m.spcm().granted_to(id);
+        assert!(granted_before >= 32);
+        let returned = m
+            .with_manager(id, |mgr, env| mgr.reclaim(env, 16))
+            .unwrap();
+        assert_eq!(returned, 16);
+        assert_eq!(m.spcm().granted_to(id), granted_before - 16);
+    }
+
+    #[test]
+    fn cow_fault_is_serviced() {
+        let (mut m, _) = machine_with(DefaultManagerConfig::default(), 256);
+        let source = m.create_segment(SegmentKind::Anonymous, 4).unwrap();
+        m.store_bytes(source, 0, b"shared").unwrap();
+        let child = m.create_segment(SegmentKind::Anonymous, 4).unwrap();
+        m.kernel_mut()
+            .bind_region(
+                child,
+                PageNumber(0),
+                4,
+                source,
+                PageNumber(0),
+                true,
+                PageFlags::RW,
+            )
+            .unwrap();
+        m.store_bytes(child, 0, b"BRANCH").unwrap();
+        let mut buf = [0u8; 6];
+        m.load(source, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"shared");
+        m.load(child, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"BRANCH");
+        assert_eq!(m.kernel_stats().faults_cow, 1);
+    }
+
+}

@@ -1,0 +1,775 @@
+//! The machine: kernel + backing store + SPCM + segment managers, with the
+//! fault-dispatch loop of Figure 2.
+//!
+//! The kernel never calls managers (see `epcm-core`); instead every
+//! application-level access goes through [`Machine`], which retries the
+//! access after routing each [`FaultEvent`] to its manager and charging the
+//! dispatch costs appropriate to the manager's [`ManagerMode`]:
+//!
+//! 1. the application references a missing page and traps (`trap_entry`,
+//!    charged by the kernel),
+//! 2. the kernel forwards the fault to the manager (in-process upcall or
+//!    IPC to a server),
+//! 3. the manager allocates a frame, fetches data if needed,
+//! 4. the manager migrates the frame to the faulting address,
+//! 5. the application resumes (directly, or back through the kernel).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use epcm_core::fault::FaultEvent;
+use epcm_core::kernel::{AccessOutcome, Kernel, KernelStats};
+use epcm_core::types::{
+    AccessKind, ManagerId, PageNumber, SegmentId, SegmentKind, UserId, BASE_PAGE_SIZE,
+};
+use epcm_sim::clock::{Micros, Timestamp};
+use epcm_sim::cost::CostModel;
+use epcm_sim::disk::{Device, FileStore};
+
+use crate::manager::{Env, ManagerError, ManagerMode, SegmentManager};
+use crate::spcm::{AllocationPolicy, SystemPageCacheManager};
+
+/// How many times an access is retried through fault handling before the
+/// machine declares a livelock. Each retry means the manager claimed to
+/// repair the fault but the access faulted again; legitimate chains (COW
+/// needing a source fill first, protection batches) resolve within a few.
+pub const MAX_FAULT_RETRIES: u32 = 16;
+
+/// Errors surfaced by machine operations.
+#[derive(Debug)]
+pub enum MachineError {
+    /// The kernel rejected an operation (caller bug, not a fault).
+    Kernel(epcm_core::KernelError),
+    /// A manager failed to repair a fault.
+    Manager {
+        /// The fault being serviced.
+        fault: FaultEvent,
+        /// What the manager reported.
+        source: ManagerError,
+    },
+    /// A manager operation outside fault handling (attach, reclaim,
+    /// close, application command) failed.
+    ManagerOp {
+        /// The manager involved.
+        manager: ManagerId,
+        /// What it reported.
+        source: ManagerError,
+    },
+    /// A fault named a manager id nobody registered.
+    UnknownManager(ManagerId),
+    /// The same access faulted [`MAX_FAULT_RETRIES`] times.
+    FaultLivelock(FaultEvent),
+    /// `open_file` was given a name the store does not know.
+    UnknownFile(String),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Kernel(e) => write!(f, "kernel: {e}"),
+            MachineError::Manager { fault, source } => {
+                write!(f, "manager failed on {fault}: {source}")
+            }
+            MachineError::ManagerOp { manager, source } => {
+                write!(f, "{manager} operation failed: {source}")
+            }
+            MachineError::UnknownManager(m) => write!(f, "no registered manager {m}"),
+            MachineError::FaultLivelock(fault) => {
+                write!(f, "fault not making progress after retries: {fault}")
+            }
+            MachineError::UnknownFile(name) => write!(f, "no such file {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Kernel(e) => Some(e),
+            MachineError::Manager { source, .. } => Some(source),
+            MachineError::ManagerOp { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<epcm_core::KernelError> for MachineError {
+    fn from(e: epcm_core::KernelError) -> Self {
+        MachineError::Kernel(e)
+    }
+}
+
+/// One step of the Figure 2 walkthrough, recorded when tracing is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceStep {
+    /// Step 1: the kernel forwarded a fault.
+    FaultRaised(FaultEvent),
+    /// Steps 2–4: dispatched to the manager in the given mode.
+    Dispatched {
+        /// The handling manager.
+        manager: ManagerId,
+        /// Its execution mode.
+        mode: ManagerMode,
+    },
+    /// Step 5: handler returned; the application resumes.
+    Resumed {
+        /// Virtual time consumed by the whole fault, trap to resume.
+        elapsed: Micros,
+    },
+}
+
+/// Aggregate machine statistics (Table 3 reads these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Times any manager was invoked (fault dispatches + segment-close
+    /// notifications) — Table 3 column 1.
+    pub manager_calls: u64,
+    /// Total virtual time spent from trap to resume across all dispatches.
+    pub manager_time: Micros,
+}
+
+/// Configures and builds a [`Machine`].
+///
+/// # Example
+///
+/// ```
+/// use epcm_managers::Machine;
+/// use epcm_sim::disk::Device;
+///
+/// let machine = Machine::builder(1024)
+///     .device(Device::network_1992())
+///     .spcm_reserve(16)
+///     .build();
+/// assert_eq!(machine.kernel().frames().len(), 1024);
+/// ```
+#[derive(Debug)]
+pub struct MachineBuilder {
+    frames: usize,
+    costs: CostModel,
+    device: Device,
+    policy: AllocationPolicy,
+    reserve: u64,
+}
+
+impl MachineBuilder {
+    /// Starts a builder for a machine with `frames` page frames.
+    pub fn new(frames: usize) -> Self {
+        MachineBuilder {
+            frames,
+            costs: CostModel::decstation_5000_200(),
+            device: Device::Instant,
+            policy: AllocationPolicy::FirstCome,
+            reserve: 0,
+        }
+    }
+
+    /// Sets the machine cost model (default: DECstation 5000/200).
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Sets the backing-store device model (default: instant, excluding
+    /// I/O from measurements as the paper's cached-file runs do).
+    pub fn device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the SPCM allocation policy (default: first-come-first-served).
+    pub fn allocation(mut self, policy: AllocationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Frames the SPCM withholds from allocation (default: 0).
+    pub fn spcm_reserve(mut self, reserve: u64) -> Self {
+        self.reserve = reserve;
+        self
+    }
+
+    /// Builds the machine.
+    pub fn build(self) -> Machine {
+        Machine {
+            kernel: Kernel::with_costs(self.frames, self.costs),
+            store: FileStore::new(self.device),
+            spcm: SystemPageCacheManager::new(self.policy, self.reserve),
+            managers: BTreeMap::new(),
+            next_manager: 1,
+            default_manager: None,
+            stats: MachineStats::default(),
+            trace: None,
+        }
+    }
+}
+
+/// The complete simulated system: V++ kernel, backing store, SPCM and
+/// registered segment managers.
+///
+/// # Example
+///
+/// ```
+/// use epcm_managers::Machine;
+/// use epcm_core::{AccessKind, SegmentKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut machine = Machine::with_default_manager(512);
+/// let heap = machine.create_segment(SegmentKind::Anonymous, 64)?;
+/// machine.touch(heap, 0, AccessKind::Write)?; // minimal fault, resolved
+/// assert_eq!(machine.kernel().resident_pages(heap)?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    kernel: Kernel,
+    store: FileStore,
+    spcm: SystemPageCacheManager,
+    managers: BTreeMap<u32, Box<dyn SegmentManager>>,
+    next_manager: u32,
+    default_manager: Option<ManagerId>,
+    stats: MachineStats,
+    trace: Option<Vec<TraceStep>>,
+}
+
+impl Machine {
+    /// Starts building a machine with `frames` page frames.
+    pub fn builder(frames: usize) -> MachineBuilder {
+        MachineBuilder::new(frames)
+    }
+
+    /// A machine with no managers registered; segments must be created via
+    /// [`Machine::create_segment_with`] against explicitly registered
+    /// managers.
+    pub fn new(frames: usize) -> Self {
+        Machine::builder(frames).build()
+    }
+
+    /// A machine with the default segment manager (UCDS analog) registered
+    /// and serving as the manager for new segments — the configuration
+    /// conventional programs see.
+    pub fn with_default_manager(frames: usize) -> Self {
+        let mut m = Machine::new(frames);
+        let mgr = crate::default_manager::DefaultSegmentManager::server();
+        let id = m.register_manager(Box::new(mgr));
+        m.set_default_manager(id);
+        m
+    }
+
+    // ----- accessors --------------------------------------------------------
+
+    /// The kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access (tests, custom drivers).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &FileStore {
+        &self.store
+    }
+
+    /// Mutable backing store (to create input files for a workload).
+    pub fn store_mut(&mut self) -> &mut FileStore {
+        &mut self.store
+    }
+
+    /// The system page cache manager.
+    pub fn spcm(&self) -> &SystemPageCacheManager {
+        &self.spcm
+    }
+
+    /// Mutable SPCM access (to open market accounts).
+    pub fn spcm_mut(&mut self) -> &mut SystemPageCacheManager {
+        &mut self.spcm
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.kernel.now()
+    }
+
+    /// Machine-level statistics.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Kernel statistics, for convenience.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel.stats()
+    }
+
+    /// Starts recording [`TraceStep`]s (the Figure 2 walkthrough).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes and clears the recorded trace.
+    pub fn take_trace(&mut self) -> Vec<TraceStep> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    // ----- manager registration ------------------------------------------------
+
+    /// Registers a segment manager and returns its id.
+    pub fn register_manager(&mut self, mut manager: Box<dyn SegmentManager>) -> ManagerId {
+        let id = ManagerId(self.next_manager);
+        self.next_manager += 1;
+        manager.set_id(id);
+        self.managers.insert(id.0, manager);
+        id
+    }
+
+    /// Nominates the manager new segments are attached to by
+    /// [`Machine::create_segment`].
+    pub fn set_default_manager(&mut self, id: ManagerId) {
+        self.default_manager = Some(id);
+    }
+
+    /// The current default manager, if any.
+    pub fn default_manager(&self) -> Option<ManagerId> {
+        self.default_manager
+    }
+
+    /// Borrows a registered manager (for reading its statistics).
+    pub fn manager(&self, id: ManagerId) -> Option<&dyn SegmentManager> {
+        self.managers.get(&id.0).map(|b| b.as_ref())
+    }
+
+    /// Runs `f` against a registered manager with the full environment —
+    /// the hatch applications use to invoke manager-specific operations
+    /// (marking pages discardable, requesting prefetch, pinning).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnknownManager`] if `id` is not registered;
+    /// otherwise whatever `f` reports.
+    pub fn with_manager<R>(
+        &mut self,
+        id: ManagerId,
+        f: impl FnOnce(&mut dyn SegmentManager, &mut Env<'_>) -> Result<R, ManagerError>,
+    ) -> Result<R, MachineError> {
+        let mut mgr = self
+            .managers
+            .remove(&id.0)
+            .ok_or(MachineError::UnknownManager(id))?;
+        let mut env = Env {
+            kernel: &mut self.kernel,
+            store: &mut self.store,
+            spcm: &mut self.spcm,
+        };
+        let result = f(mgr.as_mut(), &mut env);
+        self.managers.insert(id.0, mgr);
+        result.map_err(|source| MachineError::ManagerOp { manager: id, source })
+    }
+
+    // ----- segment / file conveniences -------------------------------------------
+
+    /// Creates a segment attached to the default manager.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnknownManager`] when no default manager is set,
+    /// or kernel/manager failures.
+    pub fn create_segment(
+        &mut self,
+        kind: SegmentKind,
+        pages: u64,
+    ) -> Result<SegmentId, MachineError> {
+        let mgr = self
+            .default_manager
+            .ok_or(MachineError::UnknownManager(ManagerId(0)))?;
+        self.create_segment_with(kind, pages, mgr, UserId::SYSTEM)
+    }
+
+    /// Creates a segment attached to an explicit manager and user.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnknownManager`], kernel or manager failures.
+    pub fn create_segment_with(
+        &mut self,
+        kind: SegmentKind,
+        pages: u64,
+        manager: ManagerId,
+        user: UserId,
+    ) -> Result<SegmentId, MachineError> {
+        if !self.managers.contains_key(&manager.0) {
+            return Err(MachineError::UnknownManager(manager));
+        }
+        let seg = self
+            .kernel
+            .create_segment(kind, user, manager, 1, pages)?;
+        self.with_manager(manager, |m, env| m.attach(env, seg))?;
+        Ok(seg)
+    }
+
+    /// Opens a named backing file as a cached-file segment under the
+    /// default manager.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnknownFile`] or segment-creation failures.
+    pub fn open_file(&mut self, name: &str) -> Result<SegmentId, MachineError> {
+        let file = self
+            .store
+            .find(name)
+            .ok_or_else(|| MachineError::UnknownFile(name.to_string()))?;
+        let size = self.store.size(file).map_err(epcm_core::KernelError::from)?;
+        let pages = size.div_ceil(BASE_PAGE_SIZE).max(1);
+        self.create_segment(SegmentKind::CachedFile(file), pages)
+    }
+
+    /// Transfers management of a segment to another manager — the §2.2
+    /// ownership-assumption protocol ("when an application starts
+    /// execution, these segments are under the control of the default
+    /// segment manager. The application manager ... then assumes
+    /// management of these segments"). The old manager is notified as for
+    /// a close (it writes back and surrenders the frames); the new
+    /// manager attaches and simply refaults pages on demand.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnknownManager`], kernel or manager failures.
+    pub fn transfer_segment(
+        &mut self,
+        seg: SegmentId,
+        new_manager: ManagerId,
+    ) -> Result<(), MachineError> {
+        if !self.managers.contains_key(&new_manager.0) {
+            return Err(MachineError::UnknownManager(new_manager));
+        }
+        let old = self.kernel.segment(seg)?.manager();
+        if old == new_manager {
+            return Ok(());
+        }
+        if self.managers.contains_key(&old.0) {
+            self.stats.manager_calls += 1;
+            self.with_manager(old, |m, env| m.segment_closed(env, seg))?;
+        }
+        self.with_manager(new_manager, |m, env| m.attach(env, seg))?;
+        Ok(())
+    }
+
+    /// Closes a segment: notifies its manager (which writes back and
+    /// reclaims frames) and destroys it.
+    ///
+    /// # Errors
+    ///
+    /// Kernel or manager failures.
+    pub fn close_segment(&mut self, seg: SegmentId) -> Result<(), MachineError> {
+        let mgr = self.kernel.segment(seg)?.manager();
+        self.stats.manager_calls += 1;
+        self.with_manager(mgr, |m, env| m.segment_closed(env, seg))?;
+        self.kernel.destroy_segment(seg)?;
+        Ok(())
+    }
+
+    // ----- the fault loop -------------------------------------------------------
+
+    fn run_to_completion(
+        &mut self,
+        mut attempt: impl FnMut(&mut Kernel) -> Result<AccessOutcome, epcm_core::KernelError>,
+    ) -> Result<(), MachineError> {
+        let mut last: Option<FaultEvent> = None;
+        for _ in 0..MAX_FAULT_RETRIES {
+            match attempt(&mut self.kernel)? {
+                AccessOutcome::Completed => return Ok(()),
+                AccessOutcome::Fault(fault) => {
+                    last = Some(fault);
+                    self.dispatch(fault)?;
+                }
+            }
+        }
+        Err(MachineError::FaultLivelock(
+            last.expect("retries imply at least one fault"),
+        ))
+    }
+
+    /// Routes one fault to its manager, charging mode-appropriate dispatch
+    /// costs (the difference between Table 1's two V++ rows).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnknownManager`] or the manager's failure.
+    pub fn dispatch(&mut self, fault: FaultEvent) -> Result<(), MachineError> {
+        let started = self.kernel.now();
+        let mut mgr = self
+            .managers
+            .remove(&fault.manager.0)
+            .ok_or(MachineError::UnknownManager(fault.manager))?;
+        let mode = mgr.mode();
+        if let Some(t) = &mut self.trace {
+            t.push(TraceStep::FaultRaised(fault));
+            t.push(TraceStep::Dispatched {
+                manager: fault.manager,
+                mode,
+            });
+        }
+        let costs = self.kernel.costs().clone();
+        match mode {
+            ManagerMode::FaultingProcess => self.kernel.charge(costs.fault_dispatch_inprocess),
+            ManagerMode::Server => {
+                self.kernel.charge(costs.fault_dispatch_ipc + costs.server_demux)
+            }
+        }
+        self.stats.manager_calls += 1;
+        let result = {
+            let mut env = Env {
+                kernel: &mut self.kernel,
+                store: &mut self.store,
+                spcm: &mut self.spcm,
+            };
+            mgr.handle_fault(&mut env, &fault)
+        };
+        match mode {
+            ManagerMode::FaultingProcess => self.kernel.charge(costs.resume_direct),
+            ManagerMode::Server => self.kernel.charge(costs.ipc_reply + costs.resume_via_kernel),
+        }
+        self.managers.insert(fault.manager.0, mgr);
+        // Attribute the trap entry (charged before dispatch) to the fault too.
+        let elapsed = self.kernel.now().duration_since(started) + costs.trap_entry;
+        self.stats.manager_time += elapsed;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceStep::Resumed { elapsed });
+        }
+        result.map_err(|source| MachineError::Manager { fault, source })
+    }
+
+    // ----- application-visible accesses -----------------------------------------
+
+    /// References one page, resolving faults through managers.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors, manager failures, or a fault livelock.
+    pub fn touch(
+        &mut self,
+        seg: SegmentId,
+        page: u64,
+        access: AccessKind,
+    ) -> Result<(), MachineError> {
+        self.run_to_completion(|k| k.reference(seg, PageNumber(page), access))
+    }
+
+    /// Reads bytes from a segment (CPU loads), resolving faults.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::touch`].
+    pub fn load(
+        &mut self,
+        seg: SegmentId,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), MachineError> {
+        self.run_to_completion(|k| k.load(seg, offset, buf))
+    }
+
+    /// Writes bytes to a segment (CPU stores), resolving faults.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::touch`].
+    pub fn store_bytes(
+        &mut self,
+        seg: SegmentId,
+        offset: u64,
+        buf: &[u8],
+    ) -> Result<(), MachineError> {
+        self.run_to_completion(|k| k.store(seg, offset, buf))
+    }
+
+    /// UIO block read from a cached file, resolving faults.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::touch`], plus `NotAFile`.
+    pub fn uio_read(
+        &mut self,
+        seg: SegmentId,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), MachineError> {
+        self.run_to_completion(|k| k.uio_read(seg, offset, buf))
+    }
+
+    /// UIO block write to a cached file, growing the segment for appends,
+    /// resolving faults.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::touch`], plus `NotAFile`.
+    pub fn uio_write(
+        &mut self,
+        seg: SegmentId,
+        offset: u64,
+        buf: &[u8],
+    ) -> Result<(), MachineError> {
+        let end_page = (offset + buf.len() as u64).div_ceil(BASE_PAGE_SIZE);
+        if end_page > self.kernel.segment(seg)?.size_pages() {
+            self.kernel.resize_segment(seg, end_page)?;
+        }
+        self.run_to_completion(|k| k.uio_write(seg, offset, buf))
+    }
+
+    /// Housekeeping: bills the memory market (forcing reclamation from
+    /// bankrupt managers) and gives every manager its periodic tick.
+    ///
+    /// # Errors
+    ///
+    /// The first manager failure encountered.
+    pub fn tick(&mut self) -> Result<(), MachineError> {
+        let bankrupt = self.spcm.bill(&self.kernel);
+        for mgr in bankrupt {
+            let held = self.spcm.granted_to(mgr);
+            let give_back = held.div_ceil(2);
+            if give_back > 0 && self.managers.contains_key(&mgr.0) {
+                self.stats.manager_calls += 1;
+                self.with_manager(mgr, |m, env| m.reclaim(env, give_back).map(|_| ()))?;
+            }
+        }
+        let ids: Vec<u32> = self.managers.keys().copied().collect();
+        for id in ids {
+            self.with_manager(ManagerId(id), |m, env| m.tick(env))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let m = Machine::builder(64).build();
+        assert_eq!(m.kernel().frames().len(), 64);
+        assert!(m.default_manager().is_none());
+    }
+
+    #[test]
+    fn create_segment_without_default_manager_fails() {
+        let mut m = Machine::new(64);
+        assert!(matches!(
+            m.create_segment(SegmentKind::Anonymous, 4),
+            Err(MachineError::UnknownManager(_))
+        ));
+    }
+
+    #[test]
+    fn minimal_fault_roundtrip_with_default_manager() {
+        let mut m = Machine::with_default_manager(256);
+        let seg = m.create_segment(SegmentKind::Anonymous, 8).unwrap();
+        m.touch(seg, 0, AccessKind::Write).unwrap();
+        assert_eq!(m.kernel().resident_pages(seg).unwrap(), 1);
+        assert_eq!(m.stats().manager_calls, 1);
+    }
+
+    #[test]
+    fn fault_trace_records_figure2_steps() {
+        let mut m = Machine::with_default_manager(256);
+        let seg = m.create_segment(SegmentKind::Anonymous, 8).unwrap();
+        m.enable_trace();
+        m.touch(seg, 3, AccessKind::Write).unwrap();
+        let trace = m.take_trace();
+        assert!(matches!(trace[0], TraceStep::FaultRaised(_)));
+        assert!(matches!(trace[1], TraceStep::Dispatched { .. }));
+        assert!(matches!(trace[2], TraceStep::Resumed { .. }));
+    }
+
+    #[test]
+    fn server_mode_fault_costs_table1_row2() {
+        let mut m = Machine::with_default_manager(256);
+        let seg = m.create_segment(SegmentKind::Anonymous, 8).unwrap();
+        // Warm up the manager's free pool so the measured fault is minimal.
+        m.touch(seg, 0, AccessKind::Write).unwrap();
+        let t0 = m.now();
+        m.touch(seg, 1, AccessKind::Write).unwrap();
+        let cost = m.now().duration_since(t0);
+        assert_eq!(cost, m.kernel().costs().vpp_minimal_fault_server());
+    }
+
+    #[test]
+    fn unknown_manager_fault_is_reported() {
+        let mut m = Machine::new(64);
+        // Create a segment naming a manager that was never registered.
+        let seg = m
+            .kernel_mut()
+            .create_segment(SegmentKind::Anonymous, UserId::SYSTEM, ManagerId(42), 1, 4)
+            .unwrap();
+        match m.touch(seg, 0, AccessKind::Read) {
+            Err(MachineError::UnknownManager(id)) => assert_eq!(id, ManagerId(42)),
+            other => panic!("expected UnknownManager, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_and_load_roundtrip_through_faults() {
+        let mut m = Machine::with_default_manager(256);
+        let seg = m.create_segment(SegmentKind::Anonymous, 8).unwrap();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
+        m.store_bytes(seg, 123, &data).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        m.load(seg, 123, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn open_file_read_write_roundtrip() {
+        let mut m = Machine::with_default_manager(1024);
+        let content: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        m.store_mut().create_with("input", content.clone());
+        let seg = m.open_file("input").unwrap();
+        let mut buf = vec![0u8; content.len()];
+        m.uio_read(seg, 0, &mut buf).unwrap();
+        assert_eq!(buf, content);
+        // Append past the current end grows the segment.
+        m.uio_write(seg, content.len() as u64, b"tail").unwrap();
+        let mut tail = [0u8; 4];
+        m.uio_read(seg, content.len() as u64, &mut tail).unwrap();
+        assert_eq!(&tail, b"tail");
+    }
+
+    #[test]
+    fn open_unknown_file_fails() {
+        let mut m = Machine::with_default_manager(64);
+        assert!(matches!(
+            m.open_file("ghost"),
+            Err(MachineError::UnknownFile(_))
+        ));
+    }
+
+    #[test]
+    fn close_segment_returns_frames() {
+        let mut m = Machine::with_default_manager(256);
+        let seg = m.create_segment(SegmentKind::Anonymous, 8).unwrap();
+        for p in 0..8 {
+            m.touch(seg, p, AccessKind::Write).unwrap();
+        }
+        m.close_segment(seg).unwrap();
+        assert!(m.kernel().segment(seg).is_err());
+        // Conservation: everything is back in the boot pool or the
+        // manager's free segment.
+        let kernel = m.kernel();
+        let total: u64 = kernel
+            .segment_ids()
+            .map(|s| kernel.resident_pages(s).unwrap())
+            .sum();
+        assert_eq!(total, 256);
+    }
+
+    #[test]
+    fn manager_error_display_chain() {
+        use std::error::Error;
+        let e = MachineError::UnknownManager(ManagerId(5));
+        assert!(e.to_string().contains("mgr#5"));
+        assert!(e.source().is_none());
+        let k = MachineError::from(epcm_core::KernelError::BootSegmentImmutable);
+        assert!(k.source().is_some());
+    }
+}

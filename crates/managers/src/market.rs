@@ -1,0 +1,420 @@
+//! The memory-market economy (§2.4).
+//!
+//! The SPCM "imposes a charge on a process for the memory that it uses
+//! over a given period of time in an artificial monetary unit we call a
+//! *dram*": holding `M` megabytes for `T` seconds costs `M * D * T` drams
+//! against an income of `I` drams per second. The refinements described in
+//! the paper are all implemented: free use when memory is uncontended, a
+//! savings tax that stops demand from hoarding against the fixed-price
+//! fixed-supply market, an I/O charge that stops scan-structured programs
+//! from dodging the memory charge with re-reads, and forced reclamation of
+//! bankrupt processes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use epcm_core::types::{ManagerId, BASE_PAGE_SIZE};
+use epcm_sim::clock::{Micros, Timestamp};
+
+/// Tunable market parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketConfig {
+    /// `D`: drams charged per megabyte-second of memory held.
+    pub charge_per_mb_sec: f64,
+    /// Default `I`: dram income per second for a new account.
+    pub income_per_sec: f64,
+    /// Balance above which the savings tax applies.
+    pub savings_cap: f64,
+    /// Fraction of the above-cap balance taxed away per second.
+    pub savings_tax_per_sec: f64,
+    /// Drams charged per 4 KB of I/O (the anti-rescan charge).
+    pub io_charge_per_block: f64,
+    /// When no requests are outstanding, memory is free (the paper's
+    /// "continue to use memory at no charge when there are no outstanding
+    /// memory requests").
+    pub free_when_uncontended: bool,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            charge_per_mb_sec: 1.0,
+            income_per_sec: 32.0,
+            savings_cap: 1_000.0,
+            savings_tax_per_sec: 0.05,
+            io_charge_per_block: 0.01,
+            free_when_uncontended: true,
+        }
+    }
+}
+
+/// One manager's dram account.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Account {
+    balance: f64,
+    income_per_sec: f64,
+}
+
+impl Account {
+    /// Current balance in drams (may be negative, pending forced reclaim).
+    pub fn balance(&self) -> f64 {
+        self.balance
+    }
+
+    /// Income rate in drams per second.
+    pub fn income_per_sec(&self) -> f64 {
+        self.income_per_sec
+    }
+}
+
+/// The memory market ledger.
+///
+/// # Example
+///
+/// ```
+/// use epcm_core::types::ManagerId;
+/// use epcm_managers::market::{MarketConfig, MemoryMarket};
+/// use epcm_sim::clock::Timestamp;
+///
+/// let mut market = MemoryMarket::new(MarketConfig::default());
+/// market.open_account(ManagerId(1), None);
+/// // One second passes holding 256 frames (1 MB), market contended:
+/// let bankrupt = market.bill(
+///     Timestamp::from_micros(1_000_000), &[(ManagerId(1), 256)], true);
+/// assert!(bankrupt.is_empty());
+/// assert!(market.balance(ManagerId(1)).unwrap() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryMarket {
+    config: MarketConfig,
+    accounts: BTreeMap<u32, Account>,
+    last_billed: Timestamp,
+    total_charged: f64,
+    total_income: f64,
+    total_tax: f64,
+}
+
+impl MemoryMarket {
+    /// Creates an empty ledger.
+    pub fn new(config: MarketConfig) -> Self {
+        MemoryMarket {
+            config,
+            accounts: BTreeMap::new(),
+            last_billed: Timestamp::ZERO,
+            total_charged: 0.0,
+            total_income: 0.0,
+            total_tax: 0.0,
+        }
+    }
+
+    /// The market parameters.
+    pub fn config(&self) -> &MarketConfig {
+        &self.config
+    }
+
+    /// Opens an account with the given income rate (`None` = the config
+    /// default). Reopening an existing account adjusts its income only.
+    pub fn open_account(&mut self, manager: ManagerId, income_per_sec: Option<f64>) {
+        let income = income_per_sec.unwrap_or(self.config.income_per_sec);
+        self.accounts
+            .entry(manager.0)
+            .and_modify(|a| a.income_per_sec = income)
+            .or_insert(Account {
+                balance: 0.0,
+                income_per_sec: income,
+            });
+    }
+
+    /// The account's balance, if it exists.
+    pub fn balance(&self, manager: ManagerId) -> Option<f64> {
+        self.accounts.get(&manager.0).map(|a| a.balance)
+    }
+
+    /// Shared view of an account.
+    pub fn account(&self, manager: ManagerId) -> Option<&Account> {
+        self.accounts.get(&manager.0)
+    }
+
+    /// The price in drams of holding `frames` frames for `duration`.
+    pub fn quote(&self, frames: u64, duration: Micros) -> f64 {
+        let mb = frames as f64 * BASE_PAGE_SIZE as f64 / (1024.0 * 1024.0);
+        mb * self.config.charge_per_mb_sec * duration.as_secs_f64()
+    }
+
+    /// Whether the account can currently pay for `frames` over `duration`.
+    pub fn can_afford(&self, manager: ManagerId, frames: u64, duration: Micros) -> bool {
+        match self.accounts.get(&manager.0) {
+            Some(a) => a.balance >= self.quote(frames, duration),
+            None => false,
+        }
+    }
+
+    /// How long the account must save (at its income rate, holding
+    /// nothing) before it can afford `frames` for `duration`. `Some(ZERO)`
+    /// if already affordable, `None` if the account does not exist or has
+    /// no income. This is the query a batch manager uses to decide when to
+    /// swap back in (§2.4).
+    pub fn time_until_affordable(
+        &self,
+        manager: ManagerId,
+        frames: u64,
+        duration: Micros,
+    ) -> Option<Micros> {
+        let account = self.accounts.get(&manager.0)?;
+        let needed = self.quote(frames, duration) - account.balance;
+        if needed <= 0.0 {
+            return Some(Micros::ZERO);
+        }
+        if account.income_per_sec <= 0.0 {
+            return None;
+        }
+        Some(Micros::from_secs_f64(needed / account.income_per_sec))
+    }
+
+    /// Charges an account for `blocks` 4 KB transfers of I/O.
+    pub fn charge_io(&mut self, manager: ManagerId, blocks: u64) {
+        if let Some(a) = self.accounts.get_mut(&manager.0) {
+            let charge = blocks as f64 * self.config.io_charge_per_block;
+            a.balance -= charge;
+            self.total_charged += charge;
+        }
+    }
+
+    /// Advances the ledger to `now`: pays income, charges `M*D*T` for the
+    /// supplied holdings (unless the market is uncontended and configured
+    /// free), and applies the savings tax. Returns the managers whose
+    /// balance went negative — the SPCM "has the ability to force the
+    /// return of memory from processes that have exhausted their dram
+    /// supply".
+    pub fn bill(
+        &mut self,
+        now: Timestamp,
+        holdings: &[(ManagerId, u64)],
+        contended: bool,
+    ) -> Vec<ManagerId> {
+        let dt = now.saturating_duration_since(self.last_billed);
+        self.last_billed = now;
+        if dt == Micros::ZERO {
+            return Vec::new();
+        }
+        let secs = dt.as_secs_f64();
+        for a in self.accounts.values_mut() {
+            let income = a.income_per_sec * secs;
+            a.balance += income;
+            self.total_income += income;
+        }
+        if contended || !self.config.free_when_uncontended {
+            for &(mgr, frames) in holdings {
+                if let Some(a) = self.accounts.get_mut(&mgr.0) {
+                    let charge = self.config.charge_per_mb_sec
+                        * (frames as f64 * BASE_PAGE_SIZE as f64 / (1024.0 * 1024.0))
+                        * secs;
+                    a.balance -= charge;
+                    self.total_charged += charge;
+                }
+            }
+        }
+        for a in self.accounts.values_mut() {
+            if a.balance > self.config.savings_cap {
+                let tax = (a.balance - self.config.savings_cap)
+                    * (self.config.savings_tax_per_sec * secs).min(1.0);
+                a.balance -= tax;
+                self.total_tax += tax;
+            }
+        }
+        self.accounts
+            .iter()
+            .filter(|(_, a)| a.balance < 0.0)
+            .map(|(&id, _)| ManagerId(id))
+            .collect()
+    }
+
+    /// Total drams charged for memory and I/O so far.
+    pub fn total_charged(&self) -> f64 {
+        self.total_charged
+    }
+
+    /// Total income paid so far.
+    pub fn total_income(&self) -> f64 {
+        self.total_income
+    }
+
+    /// Total savings tax collected so far.
+    pub fn total_tax(&self) -> f64 {
+        self.total_tax
+    }
+
+    /// Ledger conservation check: sum of balances must equal income minus
+    /// charges minus tax (property-tested).
+    pub fn ledger_residual(&self) -> f64 {
+        let balances: f64 = self.accounts.values().map(|a| a.balance).sum();
+        balances - (self.total_income - self.total_charged - self.total_tax)
+    }
+}
+
+impl fmt::Display for MemoryMarket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "market: {} accounts, {:.1} income, {:.1} charged, {:.1} tax",
+            self.accounts.len(),
+            self.total_income,
+            self.total_charged,
+            self.total_tax
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mkt() -> MemoryMarket {
+        MemoryMarket::new(MarketConfig::default())
+    }
+
+    const SEC: Timestamp = Timestamp::from_micros(1_000_000);
+
+    #[test]
+    fn income_accrues() {
+        let mut m = mkt();
+        m.open_account(ManagerId(1), Some(10.0));
+        let bankrupt = m.bill(SEC, &[], true);
+        assert!(bankrupt.is_empty());
+        assert!((m.balance(ManagerId(1)).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn holding_memory_costs_m_d_t() {
+        let mut m = mkt();
+        m.open_account(ManagerId(1), Some(0.0));
+        // Give a starting balance via income trick: bill once with income.
+        m.open_account(ManagerId(1), Some(100.0));
+        m.bill(SEC, &[], true);
+        m.open_account(ManagerId(1), Some(0.0));
+        let before = m.balance(ManagerId(1)).unwrap();
+        // 2 MB for 1 second at D=1 dram/MB-sec = 2 drams.
+        m.bill(
+            Timestamp::from_micros(2_000_000),
+            &[(ManagerId(1), 512)],
+            true,
+        );
+        let after = m.balance(ManagerId(1)).unwrap();
+        assert!((before - after - 2.0).abs() < 1e-9, "charged {}", before - after);
+    }
+
+    #[test]
+    fn uncontended_memory_is_free() {
+        let mut m = mkt();
+        m.open_account(ManagerId(1), Some(0.0));
+        m.bill(SEC, &[(ManagerId(1), 1024)], false);
+        assert_eq!(m.balance(ManagerId(1)).unwrap(), 0.0);
+        // Contended: same holding now costs.
+        m.bill(
+            Timestamp::from_micros(2_000_000),
+            &[(ManagerId(1), 1024)],
+            true,
+        );
+        assert!(m.balance(ManagerId(1)).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn bankruptcy_is_reported() {
+        let mut m = mkt();
+        m.open_account(ManagerId(1), Some(0.0));
+        let bankrupt = m.bill(SEC, &[(ManagerId(1), 2560)], true); // 10 MB, no income
+        assert_eq!(bankrupt, vec![ManagerId(1)]);
+    }
+
+    #[test]
+    fn savings_tax_applies_above_cap() {
+        let mut m = MemoryMarket::new(MarketConfig {
+            savings_cap: 5.0,
+            savings_tax_per_sec: 0.5,
+            ..MarketConfig::default()
+        });
+        m.open_account(ManagerId(1), Some(10.0));
+        m.bill(SEC, &[], true); // balance 10, cap 5 -> tax 0.5*5 = 2.5
+        let b = m.balance(ManagerId(1)).unwrap();
+        assert!((b - 7.5).abs() < 1e-9, "balance {b}");
+        assert!(m.total_tax() > 0.0);
+    }
+
+    #[test]
+    fn io_charge() {
+        let mut m = mkt();
+        m.open_account(ManagerId(1), Some(0.0));
+        m.charge_io(ManagerId(1), 100);
+        assert!((m.balance(ManagerId(1)).unwrap() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quote_and_affordability() {
+        let mut m = mkt();
+        m.open_account(ManagerId(1), Some(100.0));
+        // 256 frames = 1 MB for 10 s at D=1 => 10 drams.
+        let q = m.quote(256, Micros::from_secs(10));
+        assert!((q - 10.0).abs() < 1e-9);
+        assert!(!m.can_afford(ManagerId(1), 256, Micros::from_secs(10)));
+        m.bill(SEC, &[], true); // +100 income
+        assert!(m.can_afford(ManagerId(1), 256, Micros::from_secs(10)));
+    }
+
+    #[test]
+    fn time_until_affordable_matches_income() {
+        let mut m = mkt();
+        m.open_account(ManagerId(1), Some(1.0));
+        // Needs 10 drams at 1 dram/s: 10 s of saving.
+        let t = m
+            .time_until_affordable(ManagerId(1), 256, Micros::from_secs(10))
+            .unwrap();
+        assert_eq!(t, Micros::from_secs(10));
+        assert_eq!(
+            m.time_until_affordable(ManagerId(9), 1, Micros::from_secs(1)),
+            None
+        );
+        m.open_account(ManagerId(2), Some(0.0));
+        assert_eq!(
+            m.time_until_affordable(ManagerId(2), 256, Micros::from_secs(10)),
+            None,
+            "no income, never affordable"
+        );
+    }
+
+    #[test]
+    fn ledger_conserves() {
+        let mut m = mkt();
+        for i in 0..4 {
+            m.open_account(ManagerId(i), Some(i as f64 * 3.0));
+        }
+        let mut t = 0u64;
+        for step in 1..50u64 {
+            t += step * 37_000;
+            let holdings = [
+                (ManagerId(0), step * 10),
+                (ManagerId(1), 500),
+                (ManagerId(3), 2000),
+            ];
+            m.bill(Timestamp::from_micros(t), &holdings, step % 3 != 0);
+            m.charge_io(ManagerId(2), step);
+        }
+        assert!(m.ledger_residual().abs() < 1e-6, "residual {}", m.ledger_residual());
+    }
+
+    #[test]
+    fn billing_is_idempotent_at_same_instant() {
+        let mut m = mkt();
+        m.open_account(ManagerId(1), Some(10.0));
+        m.bill(SEC, &[], true);
+        let b = m.balance(ManagerId(1)).unwrap();
+        m.bill(SEC, &[(ManagerId(1), 99999)], true);
+        assert_eq!(m.balance(ManagerId(1)).unwrap(), b);
+    }
+
+    #[test]
+    fn display_shows_totals() {
+        let mut m = mkt();
+        m.open_account(ManagerId(1), None);
+        assert!(m.to_string().contains("1 accounts"));
+    }
+}

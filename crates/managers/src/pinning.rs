@@ -1,0 +1,239 @@
+//! A conventional pin-style manager, for comparison with full external
+//! page-cache management.
+//!
+//! The related-work section argues that pinning "does not provide the
+//! application with complete information on the pages it has in memory"
+//! and that systems must cap pinning: "the operating system cannot allow a
+//! significant percentage of its page frame pool to be pinned without
+//! compromising its ability to share this resource". This manager
+//! implements exactly that restricted interface — `pin`/`unpin` with a
+//! hard quota — so benchmarks can contrast it against managers that
+//! control *which* frames to surrender.
+
+use std::collections::BTreeSet;
+
+use epcm_core::fault::FaultEvent;
+use epcm_core::flags::PageFlags;
+use epcm_core::kernel::Kernel;
+use epcm_core::types::{ManagerId, PageNumber, SegmentId};
+
+use crate::generic::{GenericManager, PlainSpec};
+use crate::manager::{Env, ManagerError, ManagerMode, SegmentManager};
+
+/// A manager with a Unix-`mlock`-style pin interface and quota.
+#[derive(Debug)]
+pub struct PinningManager {
+    inner: GenericManager<PlainSpec>,
+    pinned: BTreeSet<(u32, u64)>,
+    quota: u64,
+}
+
+impl PinningManager {
+    /// Creates a pinning manager allowed to pin at most `quota` pages.
+    pub fn new(quota: u64) -> Self {
+        PinningManager {
+            inner: GenericManager::new(PlainSpec, ManagerMode::Server),
+            pinned: BTreeSet::new(),
+            quota,
+        }
+    }
+
+    /// The pin quota.
+    pub fn quota(&self) -> u64 {
+        self.quota
+    }
+
+    /// Pages currently pinned.
+    pub fn pinned_count(&self) -> u64 {
+        self.pinned.len() as u64
+    }
+
+    /// Evicts up to `count` unpinned resident pages (see
+    /// [`GenericManager::shrink`]).
+    ///
+    /// # Errors
+    ///
+    /// Kernel or store failures during eviction.
+    pub fn shrink(&mut self, env: &mut Env<'_>, count: u64) -> Result<u64, ManagerError> {
+        self.inner.shrink(env, count)
+    }
+
+    /// Pins `count` pages starting at `page` (they must be resident — pin
+    /// them by touching first). Pinned pages are never selected for
+    /// eviction.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::PinQuotaExceeded`] past the quota, or kernel
+    /// errors (e.g. a missing page).
+    pub fn pin(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: SegmentId,
+        page: PageNumber,
+        count: u64,
+    ) -> Result<(), ManagerError> {
+        let new: Vec<(u32, u64)> = (0..count)
+            .map(|i| (seg.as_u32(), page.as_u64() + i))
+            .filter(|k| !self.pinned.contains(k))
+            .collect();
+        if self.pinned.len() as u64 + new.len() as u64 > self.quota {
+            return Err(ManagerError::PinQuotaExceeded { limit: self.quota });
+        }
+        env.kernel
+            .modify_page_flags(seg, page, count, PageFlags::PINNED, PageFlags::empty())?;
+        self.pinned.extend(new);
+        Ok(())
+    }
+
+    /// Unpins `count` pages starting at `page`. Unpinning a page that was
+    /// never pinned is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors.
+    pub fn unpin(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: SegmentId,
+        page: PageNumber,
+        count: u64,
+    ) -> Result<(), ManagerError> {
+        env.kernel
+            .modify_page_flags(seg, page, count, PageFlags::empty(), PageFlags::PINNED)?;
+        for i in 0..count {
+            self.pinned.remove(&(seg.as_u32(), page.as_u64() + i));
+        }
+        Ok(())
+    }
+}
+
+impl SegmentManager for PinningManager {
+    fn id(&self) -> ManagerId {
+        self.inner.id()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn set_id(&mut self, id: ManagerId) {
+        self.inner.set_id(id);
+    }
+
+    fn mode(&self) -> ManagerMode {
+        self.inner.mode()
+    }
+
+    fn attach(&mut self, env: &mut Env<'_>, segment: SegmentId) -> Result<(), ManagerError> {
+        self.inner.attach(env, segment)
+    }
+
+    fn handle_fault(&mut self, env: &mut Env<'_>, fault: &FaultEvent) -> Result<(), ManagerError> {
+        self.inner.handle_fault(env, fault)
+    }
+
+    fn reclaim(&mut self, env: &mut Env<'_>, count: u64) -> Result<u64, ManagerError> {
+        self.inner.reclaim(env, count)
+    }
+
+    fn segment_closed(&mut self, env: &mut Env<'_>, segment: SegmentId) -> Result<(), ManagerError> {
+        self.pinned.retain(|&(s, _)| s != segment.as_u32());
+        self.inner.segment_closed(env, segment)
+    }
+
+    fn tick(&mut self, env: &mut Env<'_>) -> Result<(), ManagerError> {
+        self.inner.tick(env)
+    }
+
+    fn free_frames(&self, kernel: &Kernel) -> u64 {
+        self.inner.free_frames(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use epcm_core::types::{AccessKind, SegmentKind};
+
+    fn setup(quota: u64) -> (Machine, ManagerId, SegmentId) {
+        let mut m = Machine::new(128);
+        let id = m.register_manager(Box::new(PinningManager::new(quota)));
+        m.set_default_manager(id);
+        let seg = m.create_segment(SegmentKind::Anonymous, 32).unwrap();
+        (m, id, seg)
+    }
+
+    #[test]
+    fn pinned_pages_survive_reclaim() {
+        let (mut m, id, seg) = setup(16);
+        for p in 0..8 {
+            m.touch(seg, p, AccessKind::Write).unwrap();
+        }
+        m.with_manager(id, |mgr, env| {
+            let mgr = mgr.as_any_mut().downcast_mut::<PinningManager>().unwrap();
+            mgr.pin(env, seg, PageNumber(0), 4)
+        })
+        .unwrap();
+        m.with_manager(id, |mgr, env| {
+            let mgr = mgr.as_any_mut().downcast_mut::<PinningManager>().unwrap();
+            mgr.shrink(env, 6).map(|_| ())
+        })
+        .unwrap();
+        // Pages 0..4 still resident; some of 4..8 were evicted.
+        for p in 0..4 {
+            assert!(
+                m.kernel().segment(seg).unwrap().entry(PageNumber(p)).is_some(),
+                "pinned page {p} was evicted"
+            );
+        }
+        assert!(m.kernel().resident_pages(seg).unwrap() < 8);
+    }
+
+    #[test]
+    fn quota_is_enforced() {
+        let (mut m, id, seg) = setup(2);
+        for p in 0..4 {
+            m.touch(seg, p, AccessKind::Write).unwrap();
+        }
+        let err = m
+            .with_manager(id, |mgr, env| {
+                let mgr = mgr.as_any_mut().downcast_mut::<PinningManager>().unwrap();
+                mgr.pin(env, seg, PageNumber(0), 3)
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("pin quota"));
+        // Within quota succeeds, and re-pinning the same pages is free.
+        m.with_manager(id, |mgr, env| {
+            let mgr = mgr.as_any_mut().downcast_mut::<PinningManager>().unwrap();
+            mgr.pin(env, seg, PageNumber(0), 2)?;
+            mgr.pin(env, seg, PageNumber(0), 2)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unpin_releases_quota_and_eviction() {
+        let (mut m, id, seg) = setup(4);
+        for p in 0..4 {
+            m.touch(seg, p, AccessKind::Write).unwrap();
+        }
+        m.with_manager(id, |mgr, env| {
+            let mgr = mgr.as_any_mut().downcast_mut::<PinningManager>().unwrap();
+            mgr.pin(env, seg, PageNumber(0), 4)?;
+            mgr.unpin(env, seg, PageNumber(0), 4)
+        })
+        .unwrap();
+        m.with_manager(id, |mgr, env| {
+            let mgr = mgr.as_any_mut().downcast_mut::<PinningManager>().unwrap();
+            mgr.shrink(env, 4).map(|_| ())
+        })
+        .unwrap();
+        assert_eq!(m.kernel().resident_pages(seg).unwrap(), 0);
+    }
+}

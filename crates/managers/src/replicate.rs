@@ -1,0 +1,221 @@
+//! Replicated writeback — §2.1's other named scheme: "a process-level
+//! module can readily implement a variety of sophisticated schemes,
+//! including replicated writeback".
+//!
+//! Every dirty page is written to **two** backing files at eviction;
+//! a fill consults the primary and falls back to the replica, so the
+//! loss (or corruption) of one copy is survivable. The kernel knows
+//! nothing about any of this — it is pure manager policy.
+
+use std::collections::BTreeMap;
+
+use epcm_core::types::{PageNumber, SegmentId, BASE_PAGE_SIZE};
+use epcm_sim::disk::FileId;
+
+use crate::generic::{Fill, GenericManager, Specialization};
+use crate::manager::{Env, ManagerError, ManagerMode};
+
+/// Statistics for the replicated store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicateStats {
+    /// Pages written (to both replicas).
+    pub writebacks: u64,
+    /// Fills served from the primary.
+    pub primary_reads: u64,
+    /// Fills that had to fall back to the replica.
+    pub failover_reads: u64,
+}
+
+/// The replicated-writeback specialisation.
+#[derive(Debug, Default)]
+pub struct ReplicateSpec {
+    stores: BTreeMap<u32, Replicas>,
+    /// Fault injection: when true, the primary is treated as lost.
+    primary_failed: bool,
+    stats: ReplicateStats,
+}
+
+#[derive(Debug)]
+struct Replicas {
+    primary: FileId,
+    replica: FileId,
+    valid: std::collections::BTreeSet<u64>,
+}
+
+impl ReplicateSpec {
+    /// Creates the specialisation.
+    pub fn new() -> Self {
+        ReplicateSpec::default()
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> ReplicateStats {
+        self.stats
+    }
+
+    /// Fault injection: drop the primary store. Subsequent fills come
+    /// from the replica.
+    pub fn fail_primary(&mut self) {
+        self.primary_failed = true;
+    }
+}
+
+impl Specialization for ReplicateSpec {
+    fn fill(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: SegmentId,
+        page: PageNumber,
+        buf: &mut [u8],
+    ) -> Result<Fill, ManagerError> {
+        let Some(replicas) = self.stores.get(&seg.as_u32()) else {
+            return Ok(Fill::Minimal);
+        };
+        if !replicas.valid.contains(&page.as_u64()) {
+            return Ok(Fill::Minimal);
+        }
+        let offset = page.as_u64() * BASE_PAGE_SIZE;
+        if self.primary_failed {
+            let latency = env.store.read(replicas.replica, offset, buf)?;
+            env.kernel.charge(latency);
+            self.stats.failover_reads += 1;
+        } else {
+            let latency = env.store.read(replicas.primary, offset, buf)?;
+            env.kernel.charge(latency);
+            self.stats.primary_reads += 1;
+        }
+        Ok(Fill::Filled)
+    }
+
+    fn write_back(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: SegmentId,
+        page: PageNumber,
+        data: &[u8],
+    ) -> Result<(), ManagerError> {
+        let replicas = match self.stores.get_mut(&seg.as_u32()) {
+            Some(r) => r,
+            None => {
+                let primary = env.store.create(&format!("repl-{}-a", seg.as_u32()), 0);
+                let replica = env.store.create(&format!("repl-{}-b", seg.as_u32()), 0);
+                self.stores.entry(seg.as_u32()).or_insert(Replicas {
+                    primary,
+                    replica,
+                    valid: Default::default(),
+                })
+            }
+        };
+        let offset = page.as_u64() * BASE_PAGE_SIZE;
+        let l1 = env.store.write(replicas.primary, offset, data)?;
+        let l2 = env.store.write(replicas.replica, offset, data)?;
+        env.kernel.charge(l1 + l2);
+        replicas.valid.insert(page.as_u64());
+        self.stats.writebacks += 1;
+        Ok(())
+    }
+}
+
+/// A manager whose dirty pages are written back twice.
+pub type ReplicatingManager = GenericManager<ReplicateSpec>;
+
+/// Creates a replicating manager running in the faulting process.
+pub fn replicating_manager() -> ReplicatingManager {
+    GenericManager::new(ReplicateSpec::new(), ManagerMode::FaultingProcess)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use epcm_core::types::SegmentKind;
+
+    fn setup() -> (Machine, epcm_core::ManagerId, SegmentId) {
+        let mut m = Machine::new(64);
+        let id = m.register_manager(Box::new(replicating_manager()));
+        m.set_default_manager(id);
+        let seg = m.create_segment(SegmentKind::Anonymous, 64).unwrap();
+        (m, id, seg)
+    }
+
+    fn evict(m: &mut Machine, id: epcm_core::ManagerId, n: u64) {
+        m.with_manager(id, |mgr, env| {
+            let mgr = mgr.as_any_mut().downcast_mut::<ReplicatingManager>().unwrap();
+            mgr.shrink(env, n).map(|_| ())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn writeback_goes_to_both_replicas() {
+        let (mut m, id, seg) = setup();
+        for p in 0..4u64 {
+            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[p as u8 + 1; 64]).unwrap();
+        }
+        evict(&mut m, id, 4);
+        let a = m.store().find("repl-1-a").expect("primary");
+        let b = m.store().find("repl-1-b").expect("replica");
+        for p in 0..4u64 {
+            let mut ba = [0u8; 64];
+            let mut bb = [0u8; 64];
+            m.store_mut().read(a, p * BASE_PAGE_SIZE, &mut ba).unwrap();
+            m.store_mut().read(b, p * BASE_PAGE_SIZE, &mut bb).unwrap();
+            assert_eq!(ba, [p as u8 + 1; 64]);
+            assert_eq!(ba, bb, "replicas diverge on page {p}");
+        }
+    }
+
+    #[test]
+    fn survives_primary_failure() {
+        let (mut m, id, seg) = setup();
+        for p in 0..6u64 {
+            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[0xAB; 128]).unwrap();
+        }
+        evict(&mut m, id, 6);
+        // Kill the primary store.
+        m.with_manager(id, |mgr, _| {
+            mgr.as_any_mut()
+                .downcast_mut::<ReplicatingManager>()
+                .unwrap()
+                .spec_mut()
+                .fail_primary();
+            Ok(())
+        })
+        .unwrap();
+        // Every page still reads back intact, from the replica.
+        for p in 0..6u64 {
+            let mut buf = [0u8; 128];
+            m.load(seg, p * BASE_PAGE_SIZE, &mut buf).unwrap();
+            assert_eq!(buf, [0xAB; 128], "page {p} lost with primary down");
+        }
+        let stats = m
+            .manager(id)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<ReplicatingManager>()
+            .unwrap()
+            .spec()
+            .stats();
+        assert_eq!(stats.failover_reads, 6);
+        assert_eq!(stats.primary_reads, 0);
+    }
+
+    #[test]
+    fn healthy_fills_use_the_primary() {
+        let (mut m, id, seg) = setup();
+        m.store_bytes(seg, 0, &[1; 8]).unwrap();
+        evict(&mut m, id, 1);
+        let mut buf = [0u8; 8];
+        m.load(seg, 0, &mut buf).unwrap();
+        let stats = m
+            .manager(id)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<ReplicatingManager>()
+            .unwrap()
+            .spec()
+            .stats();
+        assert_eq!(stats.primary_reads, 1);
+        assert_eq!(stats.failover_reads, 0);
+    }
+}

@@ -1,0 +1,799 @@
+//! The System Page Cache Manager (§2.4).
+//!
+//! The SPCM is the process-level module that owns the machine's global
+//! frame pool (the kernel's well-known boot segment) and allocates it among
+//! segment managers. It "can grant, defer or refuse" a request based on
+//! policy, supports requests for particular frames "by physical address or
+//! by physical address range" (physical placement) and by cache color, and
+//! optionally runs the memory-market economy of [`crate::market`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use epcm_core::flags::PageFlags;
+use epcm_core::kernel::Kernel;
+use epcm_core::types::{FrameId, ManagerId, PageNumber, SegmentId};
+use epcm_sim::clock::Micros;
+
+use crate::market::MemoryMarket;
+
+/// A physical-placement constraint on a frame request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysConstraint {
+    /// Any frame will do.
+    Any,
+    /// Frames whose physical byte address lies in `[lo, hi)` — NUMA-style
+    /// placement on machines like DASH.
+    AddrRange {
+        /// Inclusive lower physical address.
+        lo: u64,
+        /// Exclusive upper physical address.
+        hi: u64,
+    },
+    /// Frames of a particular cache color (`frame_index % colors ==
+    /// color`), for application-specific page coloring.
+    Color {
+        /// The wanted color.
+        color: u32,
+        /// Number of colors in the cache.
+        colors: u32,
+    },
+}
+
+impl PhysConstraint {
+    /// Whether `frame` satisfies the constraint.
+    pub fn admits(&self, frame: FrameId) -> bool {
+        match *self {
+            PhysConstraint::Any => true,
+            PhysConstraint::AddrRange { lo, hi } => {
+                let a = frame.phys_addr();
+                a >= lo && a < hi
+            }
+            PhysConstraint::Color { color, colors } => frame.color(colors) == color,
+        }
+    }
+}
+
+/// How the SPCM answers a frame request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grant {
+    /// `n` frames were migrated into the requester's segment (possibly
+    /// fewer than asked — the paper: "it allocates and provides as many
+    /// page frames as it can or is willing to").
+    Granted(u64),
+    /// Nothing now; ask again later (e.g. the account cannot yet afford
+    /// it, or memory is temporarily exhausted pending reclamation).
+    Deferred,
+    /// The request violates policy and will never be granted as posed.
+    Refused,
+}
+
+impl Grant {
+    /// Frames actually provided.
+    pub fn granted(&self) -> u64 {
+        match *self {
+            Grant::Granted(n) => n,
+            _ => 0,
+        }
+    }
+}
+
+/// Global allocation policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocationPolicy {
+    /// First-come-first-served until physical memory (minus the reserve)
+    /// runs out — the conventional comparison point.
+    FirstCome,
+    /// Hard per-manager quota in frames; requests beyond it are refused.
+    Quota {
+        /// Frames allowed per manager.
+        per_manager: u64,
+    },
+    /// The dram economy: requests are deferred until the account can
+    /// afford the memory for `horizon` (the "reasonable time slice" a
+    /// batch manager saves up for).
+    Market {
+        /// The ledger.
+        market: MemoryMarket,
+        /// The affordability horizon used when admitting a request.
+        horizon: Micros,
+    },
+}
+
+/// Errors from SPCM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpcmError {
+    /// Kernel operation failed.
+    Kernel(epcm_core::KernelError),
+    /// The manager returned frames it was never granted.
+    NotGranted {
+        /// The over-returning manager.
+        manager: ManagerId,
+    },
+}
+
+impl fmt::Display for SpcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpcmError::Kernel(e) => write!(f, "kernel: {e}"),
+            SpcmError::NotGranted { manager } => {
+                write!(f, "{manager} returned frames it was not granted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpcmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpcmError::Kernel(e) => Some(e),
+            SpcmError::NotGranted { .. } => None,
+        }
+    }
+}
+
+impl From<epcm_core::KernelError> for SpcmError {
+    fn from(e: epcm_core::KernelError) -> Self {
+        SpcmError::Kernel(e)
+    }
+}
+
+/// The System Page Cache Manager.
+///
+/// # Example
+///
+/// ```
+/// use epcm_core::kernel::Kernel;
+/// use epcm_core::types::{ManagerId, SegmentKind, UserId};
+/// use epcm_managers::spcm::{AllocationPolicy, Grant, PhysConstraint, SystemPageCacheManager};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut kernel = Kernel::new(128);
+/// let mut spcm = SystemPageCacheManager::new(AllocationPolicy::FirstCome, 8);
+/// let free_seg = kernel.create_segment(
+///     SegmentKind::FramePool, UserId::SYSTEM, ManagerId(1), 1, 64)?;
+/// let grant = spcm.request_frames(
+///     &mut kernel, ManagerId(1), free_seg, 16, PhysConstraint::Any)?;
+/// assert_eq!(grant, Grant::Granted(16));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemPageCacheManager {
+    policy: AllocationPolicy,
+    /// Frames the SPCM keeps back for system use (the "first team").
+    reserve: u64,
+    granted: BTreeMap<u32, u64>,
+    /// Whether any request has been deferred or trimmed since the last
+    /// billing period — the market's contention signal.
+    contended: bool,
+    requests: u64,
+    deferrals: u64,
+    refusals: u64,
+}
+
+impl SystemPageCacheManager {
+    /// Creates an SPCM with the given policy, keeping `reserve` frames
+    /// back from allocation.
+    pub fn new(policy: AllocationPolicy, reserve: u64) -> Self {
+        SystemPageCacheManager {
+            policy,
+            reserve,
+            granted: BTreeMap::new(),
+            contended: false,
+            requests: 0,
+            deferrals: 0,
+            refusals: 0,
+        }
+    }
+
+    /// The allocation policy in force.
+    pub fn policy(&self) -> &AllocationPolicy {
+        &self.policy
+    }
+
+    /// Mutable access to the market ledger, when the policy is
+    /// [`AllocationPolicy::Market`].
+    pub fn market_mut(&mut self) -> Option<&mut MemoryMarket> {
+        match &mut self.policy {
+            AllocationPolicy::Market { market, .. } => Some(market),
+            _ => None,
+        }
+    }
+
+    /// Shared access to the market ledger.
+    pub fn market(&self) -> Option<&MemoryMarket> {
+        match &self.policy {
+            AllocationPolicy::Market { market, .. } => Some(market),
+            _ => None,
+        }
+    }
+
+    /// Frames currently grantable (boot-pool residents minus the reserve).
+    pub fn available(&self, kernel: &Kernel) -> u64 {
+        kernel
+            .resident_pages(SegmentId::FRAME_POOL)
+            .unwrap_or(0)
+            .saturating_sub(self.reserve)
+    }
+
+    /// Frames currently granted to `manager`.
+    pub fn granted_to(&self, manager: ManagerId) -> u64 {
+        self.granted.get(&manager.0).copied().unwrap_or(0)
+    }
+
+    /// All outstanding grants as `(manager, frames)`.
+    pub fn holdings(&self) -> Vec<(ManagerId, u64)> {
+        self.granted
+            .iter()
+            .map(|(&m, &n)| (ManagerId(m), n))
+            .collect()
+    }
+
+    /// `(requests, deferrals, refusals)` counters.
+    pub fn decision_counts(&self) -> (u64, u64, u64) {
+        (self.requests, self.deferrals, self.refusals)
+    }
+
+    /// Requests `count` frames for `manager`, migrated into `dst` (its
+    /// free-page segment) at the lowest empty page slots.
+    ///
+    /// # Errors
+    ///
+    /// [`SpcmError::Kernel`] if the destination segment is invalid or the
+    /// migration fails.
+    pub fn request_frames(
+        &mut self,
+        kernel: &mut Kernel,
+        manager: ManagerId,
+        dst: SegmentId,
+        count: u64,
+        constraint: PhysConstraint,
+    ) -> Result<Grant, SpcmError> {
+        self.requests += 1;
+        let available = self.available(kernel);
+        let admit = match &self.policy {
+            AllocationPolicy::FirstCome => count.min(available),
+            AllocationPolicy::Quota { per_manager } => {
+                let used = self.granted_to(manager);
+                if used >= *per_manager {
+                    self.refusals += 1;
+                    self.contended = true;
+                    return Ok(Grant::Refused);
+                }
+                count.min(per_manager - used).min(available)
+            }
+            AllocationPolicy::Market { market, horizon } => {
+                let wanted = self.granted_to(manager) + count;
+                if market.account(manager).is_none() {
+                    self.refusals += 1;
+                    self.contended = true;
+                    return Ok(Grant::Refused);
+                }
+                if !market.can_afford(manager, wanted, *horizon) {
+                    self.deferrals += 1;
+                    self.contended = true;
+                    return Ok(Grant::Deferred);
+                }
+                count.min(available)
+            }
+        };
+        if admit == 0 {
+            self.deferrals += 1;
+            self.contended = true;
+            return Ok(Grant::Deferred);
+        }
+        if admit < count {
+            self.contended = true;
+        }
+
+        // Select matching frames from the boot pool (ordered by physical
+        // address, as the boot segment is laid out).
+        let boot = kernel.segment(SegmentId::FRAME_POOL)?;
+        let picks: Vec<PageNumber> = boot
+            .resident()
+            .filter(|(_, e)| constraint.admits(e.frame))
+            .map(|(p, _)| p)
+            .take(admit as usize)
+            .collect();
+        if picks.is_empty() {
+            // Constraint unsatisfiable right now: same handling as an
+            // exhausted unconstrained request (paper §2.4).
+            self.deferrals += 1;
+            self.contended = true;
+            return Ok(Grant::Deferred);
+        }
+
+        // Find empty destination slots.
+        let dst_seg = kernel.segment(dst)?;
+        let dst_size = dst_seg.size_pages();
+        let occupied: Vec<u64> = dst_seg.resident().map(|(p, _)| p.as_u64()).collect();
+        let mut occ = occupied.iter().copied().peekable();
+        let mut free_slots = Vec::with_capacity(picks.len());
+        for p in 0..dst_size {
+            if free_slots.len() == picks.len() {
+                break;
+            }
+            match occ.peek() {
+                Some(&o) if o == p => {
+                    occ.next();
+                }
+                _ => free_slots.push(PageNumber(p)),
+            }
+        }
+        let n = free_slots.len().min(picks.len());
+        // Migrate maximal runs where both source and destination pages are
+        // consecutive, so a 64-frame grant is a handful of MigratePages
+        // calls rather than 64.
+        let mut i = 0;
+        while i < n {
+            let mut len = 1;
+            while i + len < n
+                && picks[i + len].as_u64() == picks[i].as_u64() + len as u64
+                && free_slots[i + len].as_u64() == free_slots[i].as_u64() + len as u64
+            {
+                len += 1;
+            }
+            kernel.migrate_pages(
+                SegmentId::FRAME_POOL,
+                dst,
+                picks[i],
+                free_slots[i],
+                len as u64,
+                PageFlags::RW,
+                PageFlags::empty(),
+            )?;
+            i += len;
+        }
+        *self.granted.entry(manager.0).or_insert(0) += n as u64;
+        Ok(Grant::Granted(n as u64))
+    }
+
+    /// Requests `pages` *large* pages for `manager`, composed from
+    /// physically contiguous boot-pool frames and installed in `dst`
+    /// (whose page size must be a multiple of the base page). This is the
+    /// placement-control path for Alpha-style multiple page sizes: only
+    /// the SPCM, which sees the whole frame pool in physical order, can
+    /// find the contiguous runs.
+    ///
+    /// # Errors
+    ///
+    /// [`SpcmError::Kernel`] on composition failure.
+    pub fn request_large_pages(
+        &mut self,
+        kernel: &mut Kernel,
+        manager: ManagerId,
+        dst: SegmentId,
+        pages: u64,
+    ) -> Result<Grant, SpcmError> {
+        self.requests += 1;
+        let k = kernel.segment(dst)?.page_frames();
+        if k < 2 {
+            self.refusals += 1;
+            return Ok(Grant::Refused);
+        }
+        let frames_wanted = pages * k;
+        let available = self.available(kernel);
+        if available < k {
+            self.deferrals += 1;
+            self.contended = true;
+            return Ok(Grant::Deferred);
+        }
+        let budget = frames_wanted.min(available) / k;
+        // Find runs of `k` consecutive resident boot pages; in the boot
+        // segment, page number == frame index, so page-contiguity is
+        // frame-contiguity.
+        let resident: Vec<u64> = kernel
+            .segment(SegmentId::FRAME_POOL)?
+            .resident()
+            .map(|(p, _)| p.as_u64())
+            .collect();
+        let mut runs: Vec<u64> = Vec::new();
+        let mut i = 0;
+        while i < resident.len() && (runs.len() as u64) < budget {
+            let start = resident[i];
+            let mut len = 1usize;
+            while i + len < resident.len()
+                && resident[i + len] == start + len as u64
+                && (len as u64) < k
+            {
+                len += 1;
+            }
+            if len as u64 == k {
+                runs.push(start);
+            }
+            i += len;
+        }
+        if runs.is_empty() {
+            self.deferrals += 1;
+            self.contended = true;
+            return Ok(Grant::Deferred);
+        }
+        // Destination slots: lowest empty large-page slots.
+        let dst_size = kernel.segment(dst)?.size_pages();
+        let occupied: std::collections::BTreeSet<u64> = kernel
+            .segment(dst)?
+            .resident()
+            .map(|(p, _)| p.as_u64())
+            .collect();
+        let mut slots = (0..dst_size).filter(|p| !occupied.contains(p));
+        let mut granted = 0u64;
+        for &start in &runs {
+            let Some(slot) = slots.next() else { break };
+            kernel.compose_page(
+                SegmentId::FRAME_POOL,
+                dst,
+                PageNumber(start),
+                PageNumber(slot),
+                PageFlags::RW,
+                PageFlags::empty(),
+            )?;
+            granted += 1;
+        }
+        if granted == 0 {
+            self.deferrals += 1;
+            return Ok(Grant::Deferred);
+        }
+        if granted < pages {
+            self.contended = true;
+        }
+        *self.granted.entry(manager.0).or_insert(0) += granted * k;
+        Ok(Grant::Granted(granted))
+    }
+
+    /// Returns frames from `src` pages back to the global pool. Each frame
+    /// migrates to its home boot-segment slot (page number == physical
+    /// frame index), which is empty by the conservation invariant.
+    ///
+    /// # Errors
+    ///
+    /// [`SpcmError::NotGranted`] if `manager` returns more than it holds;
+    /// [`SpcmError::Kernel`] on migration failure.
+    pub fn return_frames(
+        &mut self,
+        kernel: &mut Kernel,
+        manager: ManagerId,
+        src: SegmentId,
+        pages: &[PageNumber],
+    ) -> Result<(), SpcmError> {
+        let held = self.granted_to(manager);
+        if (pages.len() as u64) > held {
+            return Err(SpcmError::NotGranted { manager });
+        }
+        for &p in pages {
+            let entry = kernel
+                .segment(src)?
+                .entry(p)
+                .ok_or(epcm_core::KernelError::PageNotPresent { segment: src, page: p })?;
+            let home = PageNumber(entry.frame.index() as u64);
+            kernel.migrate_pages(
+                src,
+                SegmentId::FRAME_POOL,
+                p,
+                home,
+                1,
+                PageFlags::RW,
+                PageFlags::DIRTY | PageFlags::REFERENCED,
+            )?;
+        }
+        *self.granted.entry(manager.0).or_insert(0) -= pages.len() as u64;
+        Ok(())
+    }
+
+    /// Runs a market billing period (no-op under other policies). Returns
+    /// the bankrupt managers the machine must force reclamation from, and
+    /// clears the contention signal for the next period.
+    pub fn bill(&mut self, kernel: &Kernel) -> Vec<ManagerId> {
+        let now = kernel.now();
+        let holdings = self.holdings();
+        let contended = self.contended;
+        self.contended = false;
+        match &mut self.policy {
+            AllocationPolicy::Market { market, .. } => market.bill(now, &holdings, contended),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for SystemPageCacheManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total: u64 = self.granted.values().sum();
+        write!(
+            f,
+            "spcm: {total} frames granted across {} managers ({} req / {} defer / {} refuse)",
+            self.granted.len(),
+            self.requests,
+            self.deferrals,
+            self.refusals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epcm_core::types::{SegmentKind, UserId};
+
+    fn setup(frames: usize, policy: AllocationPolicy, reserve: u64) -> (Kernel, SystemPageCacheManager, SegmentId) {
+        let mut kernel = Kernel::new(frames);
+        let spcm = SystemPageCacheManager::new(policy, reserve);
+        let free = kernel
+            .create_segment(SegmentKind::FramePool, UserId::SYSTEM, ManagerId(1), 1, frames as u64)
+            .unwrap();
+        (kernel, spcm, free)
+    }
+
+    #[test]
+    fn first_come_grants_until_reserve() {
+        let (mut k, mut spcm, free) = setup(64, AllocationPolicy::FirstCome, 8);
+        let g = spcm
+            .request_frames(&mut k, ManagerId(1), free, 100, PhysConstraint::Any)
+            .unwrap();
+        assert_eq!(g, Grant::Granted(56));
+        assert_eq!(spcm.available(&k), 0);
+        assert_eq!(spcm.granted_to(ManagerId(1)), 56);
+        // Next request defers.
+        let g2 = spcm
+            .request_frames(&mut k, ManagerId(1), free, 1, PhysConstraint::Any)
+            .unwrap();
+        assert_eq!(g2, Grant::Deferred);
+    }
+
+    #[test]
+    fn quota_refuses_beyond_limit() {
+        let (mut k, mut spcm, free) = setup(64, AllocationPolicy::Quota { per_manager: 10 }, 0);
+        let g = spcm
+            .request_frames(&mut k, ManagerId(1), free, 30, PhysConstraint::Any)
+            .unwrap();
+        assert_eq!(g, Grant::Granted(10));
+        let g2 = spcm
+            .request_frames(&mut k, ManagerId(1), free, 1, PhysConstraint::Any)
+            .unwrap();
+        assert_eq!(g2, Grant::Refused);
+        let (req, _, refusals) = spcm.decision_counts();
+        assert_eq!(req, 2);
+        assert_eq!(refusals, 1);
+    }
+
+    #[test]
+    fn address_range_constraint_respected() {
+        let (mut k, mut spcm, free) = setup(64, AllocationPolicy::FirstCome, 0);
+        // Frames 16..32 only.
+        let g = spcm
+            .request_frames(
+                &mut k,
+                ManagerId(1),
+                free,
+                100,
+                PhysConstraint::AddrRange {
+                    lo: 16 * 4096,
+                    hi: 32 * 4096,
+                },
+            )
+            .unwrap();
+        assert_eq!(g, Grant::Granted(16));
+        for (_, e) in k.segment(free).unwrap().resident() {
+            assert!((16..32).contains(&(e.frame.index() as u64)));
+        }
+    }
+
+    #[test]
+    fn color_constraint_respected() {
+        let (mut k, mut spcm, free) = setup(64, AllocationPolicy::FirstCome, 0);
+        let g = spcm
+            .request_frames(
+                &mut k,
+                ManagerId(1),
+                free,
+                10,
+                PhysConstraint::Color { color: 3, colors: 8 },
+            )
+            .unwrap();
+        assert_eq!(g, Grant::Granted(8)); // 64 frames / 8 colors
+        for (_, e) in k.segment(free).unwrap().resident() {
+            assert_eq!(e.frame.color(8), 3);
+        }
+    }
+
+    #[test]
+    fn return_frames_restores_pool_and_reuse() {
+        let (mut k, mut spcm, free) = setup(32, AllocationPolicy::FirstCome, 0);
+        spcm.request_frames(&mut k, ManagerId(1), free, 5, PhysConstraint::Any)
+            .unwrap();
+        let pages: Vec<PageNumber> = k
+            .segment(free)
+            .unwrap()
+            .resident()
+            .map(|(p, _)| p)
+            .collect();
+        spcm.return_frames(&mut k, ManagerId(1), free, &pages).unwrap();
+        assert_eq!(spcm.granted_to(ManagerId(1)), 0);
+        assert_eq!(k.resident_pages(SegmentId::FRAME_POOL).unwrap(), 32);
+        // Frames land in their home slots: page == frame index.
+        for (p, e) in k.segment(SegmentId::FRAME_POOL).unwrap().resident() {
+            assert_eq!(p.as_u64(), e.frame.index() as u64);
+        }
+    }
+
+    #[test]
+    fn over_return_is_error() {
+        let (mut k, mut spcm, free) = setup(32, AllocationPolicy::FirstCome, 0);
+        spcm.request_frames(&mut k, ManagerId(1), free, 2, PhysConstraint::Any)
+            .unwrap();
+        let err = spcm
+            .return_frames(
+                &mut k,
+                ManagerId(1),
+                free,
+                &[PageNumber(0), PageNumber(1), PageNumber(2)],
+            )
+            .unwrap_err();
+        assert_eq!(err, SpcmError::NotGranted { manager: ManagerId(1) });
+    }
+
+    #[test]
+    fn market_defers_until_affordable() {
+        use crate::market::{MarketConfig, MemoryMarket};
+        let mut market = MemoryMarket::new(MarketConfig {
+            income_per_sec: 1.0,
+            ..MarketConfig::default()
+        });
+        market.open_account(ManagerId(1), None);
+        let policy = AllocationPolicy::Market {
+            market,
+            horizon: Micros::from_secs(10),
+        };
+        let (mut k, mut spcm, free) = setup(512, policy, 0);
+        // Fresh account, zero balance: 256 frames for 10 s costs 10 drams.
+        let g = spcm
+            .request_frames(&mut k, ManagerId(1), free, 256, PhysConstraint::Any)
+            .unwrap();
+        assert_eq!(g, Grant::Deferred);
+        // Earn income for 20 virtual seconds, then retry.
+        k.charge(Micros::from_secs(20));
+        let bankrupt = spcm.bill(&k);
+        assert!(bankrupt.is_empty());
+        let g2 = spcm
+            .request_frames(&mut k, ManagerId(1), free, 256, PhysConstraint::Any)
+            .unwrap();
+        assert_eq!(g2, Grant::Granted(256));
+    }
+
+    #[test]
+    fn market_bankruptcy_reported_through_bill() {
+        use crate::market::{MarketConfig, MemoryMarket};
+        let mut market = MemoryMarket::new(MarketConfig {
+            income_per_sec: 100.0,
+            ..MarketConfig::default()
+        });
+        market.open_account(ManagerId(1), Some(0.01));
+        let policy = AllocationPolicy::Market {
+            market,
+            horizon: Micros::new(1), // trivially affordable horizon
+        };
+        let (mut k, mut spcm, free) = setup(4096, policy, 0);
+        k.charge(Micros::from_secs(100)); // accrue a little income
+        spcm.bill(&k);
+        let g = spcm
+            .request_frames(&mut k, ManagerId(1), free, 2560, PhysConstraint::Any)
+            .unwrap();
+        assert_eq!(g.granted(), 2560);
+        // Make the market contended so holding is charged.
+        let _ = spcm.request_frames(&mut k, ManagerId(2), free, 1, PhysConstraint::Any);
+        k.charge(Micros::from_secs(1000)); // 10 MB held, charge >> income
+        let bankrupt = spcm.bill(&k);
+        assert_eq!(bankrupt, vec![ManagerId(1)]);
+    }
+
+    #[test]
+    fn unknown_market_account_is_refused() {
+        use crate::market::{MarketConfig, MemoryMarket};
+        let policy = AllocationPolicy::Market {
+            market: MemoryMarket::new(MarketConfig::default()),
+            horizon: Micros::from_secs(1),
+        };
+        let (mut k, mut spcm, free) = setup(32, policy, 0);
+        let g = spcm
+            .request_frames(&mut k, ManagerId(7), free, 1, PhysConstraint::Any)
+            .unwrap();
+        assert_eq!(g, Grant::Refused);
+    }
+
+    #[test]
+    fn display_shows_counts() {
+        let (mut k, mut spcm, free) = setup(16, AllocationPolicy::FirstCome, 0);
+        spcm.request_frames(&mut k, ManagerId(1), free, 4, PhysConstraint::Any)
+            .unwrap();
+        assert!(spcm.to_string().contains("4 frames granted"));
+    }
+}
+
+#[cfg(test)]
+mod large_page_tests {
+    use super::*;
+    use epcm_core::types::{SegmentKind, UserId};
+
+    fn setup(frames: usize) -> (Kernel, SystemPageCacheManager, SegmentId) {
+        let mut kernel = Kernel::new(frames);
+        let spcm = SystemPageCacheManager::new(AllocationPolicy::FirstCome, 0);
+        let big = kernel
+            .create_segment(SegmentKind::Anonymous, UserId::SYSTEM, ManagerId(1), 4, 16)
+            .unwrap();
+        (kernel, spcm, big)
+    }
+
+    #[test]
+    fn grants_composed_large_pages() {
+        let (mut k, mut spcm, big) = setup(64);
+        let g = spcm
+            .request_large_pages(&mut k, ManagerId(1), big, 3)
+            .unwrap();
+        assert_eq!(g, Grant::Granted(3));
+        assert_eq!(k.resident_pages(big).unwrap(), 3);
+        assert_eq!(spcm.granted_to(ManagerId(1)), 12); // frames, not pages
+        // Each large page's frame is 4-aligned relative to its run start
+        // and physically contiguous (compose_page verified it).
+        for (_, e) in k.segment(big).unwrap().resident() {
+            assert!(k.frames().is_valid(e.frame));
+        }
+    }
+
+    #[test]
+    fn fragmented_pool_defers() {
+        let (mut k, mut spcm, big) = setup(64);
+        // Fragment the pool: pull out every 4th frame as base pages.
+        let scratch = k
+            .create_segment(SegmentKind::FramePool, UserId::SYSTEM, ManagerId(2), 1, 64)
+            .unwrap();
+        for i in (0..64).step_by(4) {
+            k.migrate_pages(
+                SegmentId::FRAME_POOL,
+                scratch,
+                PageNumber(i),
+                PageNumber(i),
+                1,
+                PageFlags::RW,
+                PageFlags::empty(),
+            )
+            .unwrap();
+        }
+        // No run of 4 contiguous frames remains.
+        let g = spcm
+            .request_large_pages(&mut k, ManagerId(1), big, 1)
+            .unwrap();
+        assert_eq!(g, Grant::Deferred);
+    }
+
+    #[test]
+    fn base_page_segment_is_refused() {
+        let mut kernel = Kernel::new(16);
+        let mut spcm = SystemPageCacheManager::new(AllocationPolicy::FirstCome, 0);
+        let small = kernel
+            .create_segment(SegmentKind::Anonymous, UserId::SYSTEM, ManagerId(1), 1, 4)
+            .unwrap();
+        let g = spcm
+            .request_large_pages(&mut kernel, ManagerId(1), small, 1)
+            .unwrap();
+        assert_eq!(g, Grant::Refused);
+    }
+
+    #[test]
+    fn partial_grant_when_pool_is_short() {
+        let (mut k, mut spcm, big) = setup(8); // only 2 large pages possible
+        let g = spcm
+            .request_large_pages(&mut k, ManagerId(1), big, 5)
+            .unwrap();
+        assert_eq!(g, Grant::Granted(2));
+    }
+
+    #[test]
+    fn large_page_data_roundtrip_through_spcm_grant() {
+        let (mut k, mut spcm, big) = setup(64);
+        spcm.request_large_pages(&mut k, ManagerId(1), big, 1).unwrap();
+        let data: Vec<u8> = (0..16384u32).map(|i| (i % 239) as u8).collect();
+        assert!(k.store(big, 0, &data).unwrap().is_completed());
+        let mut back = vec![0u8; data.len()];
+        assert!(k.load(big, 0, &mut back).unwrap().is_completed());
+        assert_eq!(back, data);
+    }
+}

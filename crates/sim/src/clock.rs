@@ -1,0 +1,361 @@
+//! Microsecond-resolution virtual time.
+//!
+//! All timing in the reproduction is *virtual*: kernel primitives, disk
+//! accesses and transaction service times advance a [`Clock`] by calibrated
+//! [`Micros`] durations instead of consuming wall-clock time. This keeps the
+//! entire evaluation deterministic and lets the benchmark harness report the
+//! same microsecond figures the paper's tables do.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration in microseconds on the virtual timeline.
+///
+/// The paper reports every primitive cost in microseconds (Table 1) and
+/// every application/transaction result in milliseconds or seconds derived
+/// from them, so `u64` microseconds comfortably covers the full range
+/// (584 000 years) without rounding.
+///
+/// # Example
+///
+/// ```
+/// use epcm_sim::clock::Micros;
+///
+/// let fault = Micros::new(107);
+/// let two_faults = fault * 2;
+/// assert_eq!(two_faults.as_micros(), 214);
+/// assert_eq!(Micros::from_millis(1), Micros::new(1000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Micros(u64);
+
+impl Micros {
+    /// The zero duration.
+    pub const ZERO: Micros = Micros(0);
+
+    /// Creates a duration of `us` microseconds.
+    pub const fn new(us: u64) -> Self {
+        Micros(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Micros(ms * 1_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Micros(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond. Negative inputs saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            Micros(0)
+        } else {
+            Micros((s * 1e6).round() as u64)
+        }
+    }
+
+    /// The duration in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction: returns zero instead of underflowing.
+    pub fn saturating_sub(self, other: Micros) -> Micros {
+        Micros(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, other: Micros) -> Option<Micros> {
+        self.0.checked_add(other.0).map(Micros)
+    }
+
+    /// Scales the duration by a floating-point factor, rounding to the
+    /// nearest microsecond. Negative factors saturate to zero.
+    pub fn mul_f64(self, factor: f64) -> Micros {
+        Micros::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 10_000_000 {
+            write!(f, "{:.2}s", self.as_secs_f64())
+        } else if self.0 >= 10_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Micros {
+    fn sub_assign(&mut self, rhs: Micros) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Micros {
+    type Output = Micros;
+    fn mul(self, rhs: u64) -> Micros {
+        Micros(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Micros {
+    type Output = Micros;
+    fn div(self, rhs: u64) -> Micros {
+        Micros(self.0 / rhs)
+    }
+}
+
+impl Sum for Micros {
+    fn sum<I: Iterator<Item = Micros>>(iter: I) -> Micros {
+        iter.fold(Micros::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Micros {
+    fn from(us: u64) -> Self {
+        Micros(us)
+    }
+}
+
+/// An absolute point on the virtual timeline (microseconds since boot).
+///
+/// Distinguished from [`Micros`] so that instants and durations cannot be
+/// confused: adding two timestamps is meaningless and does not compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The boot instant.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp `us` microseconds after boot.
+    pub const fn from_micros(us: u64) -> Self {
+        Timestamp(us)
+    }
+
+    /// Microseconds since boot.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since boot.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: Timestamp) -> Micros {
+        assert!(
+            earlier.0 <= self.0,
+            "duration_since: earlier ({}) is after self ({})",
+            earlier.0,
+            self.0
+        );
+        Micros(self.0 - earlier.0)
+    }
+
+    /// Saturating variant of [`Timestamp::duration_since`]: returns zero if
+    /// `earlier` is later than `self`.
+    pub fn saturating_duration_since(self, earlier: Timestamp) -> Micros {
+        Micros(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Micros> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Micros) -> Timestamp {
+        Timestamp(self.0 + rhs.as_micros())
+    }
+}
+
+impl AddAssign<Micros> for Timestamp {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.as_micros();
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", Micros(self.0))
+    }
+}
+
+impl From<Micros> for Timestamp {
+    fn from(d: Micros) -> Self {
+        Timestamp(d.as_micros())
+    }
+}
+
+/// The virtual clock: a monotonically advancing [`Timestamp`].
+///
+/// Simulated components call [`Clock::advance`] with the calibrated cost of
+/// each primitive they execute; readers observe the current instant with
+/// [`Clock::now`].
+///
+/// # Example
+///
+/// ```
+/// use epcm_sim::clock::{Clock, Micros};
+///
+/// let mut clock = Clock::new();
+/// clock.advance(Micros::new(107));
+/// clock.advance(Micros::new(107));
+/// assert_eq!(clock.now().as_micros(), 214);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: Timestamp,
+}
+
+impl Clock {
+    /// Creates a clock at the boot instant.
+    pub fn new() -> Self {
+        Clock {
+            now: Timestamp::ZERO,
+        }
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance(&mut self, d: Micros) -> Timestamp {
+        self.now += d;
+        self.now
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; a clock never runs
+    /// backwards, so an earlier `t` leaves it unchanged.
+    pub fn advance_to(&mut self, t: Timestamp) -> Timestamp {
+        if t > self.now {
+            self.now = t;
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_arithmetic() {
+        let a = Micros::new(100);
+        let b = Micros::new(50);
+        assert_eq!((a + b).as_micros(), 150);
+        assert_eq!((a - b).as_micros(), 50);
+        assert_eq!((a * 3).as_micros(), 300);
+        assert_eq!((a / 4).as_micros(), 25);
+    }
+
+    #[test]
+    fn micros_conversions() {
+        assert_eq!(Micros::from_millis(2).as_micros(), 2_000);
+        assert_eq!(Micros::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(Micros::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(Micros::from_secs_f64(-1.0), Micros::ZERO);
+        assert!((Micros::new(1_500).as_millis_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micros_saturating_sub() {
+        assert_eq!(Micros::new(5).saturating_sub(Micros::new(9)), Micros::ZERO);
+        assert_eq!(
+            Micros::new(9).saturating_sub(Micros::new(5)),
+            Micros::new(4)
+        );
+    }
+
+    #[test]
+    fn micros_display_scales_units() {
+        assert_eq!(Micros::new(107).to_string(), "107us");
+        assert_eq!(Micros::from_millis(76).to_string(), "76.00ms");
+        assert_eq!(Micros::from_secs(14).to_string(), "14.00s");
+    }
+
+    #[test]
+    fn micros_sum() {
+        let total: Micros = [1u64, 2, 3].into_iter().map(Micros::new).sum();
+        assert_eq!(total.as_micros(), 6);
+    }
+
+    #[test]
+    fn micros_mul_f64_rounds() {
+        assert_eq!(Micros::new(100).mul_f64(1.5).as_micros(), 150);
+        assert_eq!(Micros::new(3).mul_f64(0.5).as_micros(), 2); // 1.5 rounds to 2
+        assert_eq!(Micros::new(100).mul_f64(-2.0), Micros::ZERO);
+    }
+
+    #[test]
+    fn timestamp_ordering_and_elapsed() {
+        let t0 = Timestamp::ZERO;
+        let t1 = t0 + Micros::new(400);
+        assert!(t1 > t0);
+        assert_eq!(t1.duration_since(t0).as_micros(), 400);
+        assert_eq!(t0.saturating_duration_since(t1), Micros::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn timestamp_duration_since_panics_on_inversion() {
+        let t0 = Timestamp::ZERO;
+        let t1 = t0 + Micros::new(1);
+        let _ = t0.duration_since(t1);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), Timestamp::ZERO);
+        c.advance(Micros::new(10));
+        let t = c.now();
+        c.advance_to(Timestamp::ZERO); // must not go backwards
+        assert_eq!(c.now(), t);
+        c.advance_to(t + Micros::new(5));
+        assert_eq!(c.now().as_micros(), 15);
+    }
+}

@@ -1,0 +1,413 @@
+//! The calibrated machine cost model.
+//!
+//! Every hardware-dependent cost in the reproduction lives here as *data*:
+//! per-primitive microsecond charges that the kernel, managers and baseline
+//! VM add to the virtual [`Clock`](crate::clock::Clock) as they execute
+//! their real control flow. The DECstation 5000/200 preset is calibrated so
+//! that the component sums along each control path reproduce the paper's
+//! Table 1 — the table rows are *derived* by executing the mechanism, never
+//! hard-coded (the unit tests below pin the calibration).
+//!
+//! | Table 1 row | Target (µs) | Path |
+//! |---|---|---|
+//! | V++ minimal fault, faulting process | 107 | trap → in-process dispatch → alloc → `MigratePages` → direct resume |
+//! | V++ minimal fault, default manager | 379 | trap → IPC to server → demux → `MigratePages` → IPC reply → kernel resume |
+//! | Ultrix minimal fault | 175 | trap → in-kernel service → 4 KB zero |
+//! | V++ read 4 KB | 222 | kernel call → UIO lookup → 4 KB copy |
+//! | V++ write 4 KB | 203 | kernel call → UIO write lookup → 4 KB copy |
+//! | Ultrix read 4 KB | 211 | syscall → file lookup → 4 KB copy |
+//! | Ultrix write 4 KB | 311 | syscall → buffer handling → 4 KB copy |
+//! | Ultrix user-level protection fault (in-text) | 152 | trap → signal delivery → `mprotect` → sigreturn |
+
+use crate::clock::Micros;
+
+/// Per-primitive microsecond costs for one machine configuration.
+///
+/// Construct with a preset ([`CostModel::decstation_5000_200`],
+/// [`CostModel::sgi_4d_380`]) and tweak individual fields for ablations
+/// (e.g. setting [`page_zero_4k`](CostModel::page_zero_4k) to zero measures
+/// the security-zeroing tax the paper attributes to Ultrix).
+///
+/// All fields are public calibration data in the C-struct spirit: the model
+/// maintains no invariants beyond being a bag of durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Taking a page-fault or protection trap into the kernel.
+    pub trap_entry: Micros,
+    /// Kernel forwards the fault to a handler run by the faulting process
+    /// itself (no context switch; signal-stack upcall).
+    pub fault_dispatch_inprocess: Micros,
+    /// Kernel forwards the fault to a separate manager process: message
+    /// build, queueing and the context switch to the server.
+    pub fault_dispatch_ipc: Micros,
+    /// A server-mode manager demultiplexes the request against its segment
+    /// tables (the in-process handler already has this state at hand).
+    pub server_demux: Micros,
+    /// Manager-side bookkeeping to pick a frame from its free-page segment.
+    pub manager_alloc: Micros,
+    /// IPC reply from the manager server back to the kernel, including the
+    /// context switch back to the faulting process.
+    pub ipc_reply: Micros,
+    /// Resuming the faulted instruction directly from the handler (MIPS
+    /// R3000 allows this without re-entering the kernel).
+    pub resume_direct: Micros,
+    /// Resuming via the kernel (required on e.g. MC680x0 pipelines, and for
+    /// server-mode managers).
+    pub resume_via_kernel: Micros,
+    /// Kernel-call (syscall) entry + exit overhead for V++ segment ops.
+    pub kernel_call: Micros,
+    /// `MigratePages`: fixed cost of the operation.
+    pub migrate_base: Micros,
+    /// `MigratePages`: additional cost per page frame moved.
+    pub migrate_per_page: Micros,
+    /// `ModifyPageFlags`: fixed cost.
+    pub modify_flags_base: Micros,
+    /// `ModifyPageFlags`: per-page cost (includes TLB shootdown of the
+    /// affected mapping).
+    pub modify_flags_per_page: Micros,
+    /// `GetPageAttributes`: fixed cost.
+    pub get_attrs_base: Micros,
+    /// `GetPageAttributes`: per-page cost.
+    pub get_attrs_per_page: Micros,
+    /// `CreateSegment` / `DestroySegment` service cost.
+    pub segment_ctl: Micros,
+    /// Binding or unbinding a region of one segment into another.
+    pub bind_region: Micros,
+    /// Zero-filling one 4 KB page (Ultrix does this on every allocation for
+    /// security; V++ only when a frame changes security domain).
+    pub page_zero_4k: Micros,
+    /// Copying one 4 KB page (memory-to-memory).
+    pub page_copy_4k: Micros,
+    /// V++ UIO block-interface lookup on the read path.
+    pub uio_lookup_read: Micros,
+    /// V++ UIO block-interface lookup on the write path.
+    pub uio_lookup_write: Micros,
+    /// Unix signal delivery to a user handler (Ultrix user-level faults).
+    pub signal_delivery: Micros,
+    /// `sigreturn` back to the faulted context.
+    pub sigreturn: Micros,
+    /// In-kernel service portion of an Ultrix `mprotect` call.
+    pub mprotect_service: Micros,
+    /// Ultrix in-kernel minimal-fault service (allocate + map, no zeroing).
+    pub ultrix_fault_service: Micros,
+    /// Ultrix syscall entry + exit.
+    pub ultrix_syscall: Micros,
+    /// Ultrix file-offset/buffer-cache lookup on the read path.
+    pub ultrix_file_lookup: Micros,
+    /// Ultrix buffer-cache allocation and delayed-write handling on the
+    /// write path (the paper's V++ write is 34% cheaper).
+    pub ultrix_write_buffer: Micros,
+    /// A full context switch between processes.
+    pub context_switch: Micros,
+    /// One 4 KB transfer from local disk (1992-class drive: seek +
+    /// rotational delay + transfer).
+    pub disk_access_4k: Micros,
+    /// One 4 KB fetch from a network file server (the diskless V++
+    /// configuration).
+    pub net_fetch_4k: Micros,
+    /// Aggregate integer execution rate, million instructions per second,
+    /// for converting the paper's "loop for N instructions" workloads.
+    pub mips: u64,
+}
+
+impl CostModel {
+    /// The DECstation 5000/200 (25 MHz R3000, 4 KB pages) used for every
+    /// measurement in Tables 1–3. Component values are calibrated so the
+    /// Table 1 control paths sum to the paper's numbers exactly.
+    pub fn decstation_5000_200() -> Self {
+        CostModel {
+            trap_entry: Micros::new(12),
+            fault_dispatch_inprocess: Micros::new(18),
+            fault_dispatch_ipc: Micros::new(120),
+            server_demux: Micros::new(40),
+            manager_alloc: Micros::new(8),
+            ipc_reply: Micros::new(120),
+            resume_direct: Micros::new(12),
+            resume_via_kernel: Micros::new(22),
+            kernel_call: Micros::new(18),
+            migrate_base: Micros::new(24),
+            migrate_per_page: Micros::new(15),
+            modify_flags_base: Micros::new(20),
+            modify_flags_per_page: Micros::new(6),
+            get_attrs_base: Micros::new(16),
+            get_attrs_per_page: Micros::new(2),
+            segment_ctl: Micros::new(150),
+            bind_region: Micros::new(60),
+            page_zero_4k: Micros::new(75),
+            page_copy_4k: Micros::new(160),
+            uio_lookup_read: Micros::new(44),
+            uio_lookup_write: Micros::new(25),
+            signal_delivery: Micros::new(60),
+            sigreturn: Micros::new(32),
+            mprotect_service: Micros::new(33),
+            ultrix_fault_service: Micros::new(88),
+            ultrix_syscall: Micros::new(15),
+            ultrix_file_lookup: Micros::new(36),
+            ultrix_write_buffer: Micros::new(136),
+            context_switch: Micros::new(55),
+            disk_access_4k: Micros::from_millis(16),
+            net_fetch_4k: Micros::new(2_800),
+            mips: 20,
+        }
+    }
+
+    /// The Silicon Graphics 4D/380 used for the database experiment of
+    /// §3.3: "eight 30-MIPS processors" (six used), with the paper's
+    /// statement that transaction execution loops for instructions and a
+    /// page fault is "a delay equivalent to the time required to handle a
+    /// page fault on the SGI 4/380".
+    pub fn sgi_4d_380() -> Self {
+        CostModel {
+            // Faster processors shrink the software costs roughly 30/20.
+            trap_entry: Micros::new(8),
+            fault_dispatch_inprocess: Micros::new(12),
+            fault_dispatch_ipc: Micros::new(80),
+            server_demux: Micros::new(27),
+            manager_alloc: Micros::new(6),
+            ipc_reply: Micros::new(80),
+            resume_direct: Micros::new(8),
+            resume_via_kernel: Micros::new(15),
+            kernel_call: Micros::new(12),
+            migrate_base: Micros::new(16),
+            migrate_per_page: Micros::new(10),
+            modify_flags_base: Micros::new(14),
+            modify_flags_per_page: Micros::new(4),
+            get_attrs_base: Micros::new(11),
+            get_attrs_per_page: Micros::new(2),
+            segment_ctl: Micros::new(100),
+            bind_region: Micros::new(40),
+            page_zero_4k: Micros::new(50),
+            page_copy_4k: Micros::new(107),
+            uio_lookup_read: Micros::new(30),
+            uio_lookup_write: Micros::new(17),
+            signal_delivery: Micros::new(40),
+            sigreturn: Micros::new(21),
+            mprotect_service: Micros::new(20),
+            ultrix_fault_service: Micros::new(59),
+            ultrix_syscall: Micros::new(10),
+            ultrix_file_lookup: Micros::new(24),
+            ultrix_write_buffer: Micros::new(91),
+            context_switch: Micros::new(37),
+            disk_access_4k: Micros::from_millis(15),
+            net_fetch_4k: Micros::new(1_900),
+            mips: 180, // six of the eight 30-MIPS processors
+        }
+    }
+
+    /// Time to execute `n` instructions at this machine's aggregate rate.
+    pub fn instructions(&self, n: u64) -> Micros {
+        Micros::new(n / self.mips)
+    }
+
+    /// Time to execute `n` instructions on a *single* processor of an
+    /// `p`-processor machine whose aggregate rate is [`mips`](Self::mips).
+    pub fn instructions_on_one_of(&self, n: u64, processors: u64) -> Micros {
+        Micros::new(n * processors / self.mips)
+    }
+
+    // ----- Derived Table 1 paths (used by tests and the bench harness; the
+    // ----- live kernel charges the same components piecemeal as it runs).
+
+    /// V++ minimal fault handled by a manager running in the faulting
+    /// process (Table 1 row 1, V++ column: 107 µs).
+    pub fn vpp_minimal_fault_inprocess(&self) -> Micros {
+        self.trap_entry
+            + self.fault_dispatch_inprocess
+            + self.manager_alloc
+            + self.kernel_call
+            + self.migrate_base
+            + self.migrate_per_page
+            + self.resume_direct
+    }
+
+    /// V++ minimal fault handled by the default segment manager running as
+    /// a separate server process (Table 1 row 2, V++ column: 379 µs).
+    pub fn vpp_minimal_fault_server(&self) -> Micros {
+        self.trap_entry
+            + self.fault_dispatch_ipc
+            + self.server_demux
+            + self.manager_alloc
+            + self.kernel_call
+            + self.migrate_base
+            + self.migrate_per_page
+            + self.ipc_reply
+            + self.resume_via_kernel
+    }
+
+    /// Ultrix minimal fault, handled entirely in the kernel with security
+    /// page zeroing (Table 1 rows 1–2, Ultrix column: 175 µs).
+    pub fn ultrix_minimal_fault(&self) -> Micros {
+        self.trap_entry + self.ultrix_fault_service + self.page_zero_4k
+    }
+
+    /// V++ in-process protection-fault handler that just changes page
+    /// protection — the paper's user-level VM-primitive case, claimed
+    /// "less than 110 µs" and >50% cheaper than Ultrix's 152 µs.
+    pub fn vpp_protection_fault_inprocess(&self) -> Micros {
+        self.trap_entry
+            + self.fault_dispatch_inprocess
+            + self.kernel_call
+            + self.modify_flags_base
+            + self.modify_flags_per_page
+            + self.resume_direct
+    }
+
+    /// Ultrix user-level fault handler (signal + `mprotect`): 152 µs.
+    pub fn ultrix_user_protection_fault(&self) -> Micros {
+        self.trap_entry
+            + self.signal_delivery
+            + self.ultrix_syscall
+            + self.mprotect_service
+            + self.sigreturn
+    }
+
+    /// V++ cached 4 KB read through the UIO block interface (222 µs).
+    pub fn vpp_read_4k(&self) -> Micros {
+        self.kernel_call + self.uio_lookup_read + self.page_copy_4k
+    }
+
+    /// V++ cached 4 KB write through the UIO block interface (203 µs).
+    pub fn vpp_write_4k(&self) -> Micros {
+        self.kernel_call + self.uio_lookup_write + self.page_copy_4k
+    }
+
+    /// Ultrix cached 4 KB `read` system call (211 µs).
+    pub fn ultrix_read_4k(&self) -> Micros {
+        self.ultrix_syscall + self.ultrix_file_lookup + self.page_copy_4k
+    }
+
+    /// Ultrix cached 4 KB `write` system call (311 µs).
+    pub fn ultrix_write_4k(&self) -> Micros {
+        self.ultrix_syscall + self.ultrix_write_buffer + self.page_copy_4k
+    }
+
+    /// Cost of a `MigratePages` call moving `pages` frames, including the
+    /// kernel-call overhead.
+    pub fn migrate_pages(&self, pages: u64) -> Micros {
+        self.kernel_call + self.migrate_base + self.migrate_per_page * pages
+    }
+
+    /// Cost of a `ModifyPageFlags` call over `pages` pages.
+    pub fn modify_page_flags(&self, pages: u64) -> Micros {
+        self.kernel_call + self.modify_flags_base + self.modify_flags_per_page * pages
+    }
+
+    /// Cost of a `GetPageAttributes` call over `pages` pages.
+    pub fn get_page_attributes(&self, pages: u64) -> Micros {
+        self.kernel_call + self.get_attrs_base + self.get_attrs_per_page * pages
+    }
+}
+
+impl Default for CostModel {
+    /// The DECstation 5000/200 preset — the machine all of Tables 1–3 were
+    /// measured on.
+    fn default() -> Self {
+        CostModel::decstation_5000_200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 calibration: these are the paper's published numbers. If a
+    /// component constant changes, these tests fail — EXPERIMENTS.md cites
+    /// them as the calibration anchor.
+    #[test]
+    fn table1_vpp_minimal_fault_faulting_process_is_107us() {
+        let m = CostModel::decstation_5000_200();
+        assert_eq!(m.vpp_minimal_fault_inprocess(), Micros::new(107));
+    }
+
+    #[test]
+    fn table1_vpp_minimal_fault_default_manager_is_379us() {
+        let m = CostModel::decstation_5000_200();
+        assert_eq!(m.vpp_minimal_fault_server(), Micros::new(379));
+    }
+
+    #[test]
+    fn table1_ultrix_minimal_fault_is_175us() {
+        let m = CostModel::decstation_5000_200();
+        assert_eq!(m.ultrix_minimal_fault(), Micros::new(175));
+    }
+
+    #[test]
+    fn table1_read_write_4k() {
+        let m = CostModel::decstation_5000_200();
+        assert_eq!(m.vpp_read_4k(), Micros::new(222));
+        assert_eq!(m.vpp_write_4k(), Micros::new(203));
+        assert_eq!(m.ultrix_read_4k(), Micros::new(211));
+        assert_eq!(m.ultrix_write_4k(), Micros::new(311));
+    }
+
+    #[test]
+    fn intext_ultrix_user_protection_fault_is_152us() {
+        let m = CostModel::decstation_5000_200();
+        assert_eq!(m.ultrix_user_protection_fault(), Micros::new(152));
+    }
+
+    #[test]
+    fn intext_vpp_fault_handling_under_110us() {
+        let m = CostModel::decstation_5000_200();
+        assert!(m.vpp_minimal_fault_inprocess() < Micros::new(110));
+        assert!(m.vpp_protection_fault_inprocess() < Micros::new(110));
+        // "over 50% higher": 152 > 1.5x the V++ protection-change fault? The
+        // paper compares 152 µs against the full V++ fault cost of ~107:
+        assert!(
+            m.ultrix_user_protection_fault().as_micros() as f64
+                > 1.4 * m.vpp_protection_fault_inprocess().as_micros() as f64
+        );
+    }
+
+    #[test]
+    fn zeroing_dominates_ultrix_vpp_fault_gap() {
+        // Paper: "Most of the difference in cost (75 microseconds) is the
+        // cost of page zeroing".
+        let m = CostModel::decstation_5000_200();
+        let gap = m.ultrix_minimal_fault() - m.vpp_minimal_fault_inprocess();
+        assert!(m.page_zero_4k >= gap.mul_f64(0.9));
+    }
+
+    #[test]
+    fn op_costs_scale_per_page() {
+        let m = CostModel::decstation_5000_200();
+        let one = m.migrate_pages(1);
+        let four = m.migrate_pages(4);
+        assert_eq!(four - one, m.migrate_per_page * 3);
+        assert_eq!(
+            m.modify_page_flags(16) - m.modify_page_flags(0),
+            m.modify_flags_per_page * 16
+        );
+        assert_eq!(
+            m.get_page_attributes(8) - m.get_page_attributes(0),
+            m.get_attrs_per_page * 8
+        );
+    }
+
+    #[test]
+    fn instruction_timing() {
+        let m = CostModel::decstation_5000_200();
+        // 20 MIPS: one million instructions = 50 ms.
+        assert_eq!(m.instructions(1_000_000), Micros::new(50_000));
+        let sgi = CostModel::sgi_4d_380();
+        // One of six 30-MIPS processors: 30 million instr/s => 1M = ~33.3ms.
+        assert_eq!(
+            sgi.instructions_on_one_of(1_000_000, 6),
+            Micros::new(33_333)
+        );
+    }
+
+    #[test]
+    fn sgi_preset_is_faster_but_disk_is_not() {
+        let dec = CostModel::decstation_5000_200();
+        let sgi = CostModel::sgi_4d_380();
+        assert!(sgi.vpp_minimal_fault_inprocess() < dec.vpp_minimal_fault_inprocess());
+        // Disk latency is mechanical, not CPU-bound.
+        assert!(sgi.disk_access_4k.as_micros() > 10_000);
+    }
+
+    #[test]
+    fn default_is_decstation() {
+        assert_eq!(CostModel::default(), CostModel::decstation_5000_200());
+    }
+}

@@ -1,0 +1,439 @@
+//! Backing-store models: a local disk and a network file server.
+//!
+//! The paper's V++ machine was diskless (files served by a DECstation 3100
+//! over the network); the Ultrix machine had a local disk. Both are modelled
+//! as a [`FileStore`] — named byte arrays with real contents — fronted by a
+//! [`Device`] that prices each 4 KB block transfer. Managers fetch page data
+//! from here on a fault and write dirty pages back, advancing the virtual
+//! clock by the returned latency.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::clock::Micros;
+
+/// Identifies a file within a [`FileStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(u32);
+
+impl FileId {
+    /// Reconstructs an id from its raw value (e.g. one previously obtained
+    /// from [`FileId::as_u32`]). The id is only meaningful against the
+    /// [`FileStore`] that issued it.
+    pub fn from_raw(raw: u32) -> FileId {
+        FileId(raw)
+    }
+
+    /// The raw id value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// The transfer-latency model for a storage device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// A local disk: `per_block` covers seek + rotational delay + transfer
+    /// for one 4 KB block; sequential follow-on blocks cost only
+    /// `sequential_block` (no seek).
+    LocalDisk {
+        /// Latency of a random 4 KB access.
+        per_block: Micros,
+        /// Latency of the next sequential 4 KB block.
+        sequential_block: Micros,
+    },
+    /// A network file server (the paper's diskless configuration): flat
+    /// request latency per block, dominated by protocol + wire time when the
+    /// server has the file cached.
+    NetworkServer {
+        /// Latency of one 4 KB block request.
+        per_block: Micros,
+    },
+    /// An infinitely fast device, for tests that want to exclude I/O.
+    Instant,
+}
+
+impl Device {
+    /// A 1992-class local disk (~16 ms random, ~1.5 ms sequential 4 KB).
+    pub fn disk_1992() -> Self {
+        Device::LocalDisk {
+            per_block: Micros::from_millis(16),
+            sequential_block: Micros::new(1_500),
+        }
+    }
+
+    /// The diskless network path to a file server with the file cached.
+    pub fn network_1992() -> Self {
+        Device::NetworkServer {
+            per_block: Micros::new(2_800),
+        }
+    }
+
+    /// Latency for one 4 KB block at `block_index`, where `previous` is the
+    /// most recently accessed block index (sequential runs are cheaper on a
+    /// disk).
+    pub fn block_latency(&self, block_index: u64, previous: Option<u64>) -> Micros {
+        match *self {
+            Device::LocalDisk {
+                per_block,
+                sequential_block,
+            } => {
+                if previous == Some(block_index.wrapping_sub(1)) {
+                    sequential_block
+                } else {
+                    per_block
+                }
+            }
+            Device::NetworkServer { per_block } => per_block,
+            Device::Instant => Micros::ZERO,
+        }
+    }
+}
+
+/// Errors returned by [`FileStore`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileStoreError {
+    /// The file id does not exist.
+    UnknownFile(FileId),
+    /// A read past the end of the file.
+    OutOfRange {
+        /// The offending file.
+        file: FileId,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual file size.
+        size: u64,
+    },
+}
+
+impl fmt::Display for FileStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileStoreError::UnknownFile(id) => write!(f, "unknown file {id}"),
+            FileStoreError::OutOfRange {
+                file,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) out of range for {file} of size {size}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FileStoreError {}
+
+/// Named files with real byte contents behind a latency [`Device`].
+///
+/// # Example
+///
+/// ```
+/// use epcm_sim::disk::{Device, FileStore};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut store = FileStore::new(Device::Instant);
+/// let f = store.create("input", 8192);
+/// store.write(f, 4096, b"hello")?;
+/// let mut buf = [0u8; 5];
+/// store.read(f, 4096, &mut buf)?;
+/// assert_eq!(&buf, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FileStore {
+    device: Device,
+    files: HashMap<FileId, FileEntry>,
+    next_id: u32,
+    last_block: Option<(FileId, u64)>,
+    reads: u64,
+    writes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FileEntry {
+    name: String,
+    data: Vec<u8>,
+}
+
+/// Block size used for latency accounting (matches the 4 KB page size).
+pub const BLOCK_SIZE: u64 = 4096;
+
+impl FileStore {
+    /// Creates an empty store on the given device.
+    pub fn new(device: Device) -> Self {
+        FileStore {
+            device,
+            files: HashMap::new(),
+            next_id: 0,
+            last_block: None,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Creates a zero-filled file of `size` bytes and returns its id.
+    pub fn create(&mut self, name: &str, size: usize) -> FileId {
+        self.create_with(name, vec![0; size])
+    }
+
+    /// Creates a file with the given contents.
+    pub fn create_with(&mut self, name: &str, data: Vec<u8>) -> FileId {
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.files.insert(
+            id,
+            FileEntry {
+                name: name.to_string(),
+                data,
+            },
+        );
+        id
+    }
+
+    /// Looks a file up by name.
+    pub fn find(&self, name: &str) -> Option<FileId> {
+        self.files
+            .iter()
+            .find(|(_, e)| e.name == name)
+            .map(|(&id, _)| id)
+    }
+
+    /// The file's size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileStoreError::UnknownFile`] for an unknown id.
+    pub fn size(&self, file: FileId) -> Result<u64, FileStoreError> {
+        self.entry(file).map(|e| e.data.len() as u64)
+    }
+
+    /// The file's name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileStoreError::UnknownFile`] for an unknown id.
+    pub fn name(&self, file: FileId) -> Result<&str, FileStoreError> {
+        self.entry(file).map(|e| e.name.as_str())
+    }
+
+    fn entry(&self, file: FileId) -> Result<&FileEntry, FileStoreError> {
+        self.files
+            .get(&file)
+            .ok_or(FileStoreError::UnknownFile(file))
+    }
+
+    /// Reads `buf.len()` bytes at `offset`, returning the device latency the
+    /// caller should charge to the virtual clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileStoreError::UnknownFile`] or
+    /// [`FileStoreError::OutOfRange`].
+    pub fn read(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<Micros, FileStoreError> {
+        let len = buf.len() as u64;
+        let entry = self.entry(file)?;
+        let size = entry.data.len() as u64;
+        if offset + len > size {
+            return Err(FileStoreError::OutOfRange {
+                file,
+                offset,
+                len,
+                size,
+            });
+        }
+        buf.copy_from_slice(&entry.data[offset as usize..(offset + len) as usize]);
+        self.reads += 1;
+        Ok(self.charge(file, offset, len))
+    }
+
+    /// Writes `buf` at `offset`, growing the file if the write extends past
+    /// its current end. Returns the device latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileStoreError::UnknownFile`] for an unknown id.
+    pub fn write(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        buf: &[u8],
+    ) -> Result<Micros, FileStoreError> {
+        let len = buf.len() as u64;
+        {
+            let entry = self
+                .files
+                .get_mut(&file)
+                .ok_or(FileStoreError::UnknownFile(file))?;
+            let end = (offset + len) as usize;
+            if end > entry.data.len() {
+                entry.data.resize(end, 0);
+            }
+            entry.data[offset as usize..end].copy_from_slice(buf);
+        }
+        self.writes += 1;
+        Ok(self.charge(file, offset, len))
+    }
+
+    fn charge(&mut self, file: FileId, offset: u64, len: u64) -> Micros {
+        if len == 0 {
+            return Micros::ZERO;
+        }
+        let first = offset / BLOCK_SIZE;
+        let last = (offset + len - 1) / BLOCK_SIZE;
+        let mut total = Micros::ZERO;
+        for block in first..=last {
+            let prev = self.last_block.and_then(|(f, b)| (f == file).then_some(b));
+            total += self.device.block_latency(block, prev);
+            self.last_block = Some((file, block));
+        }
+        total
+    }
+
+    /// Number of read operations served.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write operations served.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// The device this store sits on.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_read_write_roundtrip() {
+        let mut s = FileStore::new(Device::Instant);
+        let f = s.create("a", 100);
+        s.write(f, 10, b"xyz").unwrap();
+        let mut buf = [0u8; 3];
+        s.read(f, 10, &mut buf).unwrap();
+        assert_eq!(&buf, b"xyz");
+        assert_eq!(s.size(f).unwrap(), 100);
+        assert_eq!(s.name(f).unwrap(), "a");
+        assert_eq!(s.read_count(), 1);
+        assert_eq!(s.write_count(), 1);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut s = FileStore::new(Device::Instant);
+        let a = s.create("a", 1);
+        let b = s.create("b", 1);
+        assert_eq!(s.find("a"), Some(a));
+        assert_eq!(s.find("b"), Some(b));
+        assert_eq!(s.find("c"), None);
+    }
+
+    #[test]
+    fn read_past_end_is_error() {
+        let mut s = FileStore::new(Device::Instant);
+        let f = s.create("a", 10);
+        let mut buf = [0u8; 4];
+        let err = s.read(f, 8, &mut buf).unwrap_err();
+        assert!(matches!(err, FileStoreError::OutOfRange { .. }));
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn unknown_file_is_error() {
+        let mut s = FileStore::new(Device::Instant);
+        let f = s.create("a", 10);
+        let ghost = FileId(99);
+        assert_eq!(s.size(ghost), Err(FileStoreError::UnknownFile(ghost)));
+        let _ = f;
+    }
+
+    #[test]
+    fn write_extends_file() {
+        let mut s = FileStore::new(Device::Instant);
+        let f = s.create("a", 4);
+        s.write(f, 2, b"abcd").unwrap();
+        assert_eq!(s.size(f).unwrap(), 6);
+        let mut buf = [0u8; 6];
+        s.read(f, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"\0\0abcd");
+    }
+
+    #[test]
+    fn disk_random_vs_sequential_latency() {
+        let dev = Device::disk_1992();
+        let random = dev.block_latency(10, Some(3));
+        let sequential = dev.block_latency(4, Some(3));
+        assert!(random > sequential);
+        assert_eq!(random, Micros::from_millis(16));
+        assert_eq!(sequential, Micros::new(1_500));
+    }
+
+    #[test]
+    fn sequential_read_run_charges_seek_once() {
+        let mut s = FileStore::new(Device::disk_1992());
+        let f = s.create("big", 8 * BLOCK_SIZE as usize);
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        let first = s.read(f, 0, &mut buf).unwrap();
+        let second = s.read(f, BLOCK_SIZE, &mut buf).unwrap();
+        let third = s.read(f, 2 * BLOCK_SIZE, &mut buf).unwrap();
+        assert_eq!(first, Micros::from_millis(16));
+        assert_eq!(second, Micros::new(1_500));
+        assert_eq!(third, Micros::new(1_500));
+    }
+
+    #[test]
+    fn network_latency_is_flat() {
+        let dev = Device::network_1992();
+        assert_eq!(dev.block_latency(0, None), dev.block_latency(7, Some(6)));
+    }
+
+    #[test]
+    fn multi_block_read_charges_each_block() {
+        let mut s = FileStore::new(Device::network_1992());
+        let f = s.create("a", 3 * BLOCK_SIZE as usize);
+        let mut buf = vec![0u8; 2 * BLOCK_SIZE as usize];
+        let lat = s.read(f, 0, &mut buf).unwrap();
+        assert_eq!(lat, Micros::new(2_800) * 2);
+    }
+
+    #[test]
+    fn zero_length_io_is_free() {
+        let mut s = FileStore::new(Device::disk_1992());
+        let f = s.create("a", 10);
+        let lat = s.write(f, 0, b"").unwrap();
+        assert_eq!(lat, Micros::ZERO);
+    }
+
+    #[test]
+    fn switching_files_breaks_sequential_run() {
+        let mut s = FileStore::new(Device::disk_1992());
+        let a = s.create("a", 2 * BLOCK_SIZE as usize);
+        let b = s.create("b", 2 * BLOCK_SIZE as usize);
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        s.read(a, 0, &mut buf).unwrap();
+        // Block 1 of file b is NOT sequential with block 0 of file a.
+        let lat = s.read(b, BLOCK_SIZE, &mut buf).unwrap();
+        assert_eq!(lat, Micros::from_millis(16));
+    }
+}

@@ -1,0 +1,321 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! The database experiment (paper §3.3) runs a 6-processor transaction
+//! system in virtual time: transactions arrive by a Poisson process, execute
+//! by "looping for some number of instructions" and stall on simulated page
+//! faults. [`EventQueue`] provides the time-ordered event dispatch and
+//! [`MultiServer`] models a bank of identical servers (processors, disk
+//! arms) with FIFO queueing.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::clock::{Micros, Timestamp};
+
+/// An entry in the event queue: ordering is by time, then insertion order
+/// (so simultaneous events dispatch FIFO and the simulation stays
+/// deterministic).
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: Timestamp,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first dispatch.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of events of type `E`.
+///
+/// # Example
+///
+/// ```
+/// use epcm_sim::clock::Timestamp;
+/// use epcm_sim::events::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Timestamp::from_micros(20), "late");
+/// q.schedule(Timestamp::from_micros(10), "early");
+/// assert_eq!(q.next().map(|(_, e)| e), Some("early"));
+/// assert_eq!(q.next().map(|(_, e)| e), Some("late"));
+/// assert!(q.next().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    pub fn schedule(&mut self, time: Timestamp, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after `now`.
+    pub fn schedule_after(&mut self, now: Timestamp, delay: Micros, event: E) {
+        self.schedule(now + delay, event);
+    }
+
+    /// Removes and returns the earliest event with its firing time. Events
+    /// scheduled for the same instant dispatch in insertion order.
+    ///
+    /// (Named `next` deliberately: it reads as event-loop vocabulary.
+    /// `EventQueue` is not an `Iterator` because dispatch usually
+    /// schedules more events between calls.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Timestamp, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A bank of `k` identical FIFO servers (processors, disk arms).
+///
+/// `MultiServer` does not hold the work itself; callers ask "if a job
+/// needing `service` time arrives at `now`, when does it start and finish?"
+/// and the server bank commits that reservation. This is the standard
+/// event-graph shortcut for M/G/k resources and exactly matches the paper's
+/// description of simulated transaction execution.
+///
+/// # Example
+///
+/// ```
+/// use epcm_sim::clock::{Micros, Timestamp};
+/// use epcm_sim::events::MultiServer;
+///
+/// let mut cpus = MultiServer::new(2);
+/// let t0 = Timestamp::ZERO;
+/// let a = cpus.reserve(t0, Micros::new(100));
+/// let b = cpus.reserve(t0, Micros::new(100));
+/// let c = cpus.reserve(t0, Micros::new(100));
+/// assert_eq!(a.completes.as_micros(), 100);
+/// assert_eq!(b.completes.as_micros(), 100); // second CPU
+/// assert_eq!(c.starts.as_micros(), 100); // queued behind the first
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    free_at: Vec<Timestamp>,
+    busy: Micros,
+}
+
+/// The reservation handed back by [`MultiServer::reserve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// When the job actually begins service (>= arrival).
+    pub starts: Timestamp,
+    /// When the job completes.
+    pub completes: Timestamp,
+    /// Which server index ran it.
+    pub server: usize,
+}
+
+impl MultiServer {
+    /// Creates a bank of `servers` identical servers, all idle at boot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "MultiServer requires at least one server");
+        MultiServer {
+            free_at: vec![Timestamp::ZERO; servers],
+            busy: Micros::ZERO,
+        }
+    }
+
+    /// Number of servers in the bank.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Reserves the earliest-available server for a job arriving at `now`
+    /// that needs `service` time, returning start/completion times.
+    pub fn reserve(&mut self, now: Timestamp, service: Micros) -> Reservation {
+        let (server, free_at) = self
+            .free_at
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(i, t)| (t, i))
+            .expect("server bank is non-empty");
+        let starts = free_at.max(now);
+        let completes = starts + service;
+        self.free_at[server] = completes;
+        self.busy += service;
+        Reservation {
+            starts,
+            completes,
+            server,
+        }
+    }
+
+    /// Extends a server's busy period: the job on `server` (which must be
+    /// its most recent reservation) takes `extra` longer, e.g. because it
+    /// stalled on a page fault mid-execution.
+    pub fn extend(&mut self, server: usize, extra: Micros) -> Timestamp {
+        self.free_at[server] += extra;
+        self.busy += extra;
+        self.free_at[server]
+    }
+
+    /// Total busy time accumulated across all servers.
+    pub fn total_busy(&self) -> Micros {
+        self.busy
+    }
+
+    /// Mean utilisation over `[0, horizon]`, in `[0, 1]` (can exceed 1 if
+    /// reservations run past the horizon).
+    pub fn utilisation(&self, horizon: Micros) -> f64 {
+        if horizon == Micros::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / (horizon.as_secs_f64() * self.servers() as f64)
+    }
+
+    /// The earliest instant at which any server is free.
+    pub fn earliest_free(&self) -> Timestamp {
+        self.free_at.iter().copied().min().unwrap_or(Timestamp::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Timestamp::from_micros(30), 3);
+        q.schedule(Timestamp::from_micros(10), 1);
+        q.schedule(Timestamp::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn queue_ties_dispatch_fifo() {
+        let mut q = EventQueue::new();
+        let t = Timestamp::from_micros(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_schedule_after_and_peek() {
+        let mut q = EventQueue::new();
+        let now = Timestamp::from_micros(100);
+        q.schedule_after(now, Micros::new(50), "x");
+        assert_eq!(q.peek_time(), Some(Timestamp::from_micros(150)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.next();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn multiserver_parallel_then_queues() {
+        let mut m = MultiServer::new(3);
+        let t0 = Timestamp::ZERO;
+        let svc = Micros::new(100);
+        for _ in 0..3 {
+            let r = m.reserve(t0, svc);
+            assert_eq!(r.starts, t0);
+        }
+        let r = m.reserve(t0, svc);
+        assert_eq!(r.starts.as_micros(), 100);
+        assert_eq!(r.completes.as_micros(), 200);
+    }
+
+    #[test]
+    fn multiserver_idle_server_preferred() {
+        let mut m = MultiServer::new(2);
+        let r0 = m.reserve(Timestamp::ZERO, Micros::new(500));
+        // Arrives later, while server r0.server is busy: must get the other.
+        let r1 = m.reserve(Timestamp::from_micros(100), Micros::new(10));
+        assert_ne!(r0.server, r1.server);
+        assert_eq!(r1.starts.as_micros(), 100);
+    }
+
+    #[test]
+    fn multiserver_extend_pushes_completion() {
+        let mut m = MultiServer::new(1);
+        let r = m.reserve(Timestamp::ZERO, Micros::new(100));
+        let new_free = m.extend(r.server, Micros::new(50));
+        assert_eq!(new_free.as_micros(), 150);
+        let next = m.reserve(Timestamp::ZERO, Micros::new(10));
+        assert_eq!(next.starts.as_micros(), 150);
+    }
+
+    #[test]
+    fn multiserver_utilisation() {
+        let mut m = MultiServer::new(2);
+        m.reserve(Timestamp::ZERO, Micros::new(100));
+        m.reserve(Timestamp::ZERO, Micros::new(100));
+        let u = m.utilisation(Micros::new(200));
+        assert!((u - 0.5).abs() < 1e-12);
+        assert_eq!(m.total_busy(), Micros::new(200));
+        assert_eq!(MultiServer::new(1).utilisation(Micros::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn multiserver_zero_servers_panics() {
+        MultiServer::new(0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Simulation substrate for the external page-cache management reproduction.
+//!
+//! The paper ([Harty & Cheriton, ASPLOS 1992]) evaluated its system on real
+//! 1992 hardware: a DECstation 5000/200 for the system-primitive and
+//! application measurements, and a Silicon Graphics 4D/380 for the database
+//! experiment. This crate provides the deterministic substrate that stands in
+//! for that hardware:
+//!
+//! * [`clock::Clock`] — a microsecond-resolution virtual clock,
+//! * [`events`] — a discrete-event engine used by the multiprocessor DBMS
+//!   experiment,
+//! * [`rng`] — a deterministic xoshiro256\*\* PRNG so every experiment is
+//!   reproducible bit-for-bit,
+//! * [`stats`] — online statistics and histograms for response times,
+//! * [`disk`] — disk and network file-server latency models,
+//! * [`cost`] — the calibrated per-primitive cost model (trap, kernel
+//!   crossing, IPC, page copy, page zeroing, ...) for the two machines.
+//!
+//! Everything in this crate is pure computation on a virtual timeline; no
+//! wall-clock time or OS facilities are consulted.
+//!
+//! # Example
+//!
+//! ```
+//! use epcm_sim::clock::Clock;
+//! use epcm_sim::cost::CostModel;
+//!
+//! let mut clock = Clock::new();
+//! let costs = CostModel::decstation_5000_200();
+//! clock.advance(costs.trap_entry);
+//! assert_eq!(clock.now(), costs.trap_entry.into());
+//! ```
+//!
+//! [Harty & Cheriton, ASPLOS 1992]: https://dl.acm.org/doi/10.1145/143365.143511
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod cost;
+pub mod disk;
+pub mod events;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Clock, Micros, Timestamp};
+pub use cost::CostModel;
+pub use rng::Rng;

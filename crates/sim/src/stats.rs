@@ -1,0 +1,373 @@
+//! Statistics collection for experiment results.
+//!
+//! The paper reports *average* and *worst-case* transaction response times
+//! (Table 4), elapsed application times (Table 2) and manager-activity
+//! counters (Table 3). [`Summary`] accumulates duration samples online;
+//! [`Histogram`] gives a coarse latency distribution for the extended
+//! analyses in EXPERIMENTS.md; [`Counter`] is a labelled event tally.
+
+use std::fmt;
+
+use crate::clock::Micros;
+
+/// Online summary of duration samples: count, mean, min, max and variance
+/// (Welford's algorithm — numerically stable, single pass).
+///
+/// # Example
+///
+/// ```
+/// use epcm_sim::clock::Micros;
+/// use epcm_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// s.record(Micros::new(40));
+/// s.record(Micros::new(60));
+/// assert_eq!(s.mean(), Micros::new(50));
+/// assert_eq!(s.max(), Micros::new(60));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<u64>,
+    max: u64,
+    total: u64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Micros) {
+        let x = sample.as_micros();
+        self.count += 1;
+        self.total += x;
+        let xf = x as f64;
+        let delta = xf - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (xf - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> Micros {
+        Micros::new(self.total)
+    }
+
+    /// Mean sample, rounded to the nearest microsecond; zero when empty.
+    pub fn mean(&self) -> Micros {
+        if self.count == 0 {
+            Micros::ZERO
+        } else {
+            Micros::new(self.mean.round() as u64)
+        }
+    }
+
+    /// Smallest sample; zero when empty.
+    pub fn min(&self) -> Micros {
+        Micros::new(self.min.unwrap_or(0))
+    }
+
+    /// Largest sample (the paper's "worst-case response"); zero when empty.
+    pub fn max(&self) -> Micros {
+        Micros::new(self.max)
+    }
+
+    /// Population standard deviation in microseconds; zero for < 2 samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Merges another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.mean += delta * n2 / n;
+        self.count += other.count;
+        self.total += other.total;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+impl Extend<Micros> for Summary {
+    fn extend<I: IntoIterator<Item = Micros>>(&mut self, iter: I) {
+        for s in iter {
+            self.record(s);
+        }
+    }
+}
+
+impl FromIterator<Micros> for Summary {
+    fn from_iter<I: IntoIterator<Item = Micros>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A logarithmically-bucketed latency histogram.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` microseconds, with bucket 0 covering
+/// `[0, 2)`. Sixty-four buckets cover the whole `u64` range, so recording
+/// never saturates or panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+        }
+    }
+
+    fn bucket_for(us: u64) -> usize {
+        if us < 2 {
+            0
+        } else {
+            63 - us.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Micros) {
+        self.buckets[Self::bucket_for(sample.as_micros())] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// An upper bound for the requested quantile (`0.0..=1.0`): the
+    /// exclusive top edge of the bucket containing it. Zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> Micros {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        if self.count == 0 {
+            return Micros::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return Micros::new(upper);
+            }
+        }
+        Micros::new(u64::MAX)
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs for non-empty
+    /// buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (Micros, u64)> + '_ {
+        self.buckets.iter().enumerate().filter_map(|(i, &c)| {
+            if c == 0 {
+                None
+            } else {
+                let lower = if i == 0 { 0 } else { 1u64 << i };
+                Some((Micros::new(lower), c))
+            }
+        })
+    }
+}
+
+/// A labelled monotone event counter, used for the Table 3 activity columns
+/// (manager calls, `MigratePages` invocations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn bump(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current tally.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_empty_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), Micros::ZERO);
+        assert_eq!(s.min(), Micros::ZERO);
+        assert_eq!(s.max(), Micros::ZERO);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn summary_tracks_mean_min_max() {
+        let s: Summary = [10u64, 20, 30, 40]
+            .into_iter()
+            .map(Micros::new)
+            .collect();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), Micros::new(25));
+        assert_eq!(s.min(), Micros::new(10));
+        assert_eq!(s.max(), Micros::new(40));
+        assert_eq!(s.total(), Micros::new(100));
+    }
+
+    #[test]
+    fn summary_std_dev_matches_definition() {
+        let s: Summary = [2u64, 4, 4, 4, 5, 5, 7, 9]
+            .into_iter()
+            .map(Micros::new)
+            .collect();
+        assert!((s.std_dev() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let all: Summary = (1u64..=100).map(Micros::new).collect();
+        let mut a: Summary = (1u64..=50).map(Micros::new).collect();
+        let b: Summary = (51u64..=100).map(Micros::new).collect();
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.mean(), all.mean());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert!((a.std_dev() - all.std_dev()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_merge_with_empty_sides() {
+        let mut empty = Summary::new();
+        let full: Summary = [5u64, 15].into_iter().map(Micros::new).collect();
+        empty.merge(&full);
+        assert_eq!(empty.mean(), Micros::new(10));
+        let mut full2 = full.clone();
+        full2.merge(&Summary::new());
+        assert_eq!(full2.mean(), Micros::new(10));
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let mut h = Histogram::new();
+        for us in [0u64, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(Micros::new(us));
+        }
+        assert_eq!(h.count(), 8);
+        let buckets: Vec<_> = h.iter().collect();
+        // 0,1 -> [0,2); 2,3 -> [2,4); 4,7 -> [4,8); 8 -> [8,16); 1000 -> [512,1024)
+        assert_eq!(
+            buckets,
+            vec![
+                (Micros::new(0), 2),
+                (Micros::new(2), 2),
+                (Micros::new(4), 2),
+                (Micros::new(8), 1),
+                (Micros::new(512), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_quantile_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Micros::new(10)); // bucket [8,16)
+        }
+        h.record(Micros::new(100_000)); // bucket [65536,131072)
+        assert_eq!(h.quantile_upper_bound(0.5), Micros::new(15));
+        assert_eq!(h.quantile_upper_bound(1.0), Micros::new(131_071));
+        assert_eq!(Histogram::new().quantile_upper_bound(0.5), Micros::ZERO);
+    }
+
+    #[test]
+    fn histogram_extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(Micros::new(u64::MAX));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_upper_bound(1.0), Micros::new(u64::MAX));
+    }
+
+    #[test]
+    fn counter_bump_and_add() {
+        let mut c = Counter::new();
+        c.bump();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+}

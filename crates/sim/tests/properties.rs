@@ -1,0 +1,90 @@
+//! Property-based tests for the simulation substrate.
+
+use epcm_sim::clock::{Micros, Timestamp};
+use epcm_sim::events::EventQueue;
+use epcm_sim::rng::Rng;
+use epcm_sim::stats::{Histogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging summaries in any split equals sequential accumulation.
+    #[test]
+    fn summary_merge_is_split_invariant(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split % samples.len();
+        let sequential: Summary = samples.iter().map(|&s| Micros::new(s)).collect();
+        let mut left: Summary = samples[..split].iter().map(|&s| Micros::new(s)).collect();
+        let right: Summary = samples[split..].iter().map(|&s| Micros::new(s)).collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), sequential.count());
+        prop_assert_eq!(left.total(), sequential.total());
+        prop_assert_eq!(left.min(), sequential.min());
+        prop_assert_eq!(left.max(), sequential.max());
+        prop_assert!((left.std_dev() - sequential.std_dev()).abs() < 1e-6);
+    }
+
+    /// The histogram never loses samples, and its quantile bound is an
+    /// actual upper bound for the requested fraction.
+    #[test]
+    fn histogram_counts_and_bounds(samples in proptest::collection::vec(0u64..u64::MAX / 2, 1..300)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Micros::new(s));
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let bucket_total: u64 = h.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, samples.len() as u64);
+        let median_bound = h.quantile_upper_bound(0.5).as_micros();
+        let below = samples.iter().filter(|&&s| s <= median_bound).count();
+        prop_assert!(below * 2 >= samples.len(), "median bound excludes half");
+    }
+
+    /// Event dispatch is globally ordered by time with FIFO ties, no
+    /// matter the insertion order.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Timestamp::from_micros(t), i);
+        }
+        let mut last_time = 0u64;
+        let mut last_seq_at_time = std::collections::HashMap::new();
+        while let Some((t, i)) = q.next() {
+            prop_assert!(t.as_micros() >= last_time);
+            if let Some(&prev) = last_seq_at_time.get(&t.as_micros()) {
+                prop_assert!(i > prev, "FIFO violated at t={t}");
+            }
+            last_seq_at_time.insert(t.as_micros(), i);
+            last_time = t.as_micros();
+        }
+    }
+
+    /// Rng::below never exceeds its bound and Rng::range stays in range.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX, lo in 0u64..1000, span in 1u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(bound) < bound);
+            let v = rng.range(lo, lo + span);
+            prop_assert!((lo..lo + span).contains(&v));
+        }
+    }
+
+    /// Micros::mul_f64 and saturating_sub never panic and behave sanely.
+    #[test]
+    fn micros_arithmetic_total(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, f in 0.0f64..3.0) {
+        let (x, y) = (Micros::new(a), Micros::new(b));
+        prop_assert_eq!(x.saturating_sub(y) + y.saturating_sub(x),
+            Micros::new(a.abs_diff(b)));
+        let scaled = x.mul_f64(f);
+        if f >= 1.0 {
+            prop_assert!(scaled >= x.mul_f64(1.0).saturating_sub(Micros::new(1)));
+        } else {
+            prop_assert!(scaled <= x + Micros::new(1));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Calibration probe: prints each Table 2 application's *mechanistic*
+//! VM time (compute set to zero) on both systems, plus its manager-call
+//! and migration counts. `apps.rs`'s compute constants are `paper target
+//! - the numbers printed here` (see EXPERIMENTS.md).
+
+use epcm_sim::clock::Micros;
+use epcm_workloads::apps::{diff_spec, latex_spec, uncompress_spec};
+use epcm_workloads::runner::{run_on_ultrix, run_on_vpp, PAPER_FRAMES};
+
+fn main() {
+    for mut spec in [diff_spec(), uncompress_spec(), latex_spec()] {
+        spec.compute_vpp = Micros::ZERO;
+        spec.compute_ultrix = Micros::ZERO;
+        let v = run_on_vpp(&spec, PAPER_FRAMES).unwrap();
+        let u = run_on_ultrix(&spec, PAPER_FRAMES);
+        println!(
+            "{}: vpp_vm={}us ultrix_vm={}us mgr_calls={} migrate={}",
+            spec.name,
+            v.elapsed.as_micros(),
+            u.elapsed.as_micros(),
+            v.manager_calls,
+            v.migrate_calls
+        );
+    }
+}

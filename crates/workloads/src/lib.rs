@@ -1,0 +1,33 @@
+//! # epcm-workloads — the application workloads of Tables 2 and 3
+//!
+//! The paper measured three "standard UNIX applications" — `diff`,
+//! `uncompress` and `latex` — compiled for both V++ and ULTRIX 4.1 and run
+//! with their input files cached in memory. This crate models each
+//! application as a [`trace::AppSpec`]: input/output files, heap
+//! footprint, and per-system compute time. The [`runner`] executes the
+//! same specification against both VM implementations:
+//!
+//! * [`runner::run_on_vpp`] — drives an `epcm-managers` [`Machine`] (UIO
+//!   reads/writes in 4 KB units, heap faults to the default segment
+//!   manager),
+//! * [`runner::run_on_ultrix`] — drives an `epcm-baseline`
+//!   [`UltrixVm`](epcm_baseline::UltrixVm) (8 KB transfer units,
+//!   in-kernel faults with zero-fill).
+//!
+//! [`apps`] holds the three calibrated application specifications plus
+//! extra synthetic workloads (sequential scan, random access, matrix
+//! sweep) used by the ablation benchmarks.
+//!
+//! [`Machine`]: epcm_managers::Machine
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod runner;
+pub mod scan;
+pub mod trace;
+
+pub use apps::{diff_spec, latex_spec, uncompress_spec};
+pub use runner::{run_on_ultrix, run_on_vpp, RunReport};
+pub use scan::{drive_pattern, AccessPattern, PatternReport, ReferenceStream};
+pub use trace::AppSpec;

@@ -1,0 +1,56 @@
+//! The discardable-pages scenario (Subramanian's ML result, recreated on
+//! V++): a garbage collector marks dead pages as discardable, so eviction
+//! skips the writeback entirely — without any special kernel mechanism.
+//!
+//! ```text
+//! cargo run --example gc_discard
+//! ```
+
+use epcm::core::{PageNumber, SegmentKind, BASE_PAGE_SIZE};
+use epcm::managers::discard::{discardable_manager, mark_discardable, DiscardableManager};
+use epcm::managers::Machine;
+use epcm::sim::disk::Device;
+
+fn collection_cycle(mark_garbage: bool) -> Result<(u64, u64), Box<dyn std::error::Error>> {
+    // Small memory (0.75 MB + pools) on a real disk so eviction I/O hurts.
+    let mut machine = Machine::builder(256).device(Device::disk_1992()).build();
+    let id = machine.register_manager(Box::new(discardable_manager()));
+    machine.set_default_manager(id);
+    let heap = machine.create_segment(SegmentKind::Anonymous, 512)?;
+
+    // The mutator allocates 160 pages of objects...
+    for p in 0..160u64 {
+        machine.store_bytes(heap, p * BASE_PAGE_SIZE, &[0xCD; 128])?;
+    }
+    // ...then a collection finds that everything past the first 40 pages
+    // (the survivors it just compacted) is garbage.
+    if mark_garbage {
+        mark_discardable(machine.kernel_mut(), heap, PageNumber(40), 120)?;
+    }
+    // Memory pressure: shrink the heap's residency by 120 pages.
+    let t0 = machine.now();
+    machine.with_manager(id, |mgr, env| {
+        let mgr = mgr
+            .as_any_mut()
+            .downcast_mut::<DiscardableManager>()
+            .expect("discardable manager");
+        mgr.shrink(env, 120).map(|_| ())
+    })?;
+    let evict_time = machine.now().duration_since(t0).as_micros() / 1000;
+    Ok((machine.store().write_count(), evict_time))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (writes_plain, ms_plain) = collection_cycle(false)?;
+    let (writes_gc, ms_gc) = collection_cycle(true)?;
+    println!("evicting 120 heap pages under memory pressure:\n");
+    println!("  without discard marking: {writes_plain:>3} page writebacks, {ms_plain:>5} ms");
+    println!("  with    discard marking: {writes_gc:>3} page writebacks, {ms_gc:>5} ms");
+    println!(
+        "\nGarbage pages were dropped without writeback ({}x less eviction I/O, {:.1}x faster),",
+        writes_plain.max(1) / writes_gc.max(1),
+        ms_plain as f64 / ms_gc.max(1) as f64
+    );
+    println!("and re-allocating them later needs no zero-fill (same-user reallocation).");
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! The large-scale matrix computation of §2.2: "in a large-scale matrix
+//! computation, the manager may be able to prefetch pages of matrices to
+//! minimize the effect of disk latency on the computation while
+//! recognizing that it can simply discard dirty pages of some
+//! intermediate matrix rather than writing them back, thereby conserving
+//! I/O bandwidth."
+//!
+//! Pipeline: C = f(A, B) via an intermediate T. A and B stream from disk
+//! (prefetched), T is pure scratch (discarded, never written back), C is
+//! the result (written back once).
+//!
+//! ```text
+//! cargo run --release --example matrix_pipeline
+//! ```
+
+use epcm::core::{PageNumber, SegmentKind, BASE_PAGE_SIZE};
+use epcm::managers::discard::{discardable_manager, mark_discardable, DiscardableManager};
+use epcm::managers::prefetch::prefetch_manager;
+use epcm::managers::Machine;
+use epcm::sim::clock::Micros;
+use epcm::sim::disk::Device;
+
+const MATRIX_PAGES: u64 = 128; // 512 KB per matrix
+
+fn run(prefetch_depth: u64, discard_scratch: bool) -> Result<(Micros, u64), Box<dyn std::error::Error>> {
+    let mut m = Machine::builder(640).device(Device::disk_1992()).build();
+    // Input matrices are cached files under a prefetching manager...
+    let pf = m.register_manager(Box::new(prefetch_manager(prefetch_depth)));
+    // ...scratch and result are anonymous memory under a discardable manager.
+    let dm = m.register_manager(Box::new(discardable_manager()));
+    m.set_default_manager(dm);
+
+    m.store_mut().create("A", (MATRIX_PAGES * BASE_PAGE_SIZE) as usize);
+    m.store_mut().create("B", (MATRIX_PAGES * BASE_PAGE_SIZE) as usize);
+    m.set_default_manager(pf);
+    let a = m.open_file("A")?;
+    let b = m.open_file("B")?;
+    m.set_default_manager(dm);
+    let scratch = m.create_segment(SegmentKind::Anonymous, MATRIX_PAGES)?;
+    let result = m.create_segment(SegmentKind::Anonymous, MATRIX_PAGES)?;
+
+    let t0 = m.now();
+    // Pass 1: stream A and B, writing the intermediate T.
+    for p in 0..MATRIX_PAGES {
+        m.touch(a, p, epcm::core::AccessKind::Read)?;
+        m.touch(b, p, epcm::core::AccessKind::Read)?;
+        m.store_bytes(scratch, p * BASE_PAGE_SIZE, &[1u8; 64])?;
+        m.kernel_mut().charge(Micros::from_millis(2)); // FLOPs
+    }
+    // Pass 2: reduce T into the result. The application knows page p of
+    // T is garbage the moment it has been consumed, and tells its
+    // manager immediately — so eviction under the pressure of this very
+    // pass never writes consumed scratch back.
+    for p in 0..MATRIX_PAGES {
+        let mut buf = [0u8; 64];
+        m.load(scratch, p * BASE_PAGE_SIZE, &mut buf)?;
+        m.store_bytes(result, p * BASE_PAGE_SIZE, &buf)?;
+        if discard_scratch {
+            mark_discardable(m.kernel_mut(), scratch, PageNumber(p), 1)?;
+        }
+        m.kernel_mut().charge(Micros::from_millis(1));
+    }
+    // Memory pressure at the end of the timestep (the next timestep's
+    // matrices need the frames): the manager evicts the scratch matrix.
+    m.with_manager(dm, |mgr, env| {
+        let mgr = mgr.as_any_mut().downcast_mut::<DiscardableManager>().unwrap();
+        mgr.shrink(env, MATRIX_PAGES).map(|_| ())
+    })?;
+    Ok((m.now().duration_since(t0), m.store().write_count()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("C = f(A, B) through a scratch matrix T; 512 KB matrices, 1992 disk\n");
+    println!(
+        "{:<44} {:>12} {:>10}",
+        "configuration", "elapsed", "writes"
+    );
+    for (label, depth, discard) in [
+        ("no prefetch, scratch written back", 0, false),
+        ("prefetch 8, scratch written back", 8, false),
+        ("no prefetch, scratch discarded", 0, true),
+        ("prefetch 8, scratch discarded (paper's plan)", 8, true),
+    ] {
+        let (elapsed, writes) = run(depth, discard)?;
+        println!("{label:<44} {:>12} {writes:>10}", elapsed.to_string());
+    }
+    println!("\nPrefetch hides the input latency; discarding the intermediate matrix");
+    println!("eliminates its writeback I/O entirely — both are manager policy, not kernel code.");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! The memory-market economy of §2.4: processes pay `M*D*T` drams for
+//! memory out of a per-second income, the SPCM defers requests the
+//! account cannot afford, forces reclamation from bankrupt processes, and
+//! long-run memory shares track income shares — "its programs also
+//! receive an equal share of the machine over time".
+//!
+//! ```text
+//! cargo run --example memory_market
+//! ```
+
+use epcm::core::{AccessKind, ManagerId, SegmentKind, UserId};
+use epcm::managers::generic::{GenericManager, PlainSpec};
+use epcm::managers::{AllocationPolicy, Machine, ManagerMode, MarketConfig, MemoryMarket};
+use epcm::sim::clock::Micros;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut market = MemoryMarket::new(MarketConfig {
+        income_per_sec: 0.0, // accounts get explicit incomes below
+        charge_per_mb_sec: 10.0,
+        free_when_uncontended: false,
+        ..MarketConfig::default()
+    });
+    market.open_account(ManagerId(1), Some(10.0)); // poor batch job
+    market.open_account(ManagerId(2), Some(20.0)); // rich batch job
+
+    // 3 MB machine: the two jobs want ~5 MB together, so the market must
+    // arbitrate.
+    let mut machine = Machine::builder(768)
+        .allocation(AllocationPolicy::Market {
+            market,
+            horizon: Micros::from_secs(2),
+        })
+        .build();
+    let poor = machine.register_manager(Box::new(GenericManager::new(
+        PlainSpec,
+        ManagerMode::FaultingProcess,
+    )));
+    let rich = machine.register_manager(Box::new(GenericManager::new(
+        PlainSpec,
+        ManagerMode::FaultingProcess,
+    )));
+    let seg_poor = machine.create_segment_with(SegmentKind::Anonymous, 600, poor, UserId(1))?;
+    let seg_rich = machine.create_segment_with(SegmentKind::Anonymous, 600, rich, UserId(2))?;
+
+    println!("incomes: poor=10 drams/s, rich=20 drams/s; price 10 drams per MB-second");
+    println!("memory: 768 frames (3 MB); both jobs want 600 frames\n");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12}",
+        "t (s)", "poor frames", "rich frames", "poor drams", "rich drams"
+    );
+
+    let (mut next_poor, mut next_rich) = (0u64, 0u64);
+    for second in 1..=120u64 {
+        // Each job greedily grows its footprint as the market allows.
+        for _ in 0..16 {
+            if machine.touch(seg_poor, next_poor % 600, AccessKind::Write).is_ok() {
+                next_poor += 1;
+            }
+            if machine.touch(seg_rich, next_rich % 600, AccessKind::Write).is_ok() {
+                next_rich += 1;
+            }
+        }
+        machine.kernel_mut().charge(Micros::from_secs(1));
+        machine.tick()?; // billing + forced reclamation
+        if second % 15 == 0 {
+            let balances = machine
+                .spcm()
+                .market()
+                .map(|mk| {
+                    (
+                        mk.balance(ManagerId(1)).unwrap_or(0.0),
+                        mk.balance(ManagerId(2)).unwrap_or(0.0),
+                    )
+                })
+                .unwrap_or((0.0, 0.0));
+            println!(
+                "{:>5} {:>12} {:>12} {:>12.1} {:>12.1}",
+                second,
+                machine.spcm().granted_to(poor),
+                machine.spcm().granted_to(rich),
+                balances.0,
+                balances.1,
+            );
+        }
+    }
+    let (a, b) = (machine.spcm().granted_to(poor), machine.spcm().granted_to(rich));
+    println!(
+        "\nsteady state: {a} vs {b} frames — ratio {:.2}, tracking the 2.0 income ratio.",
+        b as f64 / a.max(1) as f64
+    );
+    let (req, defer, refuse) = machine.spcm().decision_counts();
+    println!("SPCM decisions: {req} requests, {defer} deferred, {refuse} refused.");
+    Ok(())
+}

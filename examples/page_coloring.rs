@@ -1,0 +1,65 @@
+//! Application-specific page coloring (§1, §2.2): the manager requests
+//! frames from the SPCM by cache color so consecutive virtual pages never
+//! collide in a direct-mapped physically-indexed cache — something only
+//! possible because the kernel exports physical frame addresses.
+//!
+//! ```text
+//! cargo run --example page_coloring
+//! ```
+
+use epcm::core::{AccessKind, SegmentKind};
+use epcm::managers::coloring::{audit_colors, coloring_manager};
+use epcm::managers::Machine;
+use epcm::sim::rng::Rng;
+
+const COLORS: u32 = 8; // e.g. a 32 KB direct-mapped cache of 4 KB pages
+
+/// Real programs touch their address space in data-dependent order, not
+/// page 0,1,2,...; a shuffled first-touch order is what defeats
+/// accidental coloring in a first-fit allocator.
+fn touch_order() -> Vec<u64> {
+    let mut pages: Vec<u64> = (0..96).collect();
+    Rng::seed_from(42).shuffle(&mut pages);
+    pages
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Colored allocation.
+    let mut colored = Machine::new(1024);
+    let id = colored.register_manager(Box::new(coloring_manager(COLORS)));
+    colored.set_default_manager(id);
+    let seg_c = colored.create_segment(SegmentKind::Anonymous, 256)?;
+    for p in touch_order() {
+        colored.touch(seg_c, p, AccessKind::Write)?;
+    }
+    let audit_c = audit_colors(colored.kernel(), seg_c, COLORS)?;
+
+    // Conventional first-fit allocation, same access pattern.
+    let mut plain = Machine::with_default_manager(1024);
+    let seg_p = plain.create_segment(SegmentKind::Anonymous, 256)?;
+    for p in touch_order() {
+        plain.touch(seg_p, p, AccessKind::Write)?;
+    }
+    let audit_p = audit_colors(plain.kernel(), seg_p, COLORS)?;
+
+    println!("96 virtual pages first-touched in program order, {COLORS}-color cache\n");
+    println!("{:<26} {:>10} {:>12} {:>12}", "allocator", "matched", "mismatched", "overcommit");
+    println!(
+        "{:<26} {:>10} {:>12} {:>12}",
+        "color-constrained (SPCM)", audit_c.matched, audit_c.mismatched, audit_c.max_overcommit()
+    );
+    println!(
+        "{:<26} {:>10} {:>12} {:>12}",
+        "first-fit (default)", audit_p.matched, audit_p.mismatched, audit_p.max_overcommit()
+    );
+
+    println!("\nframes per color (colored allocation):");
+    for (color, count) in &audit_c.per_color {
+        println!("  color {color}: {count:>3} {}", "#".repeat(*count as usize));
+    }
+    println!(
+        "\nEvery virtual page got a frame of its own color: zero conflict overcommit, \
+         so a sweep over this range never self-evicts in the cache."
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The scientific-computation scenario from the paper's introduction: a
+//! large-scale simulation scans hundreds of megabytes per timestep, with
+//! "ample time to overlap prefetching and writeback if the data does not
+//! fit entirely in memory." An application-directed prefetching manager
+//! hides the disk latency behind the computation.
+//!
+//! ```text
+//! cargo run --release --example scientific_prefetch
+//! ```
+
+use epcm::core::AccessKind;
+use epcm::managers::prefetch::{prefetch_manager, PrefetchManager};
+use epcm::managers::Machine;
+use epcm::sim::clock::Micros;
+use epcm::sim::disk::Device;
+
+/// One simulated timestep: scan `pages` pages of particle data with
+/// `compute` time per page. Returns elapsed virtual time.
+fn timestep(
+    machine: &mut Machine,
+    seg: epcm::core::SegmentId,
+    pages: u64,
+    compute: Micros,
+) -> Result<Micros, Box<dyn std::error::Error>> {
+    let t0 = machine.now();
+    for p in 0..pages {
+        machine.touch(seg, p, AccessKind::Read)?;
+        machine.kernel_mut().charge(compute);
+    }
+    Ok(machine.now().duration_since(t0))
+}
+
+fn run_with_depth(depth: u64) -> Result<(Micros, String), Box<dyn std::error::Error>> {
+    // 512-page (2 MB) particle file on a 1992 disk; per-page compute of
+    // 3 ms — more than a sequential block transfer (1.5 ms), so prefetch
+    // can hide the disk entirely.
+    let mut machine = Machine::builder(2048).device(Device::disk_1992()).build();
+    let id = machine.register_manager(Box::new(prefetch_manager(depth)));
+    machine.set_default_manager(id);
+    machine.store_mut().create("particles", 512 * 4096);
+    let seg = machine.open_file("particles")?;
+    let elapsed = timestep(&mut machine, seg, 512, Micros::from_millis(3))?;
+    let stats = machine
+        .manager(id)
+        .expect("registered")
+        .as_any()
+        .downcast_ref::<PrefetchManager>()
+        .expect("prefetch manager")
+        .spec()
+        .stats();
+    let detail = format!(
+        "misses={:<3} partial={:<3} full hits={:<3} saved={}",
+        stats.misses, stats.partial_hits, stats.full_hits, stats.saved
+    );
+    Ok((elapsed, detail))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("2 MB particle scan, 3 ms compute per page, 1992 disk\n");
+    println!("{:<14} {:>12}   detail", "read-ahead", "elapsed");
+    let mut baseline = None;
+    for depth in [0u64, 1, 2, 4, 8, 16] {
+        let (elapsed, detail) = run_with_depth(depth)?;
+        let base = *baseline.get_or_insert(elapsed);
+        println!(
+            "depth {depth:<8} {:>12}   {detail}  ({:.1}x)",
+            elapsed.to_string(),
+            base.as_secs_f64() / elapsed.as_secs_f64()
+        );
+    }
+    println!("\nWith enough read-ahead the scan runs at compute speed: the disk is fully hidden.");
+    Ok(())
+}

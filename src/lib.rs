@@ -1,0 +1,46 @@
+//! # epcm — External Page-Cache Management
+//!
+//! A reproduction of **Harty & Cheriton, "Application-Controlled Physical
+//! Memory using External Page-Cache Management" (ASPLOS 1992)** as a
+//! deterministic Rust simulation: the V++ kernel virtual-memory system, its
+//! process-level segment managers, the system page-cache manager with the
+//! memory-market economy, an Ultrix-style baseline, and the full evaluation
+//! workloads (Tables 1–4).
+//!
+//! This facade crate re-exports the workspace members under one roof:
+//!
+//! * [`sim`] — virtual clock, discrete-event engine, PRNG, cost model,
+//!   disk/file-server models.
+//! * [`core`] — the V++ kernel: segments, bound regions, page-frame
+//!   migration, external fault delivery.
+//! * [`managers`] — the fault-dispatch machine, default/generic segment
+//!   managers, SPCM, memory market, and the application-specific managers.
+//! * [`baseline`] — the Ultrix 4.1-like monolithic comparator VM.
+//! * [`workloads`] — diff/uncompress/latex traces and the trace runners.
+//! * [`dbms`] — the simulated parallel transaction-processing system.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use epcm::managers::Machine;
+//! use epcm::core::{AccessKind, SegmentKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 4 MB machine managed by the default segment manager.
+//! let mut machine = Machine::with_default_manager(1024);
+//! let seg = machine.create_segment(SegmentKind::Anonymous, 16)?;
+//! // First touch takes a minimal fault, resolved by the manager.
+//! machine.touch(seg, 0, AccessKind::Write)?;
+//! assert_eq!(machine.kernel().resident_pages(seg)?, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use epcm_baseline as baseline;
+pub use epcm_core as core;
+pub use epcm_dbms as dbms;
+pub use epcm_managers as managers;
+pub use epcm_sim as sim;
+pub use epcm_workloads as workloads;

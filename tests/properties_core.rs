@@ -1,0 +1,303 @@
+//! Property-based tests of the kernel invariants in DESIGN.md §6:
+//! frame conservation, translation soundness, copy-on-write isolation and
+//! flag-operation algebra, under randomly generated operation sequences.
+
+use epcm::core::kernel::{AccessOutcome, Kernel};
+use epcm::core::{
+    AccessKind, FaultKind, KernelError, PageFlags, PageNumber, SegmentId, SegmentKind, UserId,
+};
+use proptest::prelude::*;
+
+const FRAMES: usize = 64;
+const SEGS: u64 = 4;
+const PAGES_PER_SEG: u64 = 16;
+
+/// A randomly generated kernel operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Migrate {
+        src: u64,
+        dst: u64,
+        src_page: u64,
+        dst_page: u64,
+        count: u64,
+    },
+    ModifyFlags {
+        seg: u64,
+        page: u64,
+        set_dirty: bool,
+        clear_write: bool,
+    },
+    Reference {
+        seg: u64,
+        page: u64,
+        write: bool,
+    },
+    Store {
+        seg: u64,
+        page: u64,
+        byte: u8,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            0..=SEGS,
+            0..=SEGS,
+            0..PAGES_PER_SEG,
+            0..PAGES_PER_SEG,
+            1..4u64
+        )
+            .prop_map(|(src, dst, src_page, dst_page, count)| Op::Migrate {
+                src,
+                dst,
+                src_page,
+                dst_page,
+                count,
+            }),
+        (0..SEGS, 0..PAGES_PER_SEG, any::<bool>(), any::<bool>()).prop_map(
+            |(seg, page, set_dirty, clear_write)| Op::ModifyFlags {
+                seg: seg + 1,
+                page,
+                set_dirty,
+                clear_write,
+            }
+        ),
+        (0..SEGS, 0..PAGES_PER_SEG, any::<bool>()).prop_map(|(seg, page, write)| {
+            Op::Reference {
+                seg: seg + 1,
+                page,
+                write,
+            }
+        }),
+        (0..SEGS, 0..PAGES_PER_SEG, any::<u8>()).prop_map(|(seg, page, byte)| Op::Store {
+            seg: seg + 1,
+            page,
+            byte,
+        }),
+    ]
+}
+
+/// Builds a kernel with SEGS anonymous segments; segment index 0 in ops
+/// means the boot pool.
+fn setup() -> (Kernel, Vec<SegmentId>) {
+    let mut kernel = Kernel::new(FRAMES);
+    let mut segs = vec![SegmentId::FRAME_POOL];
+    for _ in 0..SEGS {
+        segs.push(
+            kernel
+                .create_segment(
+                    SegmentKind::Anonymous,
+                    UserId::SYSTEM,
+                    epcm::core::ManagerId(1),
+                    1,
+                    PAGES_PER_SEG,
+                )
+                .expect("create segment"),
+        );
+    }
+    (kernel, segs)
+}
+
+/// Every frame is either in the boot pool or in exactly one segment slot,
+/// and the frame table's owner field agrees with the segments.
+fn assert_conservation(kernel: &Kernel) {
+    let mut seen = std::collections::BTreeMap::new();
+    let mut total = 0u64;
+    for seg in kernel.segment_ids().collect::<Vec<_>>() {
+        for (page, entry) in kernel.segment(seg).expect("segment").resident() {
+            total += 1;
+            let prev = seen.insert(entry.frame, (seg, page));
+            assert!(prev.is_none(), "frame {:?} in two slots", entry.frame);
+            assert_eq!(
+                kernel.frames().owner(entry.frame),
+                Some((seg, page)),
+                "owner field out of sync"
+            );
+        }
+    }
+    assert_eq!(total, FRAMES as u64, "frames lost or duplicated");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: frame conservation across arbitrary migrations.
+    #[test]
+    fn frames_are_conserved(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (mut kernel, segs) = setup();
+        for op in ops {
+            match op {
+                Op::Migrate { src, dst, src_page, dst_page, count } => {
+                    let _ = kernel.migrate_pages(
+                        segs[src as usize],
+                        segs[dst as usize],
+                        PageNumber(src_page),
+                        PageNumber(dst_page),
+                        count,
+                        PageFlags::RW,
+                        PageFlags::empty(),
+                    );
+                }
+                Op::ModifyFlags { seg, page, set_dirty, clear_write } => {
+                    let set = if set_dirty { PageFlags::DIRTY } else { PageFlags::empty() };
+                    let clear = if clear_write { PageFlags::WRITE } else { PageFlags::empty() };
+                    let _ = kernel.modify_page_flags(segs[seg as usize], PageNumber(page), 1, set, clear);
+                }
+                Op::Reference { seg, page, write } => {
+                    let access = if write { AccessKind::Write } else { AccessKind::Read };
+                    let _ = kernel.reference(segs[seg as usize], PageNumber(page), access);
+                }
+                Op::Store { seg, page, byte } => {
+                    let _ = kernel.store(segs[seg as usize], page * 4096, &[byte]);
+                }
+            }
+            assert_conservation(&kernel);
+        }
+    }
+
+    /// Invariant 2: a successful reference implies a present, permitting
+    /// page; a fault implies it was missing or denied.
+    #[test]
+    fn reference_soundness(
+        page in 0..PAGES_PER_SEG,
+        write in any::<bool>(),
+        populate in any::<bool>(),
+        revoke in any::<bool>(),
+    ) {
+        let (mut kernel, segs) = setup();
+        let seg = segs[1];
+        if populate {
+            kernel.migrate_pages(
+                SegmentId::FRAME_POOL, seg, PageNumber(0), PageNumber(page),
+                1, PageFlags::RW, PageFlags::empty()).expect("populate");
+            if revoke {
+                kernel.modify_page_flags(
+                    seg, PageNumber(page), 1,
+                    PageFlags::empty(), PageFlags::WRITE).expect("revoke");
+            }
+        }
+        let access = if write { AccessKind::Write } else { AccessKind::Read };
+        match kernel.reference(seg, PageNumber(page), access).expect("no kernel error") {
+            AccessOutcome::Completed => {
+                let entry = kernel.segment(seg).unwrap().entry(PageNumber(page))
+                    .expect("completed access implies a present page");
+                prop_assert!(entry.flags.permits(access));
+                prop_assert!(entry.flags.contains(PageFlags::REFERENCED));
+                if write {
+                    prop_assert!(entry.flags.contains(PageFlags::DIRTY));
+                }
+            }
+            AccessOutcome::Fault(fault) => {
+                match fault.kind {
+                    FaultKind::Missing => prop_assert!(!populate),
+                    FaultKind::Protection { .. } => prop_assert!(populate && revoke && write),
+                    FaultKind::CopyOnWrite { .. } => prop_assert!(false, "no COW bindings here"),
+                }
+            }
+        }
+    }
+
+    /// Invariant 3: after a COW break, source bytes are unchanged and the
+    /// copy matches the source at break time.
+    #[test]
+    fn cow_preserves_source(data in proptest::collection::vec(any::<u8>(), 1..64), page in 0..4u64) {
+        let (mut kernel, segs) = setup();
+        let (source, child) = (segs[1], segs[2]);
+        // Populate and fill the source page.
+        kernel.migrate_pages(SegmentId::FRAME_POOL, source, PageNumber(0), PageNumber(page),
+            1, PageFlags::RW, PageFlags::empty()).expect("populate");
+        let outcome = kernel.store(source, page * 4096, &data).expect("store");
+        prop_assert!(outcome.is_completed());
+        // COW-bind the child over the whole source.
+        kernel.bind_region(child, PageNumber(0), PAGES_PER_SEG, source, PageNumber(0),
+            true, PageFlags::RW).expect("bind");
+        // Write through the child: first a COW fault, then resolve by
+        // giving it a frame, then the write succeeds.
+        match kernel.reference(child, PageNumber(page), AccessKind::Write).expect("reference") {
+            AccessOutcome::Fault(f) => {
+                prop_assert_eq!(f.kind, FaultKind::CopyOnWrite {
+                    source_segment: source, source_page: PageNumber(page) });
+                kernel.migrate_pages(SegmentId::FRAME_POOL, child, PageNumber(1), PageNumber(page),
+                    1, PageFlags::RW, PageFlags::empty()).expect("resolve");
+            }
+            AccessOutcome::Completed => prop_assert!(false, "must fault first"),
+        }
+        // The copy equals the source at break time.
+        let mut copy = vec![0u8; data.len()];
+        prop_assert!(kernel.load(child, page * 4096, &mut copy).expect("load").is_completed());
+        prop_assert_eq!(&copy, &data);
+        // Mutate the child; the source must not change.
+        let outcome = kernel.store(child, page * 4096, &vec![0xFF; data.len()]).expect("store");
+        prop_assert!(outcome.is_completed());
+        let mut src_after = vec![0u8; data.len()];
+        prop_assert!(kernel.load(source, page * 4096, &mut src_after).expect("load").is_completed());
+        prop_assert_eq!(&src_after, &data);
+    }
+
+    /// Invariant 4: ModifyPageFlags set/clear algebra: idempotent, and
+    /// GetPageAttributes reflects the last mutation.
+    #[test]
+    fn flag_algebra(set_bits in 0u16..256, clear_bits in 0u16..256) {
+        let (mut kernel, segs) = setup();
+        let seg = segs[1];
+        kernel.migrate_pages(SegmentId::FRAME_POOL, seg, PageNumber(0), PageNumber(0),
+            1, PageFlags::RW, PageFlags::empty()).expect("populate");
+        let set = PageFlags::from_bits_truncate(set_bits);
+        let clear = PageFlags::from_bits_truncate(clear_bits);
+        kernel.modify_page_flags(seg, PageNumber(0), 1, set, clear).expect("modify");
+        let once = kernel.get_page_attributes(seg, PageNumber(0), 1).expect("attrs")[0].flags;
+        kernel.modify_page_flags(seg, PageNumber(0), 1, set, clear).expect("modify again");
+        let twice = kernel.get_page_attributes(seg, PageNumber(0), 1).expect("attrs")[0].flags;
+        prop_assert_eq!(once, twice, "set/clear must be idempotent");
+        // Clear wins over set on overlap; otherwise set bits present,
+        // cleared bits absent.
+        prop_assert!(!once.intersects(clear));
+        prop_assert!(once.contains(set - clear));
+    }
+
+    /// Load/store roundtrip across arbitrary offsets and lengths.
+    #[test]
+    fn load_store_roundtrip(
+        offset in 0u64..(PAGES_PER_SEG - 2) * 4096,
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+    ) {
+        let (mut kernel, segs) = setup();
+        let seg = segs[3];
+        // Populate every page the write touches.
+        let first = offset / 4096;
+        let last = (offset + data.len() as u64 - 1) / 4096;
+        for (i, p) in (first..=last).enumerate() {
+            kernel.migrate_pages(SegmentId::FRAME_POOL, seg, PageNumber(i as u64), PageNumber(p),
+                1, PageFlags::RW, PageFlags::empty()).expect("populate");
+        }
+        prop_assert!(kernel.store(seg, offset, &data).expect("store").is_completed());
+        let mut back = vec![0u8; data.len()];
+        prop_assert!(kernel.load(seg, offset, &mut back).expect("load").is_completed());
+        prop_assert_eq!(back, data);
+    }
+}
+
+/// Out-of-range and misuse always produce errors, never corruption.
+#[test]
+fn errors_do_not_corrupt() {
+    let (mut kernel, segs) = setup();
+    let seg = segs[1];
+    assert!(matches!(
+        kernel.reference(seg, PageNumber(PAGES_PER_SEG), AccessKind::Read),
+        Err(KernelError::PageOutOfRange { .. })
+    ));
+    assert!(kernel
+        .migrate_pages(
+            seg,
+            seg,
+            PageNumber(0),
+            PageNumber(1),
+            1,
+            PageFlags::empty(),
+            PageFlags::empty()
+        )
+        .is_err());
+    assert_conservation(&kernel);
+}

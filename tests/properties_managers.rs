@@ -1,0 +1,202 @@
+//! Property-based tests of the manager-layer invariants: market ledger
+//! conservation and bankruptcy enforcement, SPCM grant accounting,
+//! clock-policy correctness, and whole-machine frame conservation under
+//! random workloads driven through the default manager.
+
+use epcm::core::{AccessKind, ManagerId, SegmentId, SegmentKind, BASE_PAGE_SIZE};
+use epcm::managers::default_manager::{DefaultManagerConfig, DefaultSegmentManager};
+use epcm::managers::{AllocationPolicy, Machine, ManagerMode, MarketConfig, MemoryMarket};
+use epcm::sim::clock::{Micros, Timestamp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 5a: dram conservation — balances equal income minus
+    /// charges minus tax regardless of the billing schedule.
+    #[test]
+    fn market_ledger_conserves(
+        steps in proptest::collection::vec((1u64..5_000_000, 0u64..4096, any::<bool>()), 1..40),
+        incomes in proptest::collection::vec(0.0f64..50.0, 1..5),
+    ) {
+        let mut market = MemoryMarket::new(MarketConfig::default());
+        for (i, &income) in incomes.iter().enumerate() {
+            market.open_account(ManagerId(i as u32), Some(income));
+        }
+        let mut t = 0u64;
+        for (dt, frames, contended) in steps {
+            t += dt;
+            let holdings: Vec<(ManagerId, u64)> = incomes
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (ManagerId(i as u32), frames / (i as u64 + 1)))
+                .collect();
+            market.bill(Timestamp::from_micros(t), &holdings, contended);
+            market.charge_io(ManagerId(0), frames % 7);
+        }
+        prop_assert!(market.ledger_residual().abs() < 1e-6,
+            "ledger residual {}", market.ledger_residual());
+    }
+
+    /// Invariant 5b: a manager holding more than its income can pay goes
+    /// bankrupt within one billing period once the market is contended.
+    #[test]
+    fn bankruptcy_is_prompt(income in 0.1f64..5.0, frames in 3000u64..20000) {
+        let mut market = MemoryMarket::new(MarketConfig {
+            income_per_sec: income,
+            free_when_uncontended: false,
+            ..MarketConfig::default()
+        });
+        market.open_account(ManagerId(1), None);
+        // frames >= 3000 at D=1 dram/MB-s costs >= ~11.7 drams/s > income.
+        let bankrupt = market.bill(
+            Timestamp::from_micros(10_000_000),
+            &[(ManagerId(1), frames)],
+            true,
+        );
+        prop_assert_eq!(bankrupt, vec![ManagerId(1)]);
+    }
+
+    /// SPCM accounting: granted_to always equals frames actually moved
+    /// out of the boot pool for that manager.
+    #[test]
+    fn spcm_grant_accounting(requests in proptest::collection::vec(1u64..40, 1..12)) {
+        use epcm::managers::{PhysConstraint, SystemPageCacheManager};
+        let mut kernel = epcm::core::Kernel::new(256);
+        let mut spcm = SystemPageCacheManager::new(AllocationPolicy::FirstCome, 16);
+        let free = kernel
+            .create_segment(SegmentKind::FramePool, epcm::core::UserId::SYSTEM, ManagerId(1), 1, 256)
+            .expect("free segment");
+        let mut expected = 0u64;
+        for ask in requests {
+            let g = spcm
+                .request_frames(&mut kernel, ManagerId(1), free, ask, PhysConstraint::Any)
+                .expect("request");
+            expected += g.granted();
+            prop_assert_eq!(spcm.granted_to(ManagerId(1)), expected);
+            prop_assert_eq!(kernel.resident_pages(free).expect("resident"), expected);
+            prop_assert_eq!(
+                kernel.resident_pages(SegmentId::FRAME_POOL).expect("boot"),
+                256 - expected
+            );
+        }
+        // Return everything; the pool must be whole again.
+        let pages: Vec<epcm::core::PageNumber> = kernel
+            .segment(free).expect("segment").resident().map(|(p, _)| p).collect();
+        spcm.return_frames(&mut kernel, ManagerId(1), free, &pages).expect("return");
+        prop_assert_eq!(spcm.granted_to(ManagerId(1)), 0);
+        prop_assert_eq!(kernel.resident_pages(SegmentId::FRAME_POOL).expect("boot"), 256);
+    }
+
+    /// Whole-machine conservation and data integrity under a random
+    /// mixed workload with eviction pressure: every byte written is
+    /// either still readable or was faithfully restored from swap.
+    #[test]
+    fn machine_survives_random_workload_with_pressure(
+        accesses in proptest::collection::vec((0u64..48, any::<u8>(), any::<bool>()), 1..150),
+    ) {
+        // 40 frames total: forced reclamation throughout.
+        let mut m = Machine::new(40);
+        let id = m.register_manager(Box::new(DefaultSegmentManager::with_config(
+            ManagerMode::Server,
+            DefaultManagerConfig {
+                target_free: 4,
+                low_water: 1,
+                refill_batch: 4,
+                ..DefaultManagerConfig::default()
+            },
+        )));
+        m.set_default_manager(id);
+        let seg = m.create_segment(SegmentKind::Anonymous, 48).expect("segment");
+        let mut model: std::collections::BTreeMap<u64, u8> = Default::default();
+        for (page, byte, write) in accesses {
+            if write {
+                m.store_bytes(seg, page * BASE_PAGE_SIZE, &[byte]).expect("store");
+                model.insert(page, byte);
+            } else {
+                let mut buf = [0u8; 1];
+                m.load(seg, page * BASE_PAGE_SIZE, &mut buf).expect("load");
+                if let Some(&expected) = model.get(&page) {
+                    prop_assert_eq!(buf[0], expected,
+                        "page {} lost its data under eviction", page);
+                }
+            }
+        }
+        // Conservation: all 40 frames accounted across all segments.
+        let kernel = m.kernel();
+        let total: u64 = kernel
+            .segment_ids()
+            .map(|s| kernel.resident_pages(s).expect("resident"))
+            .sum();
+        prop_assert_eq!(total, 40);
+    }
+
+    /// Invariant 6: the clock policy never evicts a page referenced since
+    /// the last sweep while an unreferenced candidate exists.
+    #[test]
+    fn clock_respects_reference_bits(hot in proptest::collection::btree_set(0u64..32, 1..10)) {
+        use epcm::managers::policy::{ClockPolicy, Probe, ReplacementPolicy};
+        let mut clock = ClockPolicy::new();
+        let seg = SegmentId::FRAME_POOL;
+        for p in 0..32u64 {
+            clock.note_resident(seg, p.into());
+        }
+        let mut referenced = hot.clone();
+        let cold = 32 - hot.len();
+        // The first `cold` victims must all be non-hot pages.
+        for _ in 0..cold {
+            let victim = clock
+                .select_victim(&mut |_, p| {
+                    if referenced.contains(&p.as_u64()) {
+                        referenced.remove(&p.as_u64()); // probe clears the bit
+                        Probe::Referenced
+                    } else {
+                        Probe::NotReferenced
+                    }
+                })
+                .expect("victims remain");
+            prop_assert!(!hot.contains(&victim.1.as_u64()),
+                "evicted hot page {} while cold pages remained", victim.1);
+        }
+    }
+}
+
+/// Forced reclamation through the market: a bankrupt manager's holdings
+/// shrink at the next tick.
+#[test]
+fn forced_reclamation_shrinks_bankrupt_holdings() {
+    let mut market = MemoryMarket::new(MarketConfig {
+        income_per_sec: 1.0,
+        charge_per_mb_sec: 100.0,
+        free_when_uncontended: false,
+        ..MarketConfig::default()
+    });
+    market.open_account(ManagerId(1), None);
+    let mut m = Machine::builder(256)
+        .allocation(AllocationPolicy::Market {
+            market,
+            horizon: Micros::new(1),
+        })
+        .build();
+    let id = m.register_manager(Box::new(DefaultSegmentManager::server()));
+    m.set_default_manager(id);
+    let seg = m.create_segment(SegmentKind::Anonymous, 64).unwrap();
+    // Accrue a little income (and run a billing period so the balance is
+    // posted) so the initial request is admitted.
+    m.kernel_mut().charge(Micros::from_secs(30));
+    m.tick().unwrap();
+    for p in 0..64 {
+        m.touch(seg, p, AccessKind::Write).unwrap();
+    }
+    let held_before = m.spcm().granted_to(id);
+    assert!(held_before >= 64);
+    // A long contended period bankrupts the account...
+    m.kernel_mut().charge(Micros::from_secs(60));
+    m.tick().unwrap();
+    // ...and the machine forced roughly half the holdings back.
+    let held_after = m.spcm().granted_to(id);
+    assert!(
+        held_after <= held_before / 2 + 1,
+        "holdings {held_before} -> {held_after}"
+    );
+}
