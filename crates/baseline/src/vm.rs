@@ -353,7 +353,8 @@ impl UltrixVm {
     /// 152 µs primitive.
     pub fn user_protection_fault(&mut self) -> Micros {
         let before = self.clock.now();
-        self.clock.advance(self.costs.ultrix_user_protection_fault());
+        self.clock
+            .advance(self.costs.ultrix_user_protection_fault());
         self.stats.user_faults += 1;
         self.clock.now().duration_since(before)
     }
@@ -443,12 +444,8 @@ mod tests {
 
     #[test]
     fn memory_pressure_swaps_and_recovers() {
-        let mut vm = UltrixVm::with_config(
-            32,
-            CostModel::decstation_5000_200(),
-            Device::Instant,
-            4,
-        );
+        let mut vm =
+            UltrixVm::with_config(32, CostModel::decstation_5000_200(), Device::Instant, 4);
         let heap = vm.create_region(64);
         // 30 frames of anon budget; touch 40 pages.
         for p in 0..40 {
@@ -465,12 +462,8 @@ mod tests {
 
     #[test]
     fn clock_gives_second_chance_to_referenced_pages() {
-        let mut vm = UltrixVm::with_config(
-            12,
-            CostModel::decstation_5000_200(),
-            Device::Instant,
-            2,
-        );
+        let mut vm =
+            UltrixVm::with_config(12, CostModel::decstation_5000_200(), Device::Instant, 2);
         // Budget: 12 - 2 = 10 anon frames.
         let heap = vm.create_region(64);
         for p in 0..10 {

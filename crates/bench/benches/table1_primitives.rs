@@ -18,10 +18,26 @@ fn bench(c: &mut Criterion) {
         m.touch(a, 0, AccessKind::Write).unwrap();
         b.iter(|| {
             m.kernel_mut()
-                .migrate_pages(a, bseg, PageNumber(0), PageNumber(0), 1, PageFlags::RW, PageFlags::empty())
+                .migrate_pages(
+                    a,
+                    bseg,
+                    PageNumber(0),
+                    PageNumber(0),
+                    1,
+                    PageFlags::RW,
+                    PageFlags::empty(),
+                )
                 .unwrap();
             m.kernel_mut()
-                .migrate_pages(bseg, a, PageNumber(0), PageNumber(0), 1, PageFlags::RW, PageFlags::empty())
+                .migrate_pages(
+                    bseg,
+                    a,
+                    PageNumber(0),
+                    PageNumber(0),
+                    1,
+                    PageFlags::RW,
+                    PageFlags::empty(),
+                )
                 .unwrap();
         });
     });

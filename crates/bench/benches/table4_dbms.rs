@@ -8,16 +8,22 @@ use epcm_dbms::engine::run;
 use epcm_dbms::lock::{LockManager, LockMode, Resource, TxnId};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", epcm_bench::table4::render(&epcm_bench::table4::quick_results()));
+    println!(
+        "{}",
+        epcm_bench::table4::render(&epcm_bench::table4::quick_results())
+    );
     println!("(reduced txn count; `cargo run -p epcm-bench --bin reproduce --release -- --table 4` runs paper scale)");
 
     for strategy in IndexStrategy::all() {
-        c.bench_function(&format!("dbms_{}", strategy.label().replace(' ', "_")), |b| {
-            let mut cfg = DbmsConfig::quick(strategy);
-            cfg.txn_count = 500;
-            cfg.warmup = 50;
-            b.iter(|| run(&cfg));
-        });
+        c.bench_function(
+            &format!("dbms_{}", strategy.label().replace(' ', "_")),
+            |b| {
+                let mut cfg = DbmsConfig::quick(strategy);
+                cfg.txn_count = 500;
+                cfg.warmup = 50;
+                b.iter(|| run(&cfg));
+            },
+        );
     }
 
     c.bench_function("lock_acquire_release_cycle", |b| {

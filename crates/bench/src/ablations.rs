@@ -272,9 +272,9 @@ pub fn coloring_comparison() -> (u64, u64, u64, u64) {
     )
 }
 
-/// 11. Mapping-table size sweep: hit rate of the kernel's global hash
-/// table for a working set of `pages` translations, per table size —
-/// why V++ sized it at 64 K entries.
+/// 11\. Mapping-table size sweep: hit rate of the kernel's global hash
+/// table for a working set of `pages` translations, per table size — why
+/// V++ sized it at 64 K entries.
 pub fn mapping_table_sweep(pages: u64, sizes: &[usize]) -> Vec<(usize, f64)> {
     use epcm_core::translate::MappingTable;
     use epcm_workloads::scan::{AccessPattern, ReferenceStream};
@@ -299,8 +299,8 @@ pub fn mapping_table_sweep(pages: u64, sizes: &[usize]) -> Vec<(usize, f64)> {
         .collect()
 }
 
-/// 10. TLB size sweep: hit rate of a uniform random reference stream
-/// over `working_set` pages for each TLB size.
+/// 10\. TLB size sweep: hit rate of a uniform random reference stream over
+/// `working_set` pages for each TLB size.
 pub fn tlb_sweep(working_set: u64, sizes: &[usize]) -> Vec<(usize, f64)> {
     use epcm_core::translate::Tlb;
     use epcm_workloads::scan::{AccessPattern, ReferenceStream};
@@ -388,17 +388,25 @@ pub fn render() -> String {
 
     out.push_str("mapping-table size (4096 live translations):\n");
     for (slots, rate) in mapping_table_sweep(4096, &[1024, 8192, 65_536]) {
-        out.push_str(&format!("  {slots:>6} slots: {:.1}% hit rate\n", rate * 100.0));
+        out.push_str(&format!(
+            "  {slots:>6} slots: {:.1}% hit rate\n",
+            rate * 100.0
+        ));
     }
 
     out.push_str("TLB reach (random refs over 128 pages):\n");
     for (entries, rate) in tlb_sweep(128, &[16, 64, 256, 512]) {
-        out.push_str(&format!("  {entries:>3} entries: {:.1}% hit rate\n", rate * 100.0));
+        out.push_str(&format!(
+            "  {entries:>3} entries: {:.1}% hit rate\n",
+            rate * 100.0
+        ));
     }
 
     out.push_str("DBMS fault-delay sweep (avg ms, paging vs regeneration):\n");
     for (ms, paging, regen) in dbms_fault_sweep(&[2, 6, 12, 20]) {
-        out.push_str(&format!("  {ms:>2} ms faults: paging {paging:>7.0}, regeneration {regen:>5.0}\n"));
+        out.push_str(&format!(
+            "  {ms:>2} ms faults: paging {paging:>7.0}, regeneration {regen:>5.0}\n"
+        ));
     }
     out
 }
@@ -446,8 +454,18 @@ mod tests {
         // driven only by fault-time recency — without reference sampling
         // it degenerates towards FIFO, which is itself an instructive
         // ablation result.)
-        assert!(get("clock") < get("random"), "clock {} random {}", get("clock"), get("random"));
-        assert!(get("clock") < get("fifo"), "clock {} fifo {}", get("clock"), get("fifo"));
+        assert!(
+            get("clock") < get("random"),
+            "clock {} random {}",
+            get("clock"),
+            get("random")
+        );
+        assert!(
+            get("clock") < get("fifo"),
+            "clock {} fifo {}",
+            get("clock"),
+            get("fifo")
+        );
     }
 
     #[test]
@@ -482,15 +500,27 @@ mod tests {
     #[test]
     fn mapping_table_sized_like_vpp_never_misses() {
         let sweep = mapping_table_sweep(4096, &[1024, 65_536]);
-        assert!(sweep[0].1 < 0.9, "undersized table thrashes: {:.2}", sweep[0].1);
-        assert!(sweep[1].1 > 0.97, "the 64K table holds the set: {:.2}", sweep[1].1);
+        assert!(
+            sweep[0].1 < 0.9,
+            "undersized table thrashes: {:.2}",
+            sweep[0].1
+        );
+        assert!(
+            sweep[1].1 > 0.97,
+            "the 64K table holds the set: {:.2}",
+            sweep[1].1
+        );
     }
 
     #[test]
     fn bigger_tlb_reaches_further() {
         let sweep = tlb_sweep(128, &[16, 256]);
-        assert!(sweep[1].1 > sweep[0].1 + 0.2,
-            "256 entries {:.2} should beat 16 entries {:.2}", sweep[1].1, sweep[0].1);
+        assert!(
+            sweep[1].1 > sweep[0].1 + 0.2,
+            "256 entries {:.2} should beat 16 entries {:.2}",
+            sweep[1].1,
+            sweep[0].1
+        );
     }
 
     #[test]
@@ -499,6 +529,9 @@ mod tests {
         let (p2, r2) = (sweep[0].1, sweep[0].2);
         let (p12, r12) = (sweep[1].1, sweep[1].2);
         assert!(p12 > 2.0 * p2, "paging grows: {p2} -> {p12}");
-        assert!((r12 - r2).abs() < 0.5 * r2.max(1.0), "regen flat: {r2} -> {r12}");
+        assert!(
+            (r12 - r2).abs() < 0.5 * r2.max(1.0),
+            "regen flat: {r2} -> {r12}"
+        );
     }
 }

@@ -6,14 +6,34 @@
 //! reproduce              # Tables 1-4
 //! reproduce --table 4    # one table
 //! reproduce --quick      # Table 4 at reduced transaction count
+//! reproduce --json       # also write BENCH_*.json result files
 //! reproduce --ablations  # ablation sweeps only
 //! ```
+//!
+//! `--json` writes one machine-readable document per table into the
+//! current directory (`BENCH_table1.json`, `BENCH_tables23.json`,
+//! `BENCH_table4.json`) plus `BENCH_metrics.json`, the full unified
+//! metrics snapshot of a traced application run. CI archives these as
+//! build artifacts.
 
-use epcm_bench::{ablations, table1, table23, table4};
+use epcm_bench::{ablations, json_report, table1, table23, table4};
+
+fn write_json(path: &str, json: &str) {
+    let mut contents = json.to_string();
+    contents.push('\n');
+    match std::fs::write(path, contents) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("error: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let only_table: Option<u32> = args
         .iter()
         .position(|a| a == "--table")
@@ -26,14 +46,32 @@ fn main() {
     let want = |n: u32| only_table.is_none() || only_table == Some(n);
     if want(1) {
         print!("{}", table1::render());
+        if json {
+            write_json("BENCH_table1.json", &json_report::table1_json());
+        }
     }
     if want(2) || want(3) {
-        let results = table23::results();
-        if want(2) {
-            print!("{}", table23::render_table2(&results));
-        }
-        if want(3) {
-            print!("{}", table23::render_table3(&results));
+        if json {
+            // Traced runs produce the same reports plus event counts.
+            let traced = json_report::traced_results();
+            let results: Vec<table23::AppResult> =
+                traced.iter().map(|t| t.result.clone()).collect();
+            if want(2) {
+                print!("{}", table23::render_table2(&results));
+            }
+            if want(3) {
+                print!("{}", table23::render_table3(&results));
+            }
+            write_json("BENCH_tables23.json", &json_report::tables23_json(&traced));
+            write_json("BENCH_metrics.json", &json_report::metrics_json(&traced[0]));
+        } else {
+            let results = table23::results();
+            if want(2) {
+                print!("{}", table23::render_table2(&results));
+            }
+            if want(3) {
+                print!("{}", table23::render_table3(&results));
+            }
         }
     }
     if want(4) {
@@ -43,6 +81,12 @@ fn main() {
             table4::results()
         };
         print!("{}", table4::render(&results));
+        if json {
+            write_json(
+                "BENCH_table4.json",
+                &json_report::table4_json(&results, quick),
+            );
+        }
     }
     println!("\n(Figures 1 and 2 are architecture diagrams; run `cargo run --example address_space` and `cargo run --example fault_walkthrough` for their executable equivalents.)");
 }

@@ -1,0 +1,211 @@
+//! Machine-readable `BENCH_*.json` result files.
+//!
+//! CI runs `reproduce --json` and archives these files, so regressions in
+//! the reproduced tables are diffable across commits without scraping the
+//! human-oriented text tables. Everything is emitted through
+//! [`epcm_trace::json`]: insertion-ordered fields, no external
+//! dependencies, byte-stable for identical runs.
+//!
+//! Each table gets one document; Tables 2/3 come from *traced* runs so
+//! the per-application rows carry event counts alongside the report
+//! numbers, and the full unified metrics snapshot of the first traced
+//! application is emitted as its own document.
+
+use epcm_dbms::engine::DbmsReport;
+use epcm_trace::json::{JsonArray, JsonObject};
+use epcm_workloads::apps::table2_apps;
+use epcm_workloads::runner::{run_on_ultrix, run_on_vpp_traced, TracedRun, PAPER_FRAMES};
+
+use crate::{table1, table23, table4};
+
+/// Ring capacity for traced benchmark runs: big enough that the paper
+/// workloads never wrap (their event totals are in the low thousands).
+pub const TRACE_CAPACITY: usize = 256 * 1024;
+
+/// One application's Tables 2/3 measurements plus the trace evidence.
+#[derive(Debug, Clone)]
+pub struct TracedAppResult {
+    /// The paper-vs-measured numbers, as in [`table23::results`].
+    pub result: table23::AppResult,
+    /// The V++ run's event stream and metrics snapshot.
+    pub traced: TracedRun,
+}
+
+/// Runs all three Table 2 applications with event tracing enabled.
+pub fn traced_results() -> Vec<TracedAppResult> {
+    table2_apps()
+        .into_iter()
+        .map(|(spec, paper)| {
+            let traced = run_on_vpp_traced(&spec, PAPER_FRAMES, TRACE_CAPACITY).expect("vpp run");
+            TracedAppResult {
+                result: table23::AppResult {
+                    paper,
+                    vpp: traced.report.clone(),
+                    ultrix: run_on_ultrix(&spec, PAPER_FRAMES),
+                },
+                traced,
+            }
+        })
+        .collect()
+}
+
+fn opt_u64(o: JsonObject, name: &str, v: Option<u64>) -> JsonObject {
+    match v {
+        Some(v) => o.u64(name, v),
+        None => o.raw(name, "null"),
+    }
+}
+
+/// Table 1 as JSON: one row per primitive, paper and measured µs.
+pub fn table1_json() -> String {
+    let mut rows = JsonArray::new();
+    for r in table1::rows() {
+        let mut o = JsonObject::new().string("label", r.label);
+        o = opt_u64(o, "paper_vpp_us", r.paper_vpp);
+        o = opt_u64(o, "measured_vpp_us", r.measured_vpp);
+        o = opt_u64(o, "paper_ultrix_us", r.paper_ultrix);
+        o = opt_u64(o, "measured_ultrix_us", r.measured_ultrix);
+        rows.push_raw(o.finish());
+    }
+    JsonObject::new()
+        .string("table", "1")
+        .string("title", "System primitive times (microseconds)")
+        .raw("rows", rows.finish())
+        .finish()
+}
+
+/// The event counts a Tables 2/3 row carries: everything the default
+/// manager's control path emits.
+const ROW_EVENT_KINDS: [&str; 8] = [
+    "fault",
+    "migrate",
+    "batch_swap",
+    "reclaim",
+    "uio_read",
+    "uio_write",
+    "flag_change",
+    "market_charge",
+];
+
+/// Tables 2 and 3 as one JSON document: per-application paper and
+/// measured numbers plus the run's event counts.
+pub fn tables23_json(results: &[TracedAppResult]) -> String {
+    let mut rows = JsonArray::new();
+    for r in results {
+        let a = &r.result;
+        let mut events = JsonObject::new();
+        for kind in ROW_EVENT_KINDS {
+            events = events.u64(kind, r.traced.event_count(kind));
+        }
+        rows.push_raw(
+            JsonObject::new()
+                .string("name", &a.vpp.name)
+                .f64("paper_vpp_secs", a.paper.vpp_secs)
+                .f64("measured_vpp_secs", a.vpp.elapsed.as_secs_f64())
+                .f64("paper_ultrix_secs", a.paper.ultrix_secs)
+                .f64("measured_ultrix_secs", a.ultrix.elapsed.as_secs_f64())
+                .u64("paper_manager_calls", a.paper.manager_calls)
+                .u64("measured_manager_calls", a.vpp.manager_calls)
+                .u64("paper_migrate_calls", a.paper.migrate_calls)
+                .u64("measured_migrate_calls", a.vpp.migrate_calls)
+                .u64("paper_overhead_ms", a.paper.overhead_ms)
+                .f64("measured_overhead_ms", a.overhead_ms())
+                .u64("faults", a.vpp.faults)
+                .u64("zero_fills", a.vpp.zero_fills)
+                .raw("events", events.finish())
+                .finish(),
+        );
+    }
+    JsonObject::new()
+        .string("table", "2+3")
+        .string("title", "Application elapsed time and VM activity")
+        .raw("rows", rows.finish())
+        .finish()
+}
+
+/// Table 4 as JSON: one row per index strategy.
+pub fn table4_json(results: &[DbmsReport], quick: bool) -> String {
+    let mut rows = JsonArray::new();
+    for r in results {
+        let (avg, worst) = table4::paper_values(r.strategy);
+        rows.push_raw(
+            JsonObject::new()
+                .string("strategy", r.strategy.label())
+                .f64("paper_average_ms", avg)
+                .f64("measured_average_ms", r.average_ms())
+                .f64("paper_worst_ms", worst)
+                .f64("measured_worst_ms", r.worst_ms())
+                .u64("index_restorations", r.index_restorations)
+                .u64("lock_grants", r.lock_contention.0)
+                .u64("lock_waits", r.lock_contention.1)
+                .finish(),
+        );
+    }
+    JsonObject::new()
+        .string("table", "4")
+        .string(
+            "title",
+            "Effect of memory usage on transaction response (ms)",
+        )
+        .bool("quick", quick)
+        .raw("rows", rows.finish())
+        .finish()
+}
+
+/// The full unified metrics snapshot of one traced application run —
+/// every `kernel.*`, `spcm.*`, `manager.*` and `trace.events.*` counter.
+pub fn metrics_json(app: &TracedAppResult) -> String {
+    JsonObject::new()
+        .string("app", &app.result.vpp.name)
+        .u64(
+            "trace_recorded",
+            app.traced.metrics.counter("trace.recorded"),
+        )
+        .u64("trace_dropped", app.traced.metrics.counter("trace.dropped"))
+        .raw("metrics", app.traced.metrics.to_json())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_json_has_all_rows_and_null_for_in_text_value() {
+        let j = table1_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"label\":\"Write 4KB\""));
+        // The in-text user-level fault row has no paper V++ number.
+        assert!(j.contains("\"paper_vpp_us\":null"));
+    }
+
+    #[test]
+    fn tables23_json_carries_event_counts_that_match_the_report() {
+        let results = traced_results();
+        let j = tables23_json(&results);
+        for r in &results {
+            assert!(j.contains(&format!("\"name\":\"{}\"", r.result.vpp.name)));
+            // Event counts are embedded, and corroborate Table 3's
+            // migrate column (migrate events cover warm-up too, so >=).
+            assert!(r.traced.event_count("migrate") >= r.result.vpp.migrate_calls);
+        }
+        assert!(j.contains("\"events\":{\"fault\":"));
+    }
+
+    #[test]
+    fn table4_json_quick_lists_all_strategies() {
+        let j = table4_json(&table4::quick_results(), true);
+        assert!(j.contains("\"quick\":true"));
+        assert!(j.contains("no-index") || j.contains("No index") || j.contains("NoIndex"));
+        assert!(j.contains("\"measured_average_ms\":"));
+    }
+
+    #[test]
+    fn metrics_json_embeds_the_snapshot() {
+        let results = traced_results();
+        let j = metrics_json(&results[0]);
+        assert!(j.contains("\"metrics\":{\"counters\":{"));
+        assert!(j.contains("trace.events.fault"));
+        assert!(j.contains("kernel.references"));
+    }
+}

@@ -13,10 +13,13 @@
 //! * [`ablations`] — manager-mode, zeroing, transfer-unit, protection
 //!   batching, replacement policy, prefetch depth, page coloring, memory
 //!   market, and DBMS fault-latency sweeps.
+//! * [`json_report`] — the same tables as machine-readable `BENCH_*.json`
+//!   documents (with per-run event counts) for CI archival.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod json_report;
 pub mod table1;
 pub mod table23;
 pub mod table4;

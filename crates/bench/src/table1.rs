@@ -35,7 +35,9 @@ pub fn vpp_minimal_fault_in_process() -> Micros {
         ManagerMode::FaultingProcess,
     )));
     m.set_default_manager(id);
-    let seg = m.create_segment(SegmentKind::Anonymous, 8).expect("segment");
+    let seg = m
+        .create_segment(SegmentKind::Anonymous, 8)
+        .expect("segment");
     m.touch(seg, 0, AccessKind::Write).expect("warm fault");
     let t0 = m.now();
     m.touch(seg, 1, AccessKind::Write).expect("measured fault");
@@ -46,7 +48,9 @@ pub fn vpp_minimal_fault_in_process() -> Micros {
 /// (paper: 379).
 pub fn vpp_minimal_fault_server() -> Micros {
     let mut m = Machine::with_default_manager(256);
-    let seg = m.create_segment(SegmentKind::Anonymous, 8).expect("segment");
+    let seg = m
+        .create_segment(SegmentKind::Anonymous, 8)
+        .expect("segment");
     m.touch(seg, 0, AccessKind::Write).expect("warm fault");
     let t0 = m.now();
     m.touch(seg, 1, AccessKind::Write).expect("measured fault");
@@ -117,7 +121,9 @@ pub fn vpp_protection_fault_in_process() -> Micros {
         ManagerMode::FaultingProcess,
     )));
     m.set_default_manager(id);
-    let seg = m.create_segment(SegmentKind::Anonymous, 8).expect("segment");
+    let seg = m
+        .create_segment(SegmentKind::Anonymous, 8)
+        .expect("segment");
     m.touch(seg, 0, AccessKind::Write).expect("fault in");
     m.kernel_mut()
         .modify_page_flags(seg, PageNumber(0), 1, PageFlags::empty(), PageFlags::RW)

@@ -71,7 +71,13 @@ pub fn render_table3(results: &[AppResult]) -> String {
     out.push_str("\n=== Table 3: VM System Activity and Costs ===\n");
     out.push_str(&format!(
         "{:<12} {:>11} {:>11} {:>12} {:>12} {:>13} {:>13}\n",
-        "Program", "calls paper", "calls here", "migr. paper", "migr. here", "ovhd paper", "ovhd here"
+        "Program",
+        "calls paper",
+        "calls here",
+        "migr. paper",
+        "migr. here",
+        "ovhd paper",
+        "ovhd here"
     ));
     for r in results {
         out.push_str(&format!(

@@ -62,9 +62,24 @@ mod tests {
         let avg: Vec<f64> = rs.iter().map(|r| r.average_ms()).collect();
         // no-index and paging are the slow pair; in-memory and
         // regeneration the fast pair.
-        assert!(avg[0] > 5.0 * avg[1], "no-index {} vs in-memory {}", avg[0], avg[1]);
-        assert!(avg[2] > 5.0 * avg[3], "paging {} vs regen {}", avg[2], avg[3]);
-        assert!(avg[3] < 2.0 * avg[1], "regen {} near in-memory {}", avg[3], avg[1]);
+        assert!(
+            avg[0] > 5.0 * avg[1],
+            "no-index {} vs in-memory {}",
+            avg[0],
+            avg[1]
+        );
+        assert!(
+            avg[2] > 5.0 * avg[3],
+            "paging {} vs regen {}",
+            avg[2],
+            avg[3]
+        );
+        assert!(
+            avg[3] < 2.0 * avg[1],
+            "regen {} near in-memory {}",
+            avg[3],
+            avg[1]
+        );
     }
 
     #[test]

@@ -96,7 +96,10 @@ impl fmt::Display for KernelError {
                 "page size mismatch: source {src_pages} base pages, destination {dst_pages}"
             ),
             KernelError::RegionOverlap { segment, page } => {
-                write!(f, "bound region overlaps existing region at {page} of {segment}")
+                write!(
+                    f,
+                    "bound region overlaps existing region at {page} of {segment}"
+                )
             }
             KernelError::BindingTooDeep(s) => {
                 write!(f, "binding chain through {s} exceeds the depth limit")
@@ -106,7 +109,10 @@ impl fmt::Display for KernelError {
             }
             KernelError::NotAFile(s) => write!(f, "{s} is not a cached-file segment"),
             KernelError::BootSegmentImmutable => {
-                write!(f, "the boot frame-pool segment cannot be destroyed or resized")
+                write!(
+                    f,
+                    "the boot frame-pool segment cannot be destroyed or resized"
+                )
             }
             KernelError::Store(e) => write!(f, "backing store: {e}"),
             KernelError::RecursiveFault(ev) => {
@@ -157,7 +163,8 @@ mod tests {
     #[test]
     fn store_error_has_source() {
         use std::error::Error;
-        let inner = epcm_sim::disk::FileStoreError::UnknownFile(epcm_sim::disk::FileId::from_raw(0));
+        let inner =
+            epcm_sim::disk::FileStoreError::UnknownFile(epcm_sim::disk::FileId::from_raw(0));
         let e = KernelError::from(inner);
         assert!(e.source().is_some());
     }

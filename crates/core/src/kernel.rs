@@ -16,6 +16,8 @@
 
 use epcm_sim::clock::{Clock, Micros, Timestamp};
 use epcm_sim::cost::CostModel;
+use epcm_trace::event::{access, fault_class};
+use epcm_trace::{EventKind, MetricsRegistry, SharedTracer, TraceEvent, TraceSink};
 
 use std::collections::BTreeMap;
 
@@ -168,6 +170,7 @@ pub struct Kernel {
     clock: Clock,
     costs: CostModel,
     stats: KernelStats,
+    tracer: Option<SharedTracer>,
 }
 
 impl Kernel {
@@ -209,7 +212,10 @@ impl Kernel {
                     flags: PageFlags::RW,
                 },
             );
-            frames_table.set_owner(id, Some((SegmentId::FRAME_POOL, PageNumber(id.index() as u64))));
+            frames_table.set_owner(
+                id,
+                Some((SegmentId::FRAME_POOL, PageNumber(id.index() as u64))),
+            );
         }
         let mut segments = BTreeMap::new();
         segments.insert(0, boot);
@@ -222,6 +228,7 @@ impl Kernel {
             clock: Clock::new(),
             costs,
             stats: KernelStats::default(),
+            tracer: None,
         }
     }
 
@@ -266,6 +273,58 @@ impl Kernel {
         self.tlb.reset_stats();
     }
 
+    // ----- tracing / metrics ----------------------------------------------
+
+    /// Installs a shared event tracer: every subsequent kernel operation
+    /// (fault delivery, migration, composition, flag changes, UIO
+    /// transfers) is recorded into it at the current virtual time.
+    /// Cloning the kernel shares the tracer.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<&SharedTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Records `kind` at the current virtual time, if tracing is on.
+    fn trace(&self, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record(TraceEvent::new(self.clock.now().as_micros(), kind));
+        }
+    }
+
+    /// Exports every kernel counter into `m` under stable `kernel.*`
+    /// names. This is the kernel's contribution to the unified metrics
+    /// registry; the fast-path accumulators ([`KernelStats`], mapping and
+    /// TLB stats) stay as plain struct fields and are copied out here.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry) {
+        let s = &self.stats;
+        m.set("kernel.references", s.references);
+        m.set("kernel.faults.missing", s.faults_missing);
+        m.set("kernel.faults.protection", s.faults_protection);
+        m.set("kernel.faults.cow", s.faults_cow);
+        m.set("kernel.migrate.calls", s.migrate_calls);
+        m.set("kernel.migrate.pages", s.pages_migrated);
+        m.set("kernel.modify_flags.calls", s.modify_calls);
+        m.set("kernel.get_attr.calls", s.get_attr_calls);
+        m.set("kernel.uio.reads", s.uio_reads);
+        m.set("kernel.uio.writes", s.uio_writes);
+        m.set("kernel.zero_fills", s.zero_fills);
+        m.set("kernel.cow_copies", s.cow_copies);
+        let ms = self.mapping.stats();
+        m.set("kernel.mapping.direct_hits", ms.direct_hits);
+        m.set("kernel.mapping.overflow_hits", ms.overflow_hits);
+        m.set("kernel.mapping.misses", ms.misses);
+        m.set("kernel.mapping.displacements", ms.displacements);
+        m.set("kernel.mapping.overflow_evictions", ms.overflow_evictions);
+        let ts = self.tlb.stats();
+        m.set("kernel.tlb.hits", ts.hits);
+        m.set("kernel.tlb.misses", ts.misses);
+        m.set("kernel.tlb.invalidations", ts.invalidations);
+    }
+
     // ----- segment lifecycle ----------------------------------------------
 
     /// Creates a segment of `size_pages` pages, each `page_frames` base
@@ -284,8 +343,10 @@ impl Kernel {
     ) -> Result<SegmentId, KernelError> {
         let id = SegmentId(self.next_segment);
         self.next_segment += 1;
-        self.segments
-            .insert(id.0, Segment::new(id, kind, user, manager, page_frames, size_pages));
+        self.segments.insert(
+            id.0,
+            Segment::new(id, kind, user, manager, page_frames, size_pages),
+        );
         self.clock.advance(self.costs.segment_ctl);
         Ok(id)
     }
@@ -466,7 +527,10 @@ impl Kernel {
         self.check_depth(target, seg, 1)?;
         let s = self.segment(seg)?;
         if s.has_resident_in(at, pages) {
-            return Err(KernelError::RegionOverlap { segment: seg, page: at });
+            return Err(KernelError::RegionOverlap {
+                segment: seg,
+                page: at,
+            });
         }
         let region = BoundRegion {
             at,
@@ -477,13 +541,21 @@ impl Kernel {
             protection,
         };
         if !self.segment_mut(seg)?.add_region(region) {
-            return Err(KernelError::RegionOverlap { segment: seg, page: at });
+            return Err(KernelError::RegionOverlap {
+                segment: seg,
+                page: at,
+            });
         }
         self.clock.advance(self.costs.bind_region);
         Ok(())
     }
 
-    fn check_depth(&self, seg: SegmentId, origin: SegmentId, depth: usize) -> Result<(), KernelError> {
+    fn check_depth(
+        &self,
+        seg: SegmentId,
+        origin: SegmentId,
+        depth: usize,
+    ) -> Result<(), KernelError> {
         if seg == origin || depth > MAX_BIND_DEPTH {
             return Err(KernelError::BindingTooDeep(seg));
         }
@@ -507,7 +579,10 @@ impl Kernel {
                 self.clock.advance(self.costs.bind_region);
                 Ok(())
             }
-            None => Err(KernelError::RegionOverlap { segment: seg, page: at }),
+            None => Err(KernelError::RegionOverlap {
+                segment: seg,
+                page: at,
+            }),
         }
     }
 
@@ -641,9 +716,7 @@ impl Kernel {
                     return Ok(AccessOutcome::Fault(self.make_fault(
                         hold_segment,
                         hold_page,
-                        FaultKind::Protection {
-                            flags: prot_mask,
-                        },
+                        FaultKind::Protection { flags: prot_mask },
                         access,
                         seg,
                         page,
@@ -715,6 +788,20 @@ impl Kernel {
         }
         self.clock.advance(self.costs.trap_entry);
         let manager = self.segments[&segment.0].manager();
+        self.trace(EventKind::Fault {
+            manager: manager.0,
+            segment: segment.0 as u64,
+            page: page.as_u64(),
+            access: match access {
+                AccessKind::Read => access::READ,
+                AccessKind::Write => access::WRITE,
+            },
+            class: match kind {
+                FaultKind::Missing => fault_class::MISSING,
+                FaultKind::Protection { .. } => fault_class::PROTECTION,
+                FaultKind::CopyOnWrite { .. } => fault_class::COW,
+            },
+        });
         FaultEvent {
             manager,
             segment,
@@ -767,6 +854,11 @@ impl Kernel {
             self.stats.pages_migrated += 1;
             self.clock.advance(self.costs.migrate_per_page);
         }
+        self.trace(EventKind::Migrate {
+            from_segment: src.0 as u64,
+            to_segment: dst.0 as u64,
+            pages: count,
+        });
         Ok(())
     }
 
@@ -815,13 +907,13 @@ impl Kernel {
                 page: dst_pg,
             });
         }
-        let entry = self
-            .segment_mut(src_seg)?
-            .remove_entry(src_pg)
-            .ok_or(KernelError::PageNotPresent {
-                segment: src_seg,
-                page: src_pg,
-            })?;
+        let entry =
+            self.segment_mut(src_seg)?
+                .remove_entry(src_pg)
+                .ok_or(KernelError::PageNotPresent {
+                    segment: src_seg,
+                    page: src_pg,
+                })?;
         self.mapping.remove(src_seg, src_pg);
         self.tlb.invalidate(src_seg, src_pg);
 
@@ -839,21 +931,24 @@ impl Kernel {
             self.clock.advance(self.costs.page_zero_4k * src_pf);
         }
         for i in 0..src_pf {
-            self.frames.set_last_user(FrameId(frame.0 + i as u32), dst_user);
+            self.frames
+                .set_last_user(FrameId(frame.0 + i as u32), dst_user);
         }
 
         // Kernel-performed COW copy.
         if let Some((cs, cp)) = cow_source {
-            let src_entry =
-                self.segment(cs)?
-                    .entry(cp)
-                    .ok_or(KernelError::PageNotPresent {
-                        segment: cs,
-                        page: cp,
-                    })?;
+            let src_entry = self
+                .segment(cs)?
+                .entry(cp)
+                .ok_or(KernelError::PageNotPresent {
+                    segment: cs,
+                    page: cp,
+                })?;
             for i in 0..src_pf {
-                self.frames
-                    .copy(FrameId(src_entry.frame.0 + i as u32), FrameId(frame.0 + i as u32));
+                self.frames.copy(
+                    FrameId(src_entry.frame.0 + i as u32),
+                    FrameId(frame.0 + i as u32),
+                );
             }
             self.stats.cow_copies += 1;
             self.clock.advance(self.costs.page_copy_4k * src_pf);
@@ -920,7 +1015,10 @@ impl Kernel {
             let entry = self
                 .segment(src)?
                 .entry(p)
-                .ok_or(KernelError::PageNotPresent { segment: src, page: p })?;
+                .ok_or(KernelError::PageNotPresent {
+                    segment: src,
+                    page: p,
+                })?;
             match first {
                 None => first = Some(entry.frame),
                 Some(f) if entry.frame.0 == f.0 + i as u32 => {}
@@ -958,6 +1056,11 @@ impl Kernel {
         self.stats.pages_migrated += 1;
         self.clock
             .advance(self.costs.migrate_pages(k) - self.costs.kernel_call + self.costs.kernel_call);
+        self.trace(EventKind::Compose {
+            segment: dst.0 as u64,
+            page: dst_page.as_u64(),
+            frames: k,
+        });
         Ok(())
     }
 
@@ -995,16 +1098,19 @@ impl Kernel {
         for i in 0..k {
             let p = dst_page.offset(i);
             if self.segment(dst)?.entry(p).is_some() {
-                return Err(KernelError::DestinationOccupied { segment: dst, page: p });
+                return Err(KernelError::DestinationOccupied {
+                    segment: dst,
+                    page: p,
+                });
             }
         }
-        let entry = self
-            .segment_mut(src)?
-            .remove_entry(src_page)
-            .ok_or(KernelError::PageNotPresent {
-                segment: src,
-                page: src_page,
-            })?;
+        let entry =
+            self.segment_mut(src)?
+                .remove_entry(src_page)
+                .ok_or(KernelError::PageNotPresent {
+                    segment: src,
+                    page: src_page,
+                })?;
         self.mapping.remove(src, src_page);
         let dst_user = self.segment(dst)?.user();
         for i in 0..k {
@@ -1029,6 +1135,10 @@ impl Kernel {
         self.stats.migrate_calls += 1;
         self.stats.pages_migrated += 1;
         self.clock.advance(self.costs.migrate_pages(k));
+        self.trace(EventKind::Decompose {
+            segment: src.0 as u64,
+            page: src_page.as_u64(),
+        });
         Ok(())
     }
 
@@ -1050,23 +1160,37 @@ impl Kernel {
         clear: PageFlags,
     ) -> Result<(), KernelError> {
         self.stats.modify_calls += 1;
-        self.clock
-            .advance(self.costs.modify_page_flags(count) - self.costs.kernel_call
-                + self.costs.kernel_call);
+        self.clock.advance(
+            self.costs.modify_page_flags(count) - self.costs.kernel_call + self.costs.kernel_call,
+        );
         for i in 0..count {
             let p = page.offset(i);
             let (oseg, opage) = match self.resolve(seg, p, false)? {
                 Resolved::Own { segment, page, .. } => (segment, page),
                 Resolved::CowPending { .. } => {
-                    return Err(KernelError::PageNotPresent { segment: seg, page: p })
+                    return Err(KernelError::PageNotPresent {
+                        segment: seg,
+                        page: p,
+                    })
                 }
             };
             match self.segment_mut(oseg)?.entry_mut(opage) {
                 Some(e) => e.flags = e.flags.apply(set, clear),
-                None => return Err(KernelError::PageNotPresent { segment: oseg, page: opage }),
+                None => {
+                    return Err(KernelError::PageNotPresent {
+                        segment: oseg,
+                        page: opage,
+                    })
+                }
             }
             self.tlb.invalidate(oseg, opage);
         }
+        self.trace(EventKind::FlagChange {
+            segment: seg.0 as u64,
+            page: page.as_u64(),
+            pages: count,
+            flags: set.bits(),
+        });
         Ok(())
     }
 
@@ -1090,22 +1214,22 @@ impl Kernel {
             let p = page.offset(i);
             let resolved = self.resolve(seg, p, false)?;
             let attr = match resolved {
-                Resolved::Own { segment, page: op, .. } => {
-                    match self.segment(segment)?.entry(op) {
-                        Some(e) => PageAttributes {
-                            page: p,
-                            present: true,
-                            flags: e.flags,
-                            frame: Some(e.frame),
-                        },
-                        None => PageAttributes {
-                            page: p,
-                            present: false,
-                            flags: PageFlags::empty(),
-                            frame: None,
-                        },
-                    }
-                }
+                Resolved::Own {
+                    segment, page: op, ..
+                } => match self.segment(segment)?.entry(op) {
+                    Some(e) => PageAttributes {
+                        page: p,
+                        present: true,
+                        flags: e.flags,
+                        frame: Some(e.frame),
+                    },
+                    None => PageAttributes {
+                        page: p,
+                        present: false,
+                        flags: PageFlags::empty(),
+                        frame: None,
+                    },
+                },
                 Resolved::CowPending {
                     source_segment,
                     source_page,
@@ -1250,7 +1374,12 @@ impl Kernel {
         Ok(())
     }
 
-    fn copy_bytes_in(&mut self, seg: SegmentId, offset: u64, buf: &[u8]) -> Result<(), KernelError> {
+    fn copy_bytes_in(
+        &mut self,
+        seg: SegmentId,
+        offset: u64,
+        buf: &[u8],
+    ) -> Result<(), KernelError> {
         let page_size = self.segment(seg)?.page_size();
         let pf = self.segment(seg)?.page_frames();
         let mut done = 0u64;
@@ -1396,6 +1525,11 @@ impl Kernel {
                     self.costs.kernel_call
                         + (self.costs.uio_lookup_read + self.costs.page_copy_4k) * blocks,
                 );
+                self.trace(EventKind::UioRead {
+                    segment: seg.0 as u64,
+                    offset,
+                    len: buf.len() as u64,
+                });
                 Ok(AccessOutcome::Completed)
             }
         }
@@ -1425,6 +1559,11 @@ impl Kernel {
                     self.costs.kernel_call
                         + (self.costs.uio_lookup_write + self.costs.page_copy_4k) * blocks,
                 );
+                self.trace(EventKind::UioWrite {
+                    segment: seg.0 as u64,
+                    offset,
+                    len: buf.len() as u64,
+                });
                 Ok(AccessOutcome::Completed)
             }
         }
@@ -1442,7 +1581,13 @@ fn block_count(len: u64) -> u64 {
     len.div_ceil(BASE_PAGE_SIZE).max(1)
 }
 
-fn copy_frames_out(frames: &FrameTable, first: FrameId, page_frames: u64, offset: u64, buf: &mut [u8]) {
+fn copy_frames_out(
+    frames: &FrameTable,
+    first: FrameId,
+    page_frames: u64,
+    offset: u64,
+    buf: &mut [u8],
+) {
     let mut done = 0usize;
     while done < buf.len() {
         let off = offset + done as u64;
@@ -1456,7 +1601,13 @@ fn copy_frames_out(frames: &FrameTable, first: FrameId, page_frames: u64, offset
     }
 }
 
-fn copy_frames_in(frames: &mut FrameTable, first: FrameId, page_frames: u64, offset: u64, buf: &[u8]) {
+fn copy_frames_in(
+    frames: &mut FrameTable,
+    first: FrameId,
+    page_frames: u64,
+    offset: u64,
+    buf: &[u8],
+) {
     let mut done = 0usize;
     while done < buf.len() {
         let off = offset + done as u64;
@@ -1629,14 +1780,8 @@ mod tests {
         let seg = anon_segment(&mut k, 4);
         alloc(&mut k, seg, 0, 1);
         // Revoke write.
-        k.modify_page_flags(
-            seg,
-            PageNumber(0),
-            1,
-            PageFlags::empty(),
-            PageFlags::WRITE,
-        )
-        .unwrap();
+        k.modify_page_flags(seg, PageNumber(0), 1, PageFlags::empty(), PageFlags::WRITE)
+            .unwrap();
         let out = k.reference(seg, PageNumber(0), AccessKind::Write).unwrap();
         match out {
             AccessOutcome::Fault(f) => match f.kind {
@@ -1724,7 +1869,9 @@ mod tests {
         assert!(k.load(child, 0, &mut buf).unwrap().is_completed());
         assert_eq!(&buf, b"original");
         // Write faults with CopyOnWrite naming the source.
-        let out = k.reference(child, PageNumber(0), AccessKind::Write).unwrap();
+        let out = k
+            .reference(child, PageNumber(0), AccessKind::Write)
+            .unwrap();
         match out {
             AccessOutcome::Fault(f) => {
                 assert_eq!(f.segment, child);
@@ -1769,7 +1916,9 @@ mod tests {
         )
         .unwrap();
         // Source has no data: the missing fault targets the source segment.
-        let out = k.reference(child, PageNumber(1), AccessKind::Write).unwrap();
+        let out = k
+            .reference(child, PageNumber(1), AccessKind::Write)
+            .unwrap();
         match out {
             AccessOutcome::Fault(f) => {
                 assert_eq!(f.segment, source);
@@ -1945,14 +2094,8 @@ mod tests {
         let mut k = kernel();
         let seg = anon_segment(&mut k, 4);
         alloc(&mut k, seg, 0, 2);
-        k.modify_page_flags(
-            seg,
-            PageNumber(0),
-            2,
-            PageFlags::PINNED,
-            PageFlags::WRITE,
-        )
-        .unwrap();
+        k.modify_page_flags(seg, PageNumber(0), 2, PageFlags::PINNED, PageFlags::WRITE)
+            .unwrap();
         for p in 0..2 {
             let e = k.segment(seg).unwrap().entry(PageNumber(p)).unwrap();
             assert!(e.flags.contains(PageFlags::PINNED));
@@ -2024,7 +2167,8 @@ mod tests {
         let mut k = kernel();
         let seg = anon_segment(&mut k, 4);
         assert!(matches!(
-            k.reference(seg, PageNumber(4), AccessKind::Read).unwrap_err(),
+            k.reference(seg, PageNumber(4), AccessKind::Read)
+                .unwrap_err(),
             KernelError::PageOutOfRange { .. }
         ));
     }
@@ -2098,8 +2242,14 @@ mod tests {
         let mut k = kernel();
         let seg = anon_segment(&mut k, 4);
         alloc(&mut k, seg, 0, 1);
-        assert!(k.reference(seg, PageNumber(0), AccessKind::Read).unwrap().is_completed());
-        assert!(k.reference(seg, PageNumber(0), AccessKind::Read).unwrap().is_completed());
+        assert!(k
+            .reference(seg, PageNumber(0), AccessKind::Read)
+            .unwrap()
+            .is_completed());
+        assert!(k
+            .reference(seg, PageNumber(0), AccessKind::Read)
+            .unwrap()
+            .is_completed());
         let ms = k.mapping_stats();
         assert!(ms.direct_hits >= 1, "second reference hits the table");
     }
@@ -2140,8 +2290,15 @@ mod large_page_tests {
     fn compose_store_load_decompose_roundtrip() {
         let (mut k, staging, big) = setup();
         stage(&mut k, staging, 8, 4);
-        k.compose_page(staging, big, PageNumber(8), PageNumber(0), PageFlags::RW, PageFlags::empty())
-            .unwrap();
+        k.compose_page(
+            staging,
+            big,
+            PageNumber(8),
+            PageNumber(0),
+            PageFlags::RW,
+            PageFlags::empty(),
+        )
+        .unwrap();
         assert_eq!(k.resident_pages(big).unwrap(), 1);
         // Store across all four base frames of the large page.
         let data: Vec<u8> = (0..16384u32).map(|i| (i % 241) as u8).collect();
@@ -2150,11 +2307,21 @@ mod large_page_tests {
         assert!(k.load(big, 0, &mut back).unwrap().is_completed());
         assert_eq!(back, data);
         // Decompose: data survives, spread over 4 base pages.
-        k.decompose_page(big, staging, PageNumber(0), PageNumber(40), PageFlags::RW, PageFlags::empty())
-            .unwrap();
+        k.decompose_page(
+            big,
+            staging,
+            PageNumber(0),
+            PageNumber(40),
+            PageFlags::RW,
+            PageFlags::empty(),
+        )
+        .unwrap();
         assert_eq!(k.resident_pages(big).unwrap(), 0);
         let mut piece = vec![0u8; 4096];
-        assert!(k.load(staging, 41 * 4096, &mut piece).unwrap().is_completed());
+        assert!(k
+            .load(staging, 41 * 4096, &mut piece)
+            .unwrap()
+            .is_completed());
         assert_eq!(&piece[..], &data[4096..8192]);
     }
 
@@ -2166,12 +2333,35 @@ mod large_page_tests {
         stage(&mut k, staging, 12, 2);
         // Move page 12's frame into slot 10: slots 8,9,10,11? slot 10 holds
         // frame 12 -> not contiguous with 8,9.
-        k.migrate_pages(staging, staging, PageNumber(12), PageNumber(10), 1, PageFlags::RW, PageFlags::empty())
-            .unwrap();
-        k.migrate_pages(staging, staging, PageNumber(13), PageNumber(11), 1, PageFlags::RW, PageFlags::empty())
-            .unwrap();
+        k.migrate_pages(
+            staging,
+            staging,
+            PageNumber(12),
+            PageNumber(10),
+            1,
+            PageFlags::RW,
+            PageFlags::empty(),
+        )
+        .unwrap();
+        k.migrate_pages(
+            staging,
+            staging,
+            PageNumber(13),
+            PageNumber(11),
+            1,
+            PageFlags::RW,
+            PageFlags::empty(),
+        )
+        .unwrap();
         let err = k
-            .compose_page(staging, big, PageNumber(8), PageNumber(0), PageFlags::RW, PageFlags::empty())
+            .compose_page(
+                staging,
+                big,
+                PageNumber(8),
+                PageNumber(0),
+                PageFlags::RW,
+                PageFlags::empty(),
+            )
             .unwrap_err();
         assert!(matches!(err, KernelError::FramesNotContiguous));
         // Frames are untouched: all four staging slots still present.
@@ -2183,17 +2373,38 @@ mod large_page_tests {
         let (mut k, staging, big) = setup();
         stage(&mut k, staging, 0, 3); // only 3 of 4 pages
         assert!(matches!(
-            k.compose_page(staging, big, PageNumber(0), PageNumber(0), PageFlags::RW, PageFlags::empty())
-                .unwrap_err(),
+            k.compose_page(
+                staging,
+                big,
+                PageNumber(0),
+                PageNumber(0),
+                PageFlags::RW,
+                PageFlags::empty()
+            )
+            .unwrap_err(),
             KernelError::PageNotPresent { .. }
         ));
         stage(&mut k, staging, 3, 1);
-        k.compose_page(staging, big, PageNumber(0), PageNumber(0), PageFlags::RW, PageFlags::empty())
-            .unwrap();
+        k.compose_page(
+            staging,
+            big,
+            PageNumber(0),
+            PageNumber(0),
+            PageFlags::RW,
+            PageFlags::empty(),
+        )
+        .unwrap();
         stage(&mut k, staging, 8, 4);
         assert!(matches!(
-            k.compose_page(staging, big, PageNumber(8), PageNumber(0), PageFlags::RW, PageFlags::empty())
-                .unwrap_err(),
+            k.compose_page(
+                staging,
+                big,
+                PageNumber(8),
+                PageNumber(0),
+                PageFlags::RW,
+                PageFlags::empty()
+            )
+            .unwrap_err(),
             KernelError::DestinationOccupied { .. }
         ));
     }
@@ -2202,8 +2413,15 @@ mod large_page_tests {
     fn large_page_reference_and_flags() {
         let (mut k, staging, big) = setup();
         stage(&mut k, staging, 4, 4);
-        k.compose_page(staging, big, PageNumber(4), PageNumber(1), PageFlags::RW, PageFlags::empty())
-            .unwrap();
+        k.compose_page(
+            staging,
+            big,
+            PageNumber(4),
+            PageNumber(1),
+            PageFlags::RW,
+            PageFlags::empty(),
+        )
+        .unwrap();
         assert!(k
             .reference(big, PageNumber(1), AccessKind::Write)
             .unwrap()
@@ -2218,8 +2436,15 @@ mod large_page_tests {
     fn frames_conserved_through_composition() {
         let (mut k, staging, big) = setup();
         stage(&mut k, staging, 16, 4);
-        k.compose_page(staging, big, PageNumber(16), PageNumber(2), PageFlags::RW, PageFlags::empty())
-            .unwrap();
+        k.compose_page(
+            staging,
+            big,
+            PageNumber(16),
+            PageNumber(2),
+            PageFlags::RW,
+            PageFlags::empty(),
+        )
+        .unwrap();
         // Boot 60 + staging 0 + big 1 entry (4 frames): count frames, not
         // entries, for conservation.
         let boot = k.resident_pages(SegmentId::FRAME_POOL).unwrap();
@@ -2227,10 +2452,7 @@ mod large_page_tests {
         assert_eq!(boot + big_frames, 64);
         // Owners of all four base frames point at the large page slot.
         for i in 16..20u32 {
-            assert_eq!(
-                k.frames().owner(FrameId(i)),
-                Some((big, PageNumber(2)))
-            );
+            assert_eq!(k.frames().owner(FrameId(i)), Some((big, PageNumber(2))));
         }
     }
 
@@ -2238,14 +2460,28 @@ mod large_page_tests {
     fn decompose_into_wrong_size_rejected() {
         let (mut k, staging, big) = setup();
         stage(&mut k, staging, 0, 4);
-        k.compose_page(staging, big, PageNumber(0), PageNumber(0), PageFlags::RW, PageFlags::empty())
-            .unwrap();
+        k.compose_page(
+            staging,
+            big,
+            PageNumber(0),
+            PageNumber(0),
+            PageFlags::RW,
+            PageFlags::empty(),
+        )
+        .unwrap();
         let other_big = k
             .create_segment(SegmentKind::Anonymous, UserId::SYSTEM, ManagerId(1), 4, 4)
             .unwrap();
         assert!(matches!(
-            k.decompose_page(big, other_big, PageNumber(0), PageNumber(0), PageFlags::RW, PageFlags::empty())
-                .unwrap_err(),
+            k.decompose_page(
+                big,
+                other_big,
+                PageNumber(0),
+                PageNumber(0),
+                PageFlags::RW,
+                PageFlags::empty()
+            )
+            .unwrap_err(),
             KernelError::PageSizeMismatch { .. }
         ));
     }

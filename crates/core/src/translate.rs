@@ -456,7 +456,10 @@ mod tlb_tests {
             tlb.access(seg, PageNumber(p));
         }
         tlb.invalidate_segment(seg);
-        assert!(tlb.stats().invalidations >= 8, "collisions may drop a couple");
+        assert!(
+            tlb.stats().invalidations >= 8,
+            "collisions may drop a couple"
+        );
         tlb.reset_stats();
         assert_eq!(tlb.stats(), TlbStats::default());
     }

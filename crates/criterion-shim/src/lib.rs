@@ -1,0 +1,153 @@
+//! A self-contained subset of the [criterion] benchmarking API.
+//!
+//! The workspace's `cargo bench` targets were written against criterion,
+//! which cannot be fetched in network-restricted environments (see README
+//! "Offline builds"). This crate implements the surface those benches use
+//! — [`Criterion::bench_function`], [`Bencher::iter`], [`criterion_group!`]
+//! and [`criterion_main!`] — with a simple calibrated wall-clock timer:
+//! each benchmark is warmed up, then timed over enough iterations to fill a
+//! short measurement window, and the mean ns/iteration is printed.
+//!
+//! No statistical analysis, plotting or HTML reports are produced; the
+//! point is that `cargo bench` compiles, runs and prints comparable
+//! numbers anywhere.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives a set of benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its mean time per
+    /// iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measurement: self.measurement,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some((iters, total)) => {
+                let per_iter = total.as_nanos() as f64 / iters as f64;
+                println!(
+                    "{name:<40} {:>12} ns/iter ({iters} iterations)",
+                    fmt_ns(per_iter)
+                );
+            }
+            None => println!("{name:<40} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`]; call
+/// [`Bencher::iter`] with the code under test.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring for the configured
+    /// window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target =
+            ((self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        self.report = Some((target, start.elapsed()));
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+        };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("us"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+    }
+}

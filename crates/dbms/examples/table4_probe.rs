@@ -9,10 +9,18 @@ use epcm_dbms::engine::run;
 use epcm_sim::clock::Micros;
 
 fn main() {
-    let scan: u64 = std::env::var("SCAN").map(|v| v.parse().unwrap()).unwrap_or(430);
-    let idx: u64 = std::env::var("IDX").map(|v| v.parse().unwrap()).unwrap_or(110);
-    let fault: u64 = std::env::var("FAULT").map(|v| v.parse().unwrap()).unwrap_or(15);
-    let regen: u64 = std::env::var("REGEN").map(|v| v.parse().unwrap()).unwrap_or(280);
+    let scan: u64 = std::env::var("SCAN")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(430);
+    let idx: u64 = std::env::var("IDX")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(110);
+    let fault: u64 = std::env::var("FAULT")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(15);
+    let regen: u64 = std::env::var("REGEN")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(280);
     let dc: u64 = std::env::var("DC").map(|v| v.parse().unwrap()).unwrap_or(9);
     println!("scan={scan} idx={idx} fault={fault} regen={regen} dc={dc}");
     for s in IndexStrategy::all() {

@@ -285,7 +285,8 @@ impl<'a> Engine<'a> {
         txn.stall = stall;
         txn.burst = burst;
         if stall > Micros::ZERO {
-            self.events.schedule_after(self.now, stall, Ev::StallDone(i));
+            self.events
+                .schedule_after(self.now, stall, Ev::StallDone(i));
         } else {
             self.request_cpu(i);
         }
@@ -341,7 +342,8 @@ impl<'a> Engine<'a> {
         if let Some(next) = self.ready.pop_front() {
             self.busy_cpus += 1;
             let burst = self.txns[next].burst;
-            self.events.schedule_after(self.now, burst, Ev::CpuDone(next));
+            self.events
+                .schedule_after(self.now, burst, Ev::CpuDone(next));
         }
     }
 }
@@ -368,10 +370,7 @@ mod tests {
         let cfg = DbmsConfig::quick(IndexStrategy::InMemory);
         let r = run(&cfg);
         let join_frac = r.joins.count() as f64 / r.all.count() as f64;
-        assert!(
-            (join_frac - 0.05).abs() < 0.02,
-            "join fraction {join_frac}"
-        );
+        assert!((join_frac - 0.05).abs() < 0.02, "join fraction {join_frac}");
     }
 
     #[test]
@@ -478,7 +477,11 @@ mod distribution_tests {
         let p50 = r.quantile_ms(0.5);
         let p99 = r.quantile_ms(0.99);
         assert!(p50 <= p99);
-        assert!(p99 <= r.worst_ms() * 2.0 + 1.0, "p99 {p99} vs worst {}", r.worst_ms());
+        assert!(
+            p99 <= r.worst_ms() * 2.0 + 1.0,
+            "p99 {p99} vs worst {}",
+            r.worst_ms()
+        );
     }
 
     #[test]

@@ -260,11 +260,26 @@ mod tests {
     fn intent_locks_share_relation_page_locks_conflict() {
         let mut lm = LockManager::new();
         let (a, b) = (TxnId(1), TxnId(2));
-        assert_eq!(lm.acquire(a, Resource::Relation(0), IntentExclusive), Acquire::Granted);
-        assert_eq!(lm.acquire(b, Resource::Relation(0), IntentExclusive), Acquire::Granted);
-        assert_eq!(lm.acquire(a, Resource::Page(0, 7), Exclusive), Acquire::Granted);
-        assert_eq!(lm.acquire(b, Resource::Page(0, 7), Exclusive), Acquire::Waiting);
-        assert_eq!(lm.acquire(b, Resource::Page(0, 8), Exclusive), Acquire::Granted);
+        assert_eq!(
+            lm.acquire(a, Resource::Relation(0), IntentExclusive),
+            Acquire::Granted
+        );
+        assert_eq!(
+            lm.acquire(b, Resource::Relation(0), IntentExclusive),
+            Acquire::Granted
+        );
+        assert_eq!(
+            lm.acquire(a, Resource::Page(0, 7), Exclusive),
+            Acquire::Granted
+        );
+        assert_eq!(
+            lm.acquire(b, Resource::Page(0, 7), Exclusive),
+            Acquire::Waiting
+        );
+        assert_eq!(
+            lm.acquire(b, Resource::Page(0, 8), Exclusive),
+            Acquire::Granted
+        );
         lm.assert_consistent();
         let granted = lm.release_all(a);
         assert_eq!(granted, vec![(b, Resource::Page(0, 7))]);
@@ -274,8 +289,14 @@ mod tests {
     fn reacquire_is_idempotent() {
         let mut lm = LockManager::new();
         let a = TxnId(1);
-        assert_eq!(lm.acquire(a, Resource::Database, IntentShared), Acquire::Granted);
-        assert_eq!(lm.acquire(a, Resource::Database, IntentShared), Acquire::Granted);
+        assert_eq!(
+            lm.acquire(a, Resource::Database, IntentShared),
+            Acquire::Granted
+        );
+        assert_eq!(
+            lm.acquire(a, Resource::Database, IntentShared),
+            Acquire::Granted
+        );
         assert_eq!(lm.held(a).len(), 1);
     }
 

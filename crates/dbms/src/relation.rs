@@ -287,7 +287,9 @@ mod tests {
         let mut m = machine();
         // Unique keys with partial overlap between the relations.
         let left: Vec<Record> = (0..250).map(|i| Record::numbered(i * 2, i)).collect();
-        let right: Vec<Record> = (0..250).map(|i| Record::numbered(i * 3, 1000 + i)).collect();
+        let right: Vec<Record> = (0..250)
+            .map(|i| Record::numbered(i * 3, 1000 + i))
+            .collect();
         let l = Relation::create(&mut m, &left).unwrap();
         let r = Relation::create(&mut m, &right).unwrap();
         let idx = r.build_index(&mut m).unwrap();

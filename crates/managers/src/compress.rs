@@ -125,9 +125,7 @@ impl Specialization for CompressSpec {
         let (file, blobs) = match self.swap.get_mut(&seg.as_u32()) {
             Some(e) => e,
             None => {
-                let f = env
-                    .store
-                    .create(&format!("zswap-{}", seg.as_u32()), 0);
+                let f = env.store.create(&format!("zswap-{}", seg.as_u32()), 0);
                 self.swap
                     .entry(seg.as_u32())
                     .or_insert((f, BTreeMap::new()))
@@ -135,7 +133,10 @@ impl Specialization for CompressSpec {
         };
         // Append-only log of compressed blobs (a real implementation
         // would compact; the space accounting is what we demonstrate).
-        let offset = env.store.size(*file).map_err(epcm_core::KernelError::from)?;
+        let offset = env
+            .store
+            .size(*file)
+            .map_err(epcm_core::KernelError::from)?;
         let latency = env.store.write(*file, offset, &compressed)?;
         env.kernel.charge(latency);
         blobs.insert(page.as_u64(), (offset, compressed.len() as u64));
@@ -196,10 +197,14 @@ mod tests {
         let (mut m, id, seg) = setup();
         // Compressible content: long runs.
         for p in 0..16u64 {
-            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[p as u8; 2048]).unwrap();
+            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[p as u8; 2048])
+                .unwrap();
         }
         m.with_manager(id, |mgr, env| {
-            let mgr = mgr.as_any_mut().downcast_mut::<CompressingManager>().unwrap();
+            let mgr = mgr
+                .as_any_mut()
+                .downcast_mut::<CompressingManager>()
+                .unwrap();
             mgr.shrink(env, 16).map(|_| ())
         })
         .unwrap();
@@ -229,10 +234,14 @@ mod tests {
     fn swap_footprint_is_smaller_than_raw() {
         let (mut m, id, seg) = setup();
         for p in 0..8u64 {
-            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[0xEE; 4096]).unwrap();
+            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[0xEE; 4096])
+                .unwrap();
         }
         m.with_manager(id, |mgr, env| {
-            let mgr = mgr.as_any_mut().downcast_mut::<CompressingManager>().unwrap();
+            let mgr = mgr
+                .as_any_mut()
+                .downcast_mut::<CompressingManager>()
+                .unwrap();
             mgr.shrink(env, 8).map(|_| ())
         })
         .unwrap();

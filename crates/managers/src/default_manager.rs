@@ -17,6 +17,7 @@ use epcm_core::flags::PageFlags;
 use epcm_core::kernel::Kernel;
 use epcm_core::types::{ManagerId, PageNumber, SegmentId, SegmentKind, BASE_PAGE_SIZE};
 use epcm_sim::disk::FileId;
+use epcm_trace::{EventKind, MetricsRegistry, SharedTracer, TraceEvent, TraceSink};
 
 use crate::manager::{Env, ManagerError, ManagerMode, SegmentManager};
 use crate::policy::{ClockPolicy, Probe, ReplacementPolicy};
@@ -131,6 +132,7 @@ pub struct DefaultSegmentManager {
     /// Cursor for the sampling sweep.
     sample_cursor: (u32, u64),
     stats: DefaultManagerStats,
+    tracer: Option<SharedTracer>,
 }
 
 impl DefaultSegmentManager {
@@ -162,6 +164,14 @@ impl DefaultSegmentManager {
             laundry_order: VecDeque::new(),
             sample_cursor: (0, 0),
             stats: DefaultManagerStats::default(),
+            tracer: None,
+        }
+    }
+
+    /// Records `kind` at the current virtual time, if tracing is on.
+    fn trace(&self, kernel: &Kernel, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record(TraceEvent::new(kernel.now().as_micros(), kind));
         }
     }
 
@@ -287,6 +297,16 @@ impl DefaultSegmentManager {
             self.evict(env, free_seg, seg, page)?;
             reclaimed += 1;
         }
+        if reclaimed > 0 {
+            self.trace(
+                env.kernel,
+                EventKind::Reclaim {
+                    manager: self.id.0,
+                    frames: reclaimed,
+                    forced: false,
+                },
+            );
+        }
         Ok(reclaimed)
     }
 
@@ -343,9 +363,7 @@ impl DefaultSegmentManager {
                 let f = match swap {
                     Some(f) => *f,
                     None => {
-                        let f = env
-                            .store
-                            .create(&format!("swap-{}", seg.as_u32()), 0);
+                        let f = env.store.create(&format!("swap-{}", seg.as_u32()), 0);
                         *swap = Some(f);
                         f
                     }
@@ -353,7 +371,9 @@ impl DefaultSegmentManager {
                 (f, Some(swapped))
             }
         };
-        let latency = env.store.write(file, page.as_u64() * BASE_PAGE_SIZE, &buf)?;
+        let latency = env
+            .store
+            .write(file, page.as_u64() * BASE_PAGE_SIZE, &buf)?;
         env.kernel.charge(latency);
         if let Some(swapped) = mark {
             swapped.insert(page.as_u64());
@@ -363,7 +383,11 @@ impl DefaultSegmentManager {
     }
 
     /// Handles a missing-page fault.
-    fn handle_missing(&mut self, env: &mut Env<'_>, fault: &FaultEvent) -> Result<(), ManagerError> {
+    fn handle_missing(
+        &mut self,
+        env: &mut Env<'_>,
+        fault: &FaultEvent,
+    ) -> Result<(), ManagerError> {
         let seg = fault.segment;
         let page = fault.page;
         let free_seg = self.free_seg(env)?;
@@ -494,6 +518,14 @@ impl DefaultSegmentManager {
                         }
                         if len > 1 {
                             self.stats.append_batches += 1;
+                            self.trace(
+                                env.kernel,
+                                EventKind::BatchSwap {
+                                    manager: self.id.0,
+                                    segment: seg.as_u32() as u64,
+                                    pages: len,
+                                },
+                            );
                         }
                     }
                     None => {
@@ -548,13 +580,8 @@ impl DefaultSegmentManager {
             if env.kernel.segment(seg)?.entry(p).is_none() {
                 break;
             }
-            env.kernel.modify_page_flags(
-                seg,
-                p,
-                1,
-                PageFlags::RW,
-                PageFlags::MANAGER_B,
-            )?;
+            env.kernel
+                .modify_page_flags(seg, p, 1, PageFlags::RW, PageFlags::MANAGER_B)?;
         }
         Ok(())
     }
@@ -591,7 +618,12 @@ impl DefaultSegmentManager {
             return Ok(());
         }
         let start = self.sample_cursor;
-        for &sid in seg_ids.iter().cycle().skip_while(|&&s| s < start.0).take(seg_ids.len()) {
+        for &sid in seg_ids
+            .iter()
+            .cycle()
+            .skip_while(|&&s| s < start.0)
+            .take(seg_ids.len())
+        {
             if remaining == 0 {
                 break;
             }
@@ -638,7 +670,7 @@ fn find_free_run(
     free_seg: SegmentId,
     want: u64,
     laundry: &BTreeMap<(u32, u64), PageNumber>,
-    ) -> Result<Option<(PageNumber, u64)>, epcm_core::KernelError> {
+) -> Result<Option<(PageNumber, u64)>, epcm_core::KernelError> {
     let in_laundry: BTreeSet<u64> = laundry.values().map(|p| p.as_u64()).collect();
     let s = kernel.segment(free_seg)?;
     let mut best: Option<(u64, u64)> = None; // (start, len)
@@ -759,13 +791,26 @@ impl SegmentManager for DefaultSegmentManager {
             .collect();
         // Frames leaving our pool invalidate any laundry they hold.
         let leaving: BTreeSet<u64> = give.iter().map(|p| p.as_u64()).collect();
-        self.laundry.retain(|_, slot| !leaving.contains(&slot.as_u64()));
+        self.laundry
+            .retain(|_, slot| !leaving.contains(&slot.as_u64()));
         env.spcm
             .return_frames(env.kernel, self.id, free_seg, &give)?;
+        self.trace(
+            env.kernel,
+            EventKind::Reclaim {
+                manager: self.id.0,
+                frames: give.len() as u64,
+                forced: true,
+            },
+        );
         Ok(give.len() as u64)
     }
 
-    fn segment_closed(&mut self, env: &mut Env<'_>, segment: SegmentId) -> Result<(), ManagerError> {
+    fn segment_closed(
+        &mut self,
+        env: &mut Env<'_>,
+        segment: SegmentId,
+    ) -> Result<(), ManagerError> {
         let free_seg = self.free_seg(env)?;
         let pages: Vec<(PageNumber, PageFlags)> = env
             .kernel
@@ -812,6 +857,26 @@ impl SegmentManager for DefaultSegmentManager {
 
     fn free_frames(&self, kernel: &Kernel) -> u64 {
         self.free_count(kernel)
+    }
+
+    fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn export_metrics(&self, m: &mut MetricsRegistry) {
+        let id = self.id.0;
+        let s = &self.stats;
+        m.set(&format!("manager.{id}.faults"), s.faults);
+        m.set(&format!("manager.{id}.minimal_faults"), s.minimal_faults);
+        m.set(&format!("manager.{id}.file_fills"), s.file_fills);
+        m.set(&format!("manager.{id}.swap_ins"), s.swap_ins);
+        m.set(&format!("manager.{id}.writebacks"), s.writebacks);
+        m.set(&format!("manager.{id}.reclaimed"), s.reclaimed);
+        m.set(&format!("manager.{id}.laundry_rescues"), s.laundry_rescues);
+        m.set(&format!("manager.{id}.sampling_faults"), s.sampling_faults);
+        m.set(&format!("manager.{id}.cow_faults"), s.cow_faults);
+        m.set(&format!("manager.{id}.append_batches"), s.append_batches);
+        m.set(&format!("manager.{id}.migrate_calls"), s.migrate_calls);
     }
 }
 
@@ -945,9 +1010,7 @@ mod tests {
         }
         let granted_before = m.spcm().granted_to(id);
         assert!(granted_before >= 32);
-        let returned = m
-            .with_manager(id, |mgr, env| mgr.reclaim(env, 16))
-            .unwrap();
+        let returned = m.with_manager(id, |mgr, env| mgr.reclaim(env, 16)).unwrap();
         assert_eq!(returned, 16);
         assert_eq!(m.spcm().granted_to(id), granted_before - 16);
     }
@@ -977,5 +1040,4 @@ mod tests {
         assert_eq!(&buf, b"BRANCH");
         assert_eq!(m.kernel_stats().faults_cow, 1);
     }
-
 }

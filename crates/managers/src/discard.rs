@@ -73,7 +73,12 @@ impl Specialization for DiscardableSpec {
         Ok(Fill::Minimal)
     }
 
-    fn evict_disposition(&self, _seg: SegmentId, _page: PageNumber, flags: PageFlags) -> Disposition {
+    fn evict_disposition(
+        &self,
+        _seg: SegmentId,
+        _page: PageNumber,
+        flags: PageFlags,
+    ) -> Disposition {
         if flags.contains(PageFlags::MANAGER_A) {
             Disposition::Discard
         } else {
@@ -176,10 +181,14 @@ mod tests {
     fn live_pages_survive_eviction_via_swap() {
         let (mut m, id, seg) = setup(64);
         for p in 0..8u64 {
-            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[p as u8; 8]).unwrap();
+            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[p as u8; 8])
+                .unwrap();
         }
         m.with_manager(id, |mgr, env| {
-            let mgr = mgr.as_any_mut().downcast_mut::<DiscardableManager>().unwrap();
+            let mgr = mgr
+                .as_any_mut()
+                .downcast_mut::<DiscardableManager>()
+                .unwrap();
             mgr.shrink(env, 8).map(|_| ())
         })
         .unwrap();
@@ -201,7 +210,10 @@ mod tests {
         mark_discardable(m.kernel_mut(), seg, PageNumber(0), 8).unwrap();
         let writes_before = m.store().write_count();
         m.with_manager(id, |mgr, env| {
-            let mgr = mgr.as_any_mut().downcast_mut::<DiscardableManager>().unwrap();
+            let mgr = mgr
+                .as_any_mut()
+                .downcast_mut::<DiscardableManager>()
+                .unwrap();
             mgr.shrink(env, 8).map(|_| ())
         })
         .unwrap();
@@ -226,7 +238,10 @@ mod tests {
         mark_discardable(m.kernel_mut(), seg, PageNumber(0), 1).unwrap();
         unmark_discardable(m.kernel_mut(), seg, PageNumber(0), 1).unwrap();
         m.with_manager(id, |mgr, env| {
-            let mgr = mgr.as_any_mut().downcast_mut::<DiscardableManager>().unwrap();
+            let mgr = mgr
+                .as_any_mut()
+                .downcast_mut::<DiscardableManager>()
+                .unwrap();
             mgr.shrink(env, 1).map(|_| ())
         })
         .unwrap();
@@ -257,7 +272,10 @@ mod tests {
                 }
             }
             m.with_manager(id, |mgr, env| {
-                let mgr = mgr.as_any_mut().downcast_mut::<DiscardableManager>().unwrap();
+                let mgr = mgr
+                    .as_any_mut()
+                    .downcast_mut::<DiscardableManager>()
+                    .unwrap();
                 mgr.shrink(env, 24).map(|_| ())
             })
             .unwrap();

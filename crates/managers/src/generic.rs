@@ -279,8 +279,8 @@ impl<S: Specialization> GenericManager<S> {
         let free_seg = self.free_seg(env)?;
         let victim = {
             let kernel = &mut *env.kernel;
-            self.policy.select_victim(&mut |s, p| {
-                match kernel.get_page_attributes(s, p, 1) {
+            self.policy
+                .select_victim(&mut |s, p| match kernel.get_page_attributes(s, p, 1) {
                     Ok(attrs) if attrs[0].present => {
                         let flags = attrs[0].flags;
                         if flags.contains(PageFlags::PINNED) {
@@ -299,8 +299,7 @@ impl<S: Specialization> GenericManager<S> {
                         }
                     }
                     _ => Probe::Gone,
-                }
-            })
+                })
         };
         let Some((seg, page)) = victim else {
             return Ok(false);
@@ -496,11 +495,16 @@ impl<S: Specialization + 'static> SegmentManager for GenericManager<S> {
             .map(|(p, _)| p)
             .take(count as usize)
             .collect();
-        env.spcm.return_frames(env.kernel, self.id, free_seg, &give)?;
+        env.spcm
+            .return_frames(env.kernel, self.id, free_seg, &give)?;
         Ok(give.len() as u64)
     }
 
-    fn segment_closed(&mut self, env: &mut Env<'_>, segment: SegmentId) -> Result<(), ManagerError> {
+    fn segment_closed(
+        &mut self,
+        env: &mut Env<'_>,
+        segment: SegmentId,
+    ) -> Result<(), ManagerError> {
         let free_seg = self.free_seg(env)?;
         let pages: Vec<(PageNumber, PageFlags)> = env
             .kernel
@@ -580,10 +584,7 @@ mod tests {
         }
     }
 
-    fn machine_with<S: Specialization + 'static>(
-        spec: S,
-        frames: usize,
-    ) -> (Machine, ManagerId) {
+    fn machine_with<S: Specialization + 'static>(spec: S, frames: usize) -> (Machine, ManagerId) {
         let mut m = Machine::new(frames);
         let id = m.register_manager(Box::new(GenericManager::new(
             spec,

@@ -56,9 +56,9 @@ pub mod machine;
 pub mod manager;
 pub mod market;
 pub mod pinning;
-pub mod replicate;
 pub mod policy;
 pub mod prefetch;
+pub mod replicate;
 pub mod spcm;
 
 pub use default_manager::{DefaultManagerConfig, DefaultManagerStats, DefaultSegmentManager};

@@ -25,6 +25,7 @@ use epcm_core::types::{
 use epcm_sim::clock::{Micros, Timestamp};
 use epcm_sim::cost::CostModel;
 use epcm_sim::disk::{Device, FileStore};
+use epcm_trace::{MetricsRegistry, SharedTracer};
 
 use crate::manager::{Env, ManagerError, ManagerMode, SegmentManager};
 use crate::spcm::{AllocationPolicy, SystemPageCacheManager};
@@ -199,6 +200,7 @@ impl MachineBuilder {
             default_manager: None,
             stats: MachineStats::default(),
             trace: None,
+            event_tracer: None,
         }
     }
 }
@@ -230,6 +232,7 @@ pub struct Machine {
     default_manager: Option<ManagerId>,
     stats: MachineStats,
     trace: Option<Vec<TraceStep>>,
+    event_tracer: Option<SharedTracer>,
 }
 
 impl Machine {
@@ -313,6 +316,55 @@ impl Machine {
         self.trace.take().unwrap_or_default()
     }
 
+    // ----- event tracing / unified metrics ---------------------------------
+
+    /// Turns on structured event tracing: one shared ring buffer of
+    /// `capacity` events that the kernel, the SPCM/market and every
+    /// registered manager (current and future) record into. Returns a
+    /// handle to the shared buffer; clones of it observe the same events.
+    pub fn enable_event_tracing(&mut self, capacity: usize) -> SharedTracer {
+        let tracer = SharedTracer::with_capacity(capacity);
+        self.kernel.set_tracer(tracer.clone());
+        for mgr in self.managers.values_mut() {
+            mgr.set_tracer(tracer.clone());
+        }
+        self.event_tracer = Some(tracer.clone());
+        tracer
+    }
+
+    /// The shared event tracer, if tracing is on.
+    pub fn event_tracer(&self) -> Option<&SharedTracer> {
+        self.event_tracer.as_ref()
+    }
+
+    /// Builds the unified metrics registry: every layer's counters under
+    /// stable dotted names — `kernel.*` (fault/migration/TLB/mapping
+    /// counters), `spcm.*` and `market.*` (allocation and economy),
+    /// `machine.*` (dispatch totals), `manager.<id>.*` (per-manager
+    /// activity) and, when tracing is on, `trace.events.*` (per-kind event
+    /// counts, immune to ring wraparound).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        self.kernel.export_metrics(&mut m);
+        self.spcm.export_metrics(&mut m);
+        m.set("machine.manager_calls", self.stats.manager_calls);
+        m.set(
+            "machine.manager_time_us",
+            self.stats.manager_time.as_micros(),
+        );
+        for mgr in self.managers.values() {
+            mgr.export_metrics(&mut m);
+        }
+        if let Some(t) = &self.event_tracer {
+            for (kind, count) in t.kind_counts() {
+                m.set(&format!("trace.events.{kind}"), count);
+            }
+            m.set("trace.recorded", t.total_recorded());
+            m.set("trace.dropped", t.dropped());
+        }
+        m
+    }
+
     // ----- manager registration ------------------------------------------------
 
     /// Registers a segment manager and returns its id.
@@ -320,6 +372,9 @@ impl Machine {
         let id = ManagerId(self.next_manager);
         self.next_manager += 1;
         manager.set_id(id);
+        if let Some(t) = &self.event_tracer {
+            manager.set_tracer(t.clone());
+        }
         self.managers.insert(id.0, manager);
         id
     }
@@ -364,7 +419,10 @@ impl Machine {
         };
         let result = f(mgr.as_mut(), &mut env);
         self.managers.insert(id.0, mgr);
-        result.map_err(|source| MachineError::ManagerOp { manager: id, source })
+        result.map_err(|source| MachineError::ManagerOp {
+            manager: id,
+            source,
+        })
     }
 
     // ----- segment / file conveniences -------------------------------------------
@@ -401,9 +459,7 @@ impl Machine {
         if !self.managers.contains_key(&manager.0) {
             return Err(MachineError::UnknownManager(manager));
         }
-        let seg = self
-            .kernel
-            .create_segment(kind, user, manager, 1, pages)?;
+        let seg = self.kernel.create_segment(kind, user, manager, 1, pages)?;
         self.with_manager(manager, |m, env| m.attach(env, seg))?;
         Ok(seg)
     }
@@ -419,7 +475,10 @@ impl Machine {
             .store
             .find(name)
             .ok_or_else(|| MachineError::UnknownFile(name.to_string()))?;
-        let size = self.store.size(file).map_err(epcm_core::KernelError::from)?;
+        let size = self
+            .store
+            .size(file)
+            .map_err(epcm_core::KernelError::from)?;
         let pages = size.div_ceil(BASE_PAGE_SIZE).max(1);
         self.create_segment(SegmentKind::CachedFile(file), pages)
     }
@@ -513,9 +572,9 @@ impl Machine {
         let costs = self.kernel.costs().clone();
         match mode {
             ManagerMode::FaultingProcess => self.kernel.charge(costs.fault_dispatch_inprocess),
-            ManagerMode::Server => {
-                self.kernel.charge(costs.fault_dispatch_ipc + costs.server_demux)
-            }
+            ManagerMode::Server => self
+                .kernel
+                .charge(costs.fault_dispatch_ipc + costs.server_demux),
         }
         self.stats.manager_calls += 1;
         let result = {
@@ -528,7 +587,9 @@ impl Machine {
         };
         match mode {
             ManagerMode::FaultingProcess => self.kernel.charge(costs.resume_direct),
-            ManagerMode::Server => self.kernel.charge(costs.ipc_reply + costs.resume_via_kernel),
+            ManagerMode::Server => self
+                .kernel
+                .charge(costs.ipc_reply + costs.resume_via_kernel),
         }
         self.managers.insert(fault.manager.0, mgr);
         // Attribute the trap entry (charged before dispatch) to the fault too.
@@ -624,7 +685,9 @@ impl Machine {
     ///
     /// The first manager failure encountered.
     pub fn tick(&mut self) -> Result<(), MachineError> {
-        let bankrupt = self.spcm.bill(&self.kernel);
+        let bankrupt = self
+            .spcm
+            .bill_traced(&self.kernel, self.event_tracer.as_ref());
         for mgr in bankrupt {
             let held = self.spcm.granted_to(mgr);
             let give_back = held.div_ceil(2);
@@ -680,6 +743,52 @@ mod tests {
         assert!(matches!(trace[0], TraceStep::FaultRaised(_)));
         assert!(matches!(trace[1], TraceStep::Dispatched { .. }));
         assert!(matches!(trace[2], TraceStep::Resumed { .. }));
+    }
+
+    #[test]
+    fn event_tracing_captures_fault_and_migrate() {
+        let mut m = Machine::with_default_manager(256);
+        let tracer = m.enable_event_tracing(1024);
+        let seg = m.create_segment(SegmentKind::Anonymous, 8).unwrap();
+        m.touch(seg, 0, AccessKind::Write).unwrap();
+        let counts = tracer.kind_counts();
+        assert!(counts["fault"] >= 1, "counts: {counts:?}");
+        assert!(counts["migrate"] >= 1, "counts: {counts:?}");
+        // Timestamps are non-decreasing (one shared virtual clock).
+        let events = tracer.events();
+        assert!(events.windows(2).all(|w| w[0].time_us <= w[1].time_us));
+    }
+
+    #[test]
+    fn metrics_unify_kernel_machine_and_manager_counters() {
+        let mut m = Machine::with_default_manager(256);
+        m.enable_event_tracing(1024);
+        let seg = m.create_segment(SegmentKind::Anonymous, 8).unwrap();
+        let before = m.metrics().snapshot();
+        m.touch(seg, 0, AccessKind::Write).unwrap();
+        m.touch(seg, 1, AccessKind::Read).unwrap();
+        let after = m.metrics().snapshot();
+        let delta = after.diff(&before);
+        assert_eq!(delta.counter("kernel.faults.missing"), 2);
+        assert_eq!(delta.counter("machine.manager_calls"), 2);
+        // The default manager exports its per-manager counters.
+        assert_eq!(delta.counter("manager.1.faults"), 2);
+        // Trace event counts ride along in the same registry.
+        assert_eq!(delta.counter("trace.events.fault"), 2);
+        assert!(after.counter("machine.manager_time_us") > 0);
+    }
+
+    #[test]
+    fn managers_registered_after_enabling_get_the_tracer() {
+        let mut m = Machine::new(256);
+        let tracer = m.enable_event_tracing(1024);
+        let id = m.register_manager(Box::new(
+            crate::default_manager::DefaultSegmentManager::server(),
+        ));
+        m.set_default_manager(id);
+        let seg = m.create_segment(SegmentKind::Anonymous, 8).unwrap();
+        m.touch(seg, 0, AccessKind::Write).unwrap();
+        assert!(tracer.kind_counts().contains_key("fault"));
     }
 
     #[test]

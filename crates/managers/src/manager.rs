@@ -230,6 +230,19 @@ pub trait SegmentManager: fmt::Debug {
         let _ = kernel;
         0
     }
+
+    /// Installs a shared event tracer; managers that emit trace events
+    /// (reclaims, batched swaps) record into it. Default: ignore — most
+    /// managers' activity is already visible through the kernel's events.
+    fn set_tracer(&mut self, tracer: epcm_trace::SharedTracer) {
+        let _ = tracer;
+    }
+
+    /// Exports this manager's counters into the unified metrics registry
+    /// under `manager.<id>.*` names. Default: nothing to export.
+    fn export_metrics(&self, metrics: &mut epcm_trace::MetricsRegistry) {
+        let _ = metrics;
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use std::fmt;
 
 use epcm_core::types::{ManagerId, BASE_PAGE_SIZE};
 use epcm_sim::clock::{Micros, Timestamp};
+use epcm_trace::{EventKind, SharedTracer, TraceEvent, TraceSink};
 
 /// Tunable market parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -192,6 +193,19 @@ impl MemoryMarket {
         holdings: &[(ManagerId, u64)],
         contended: bool,
     ) -> Vec<ManagerId> {
+        self.bill_traced(now, holdings, contended, None)
+    }
+
+    /// [`MemoryMarket::bill`], additionally recording one
+    /// [`EventKind::MarketCharge`] per charged holding into `tracer`
+    /// (charge and resulting balance in millidrams).
+    pub fn bill_traced(
+        &mut self,
+        now: Timestamp,
+        holdings: &[(ManagerId, u64)],
+        contended: bool,
+        tracer: Option<&SharedTracer>,
+    ) -> Vec<ManagerId> {
         let dt = now.saturating_duration_since(self.last_billed);
         self.last_billed = now;
         if dt == Micros::ZERO {
@@ -211,6 +225,16 @@ impl MemoryMarket {
                         * secs;
                     a.balance -= charge;
                     self.total_charged += charge;
+                    if let Some(t) = tracer {
+                        t.record(TraceEvent::new(
+                            now.as_micros(),
+                            EventKind::MarketCharge {
+                                manager: mgr.0,
+                                charged: (charge * 1000.0).round() as u64,
+                                balance: (a.balance * 1000.0).round() as i64,
+                            },
+                        ));
+                    }
                 }
             }
         }
@@ -300,7 +324,11 @@ mod tests {
             true,
         );
         let after = m.balance(ManagerId(1)).unwrap();
-        assert!((before - after - 2.0).abs() < 1e-9, "charged {}", before - after);
+        assert!(
+            (before - after - 2.0).abs() < 1e-9,
+            "charged {}",
+            before - after
+        );
     }
 
     #[test]
@@ -398,7 +426,11 @@ mod tests {
             m.bill(Timestamp::from_micros(t), &holdings, step % 3 != 0);
             m.charge_io(ManagerId(2), step);
         }
-        assert!(m.ledger_residual().abs() < 1e-6, "residual {}", m.ledger_residual());
+        assert!(
+            m.ledger_residual().abs() < 1e-6,
+            "residual {}",
+            m.ledger_residual()
+        );
     }
 
     #[test]

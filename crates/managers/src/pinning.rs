@@ -141,7 +141,11 @@ impl SegmentManager for PinningManager {
         self.inner.reclaim(env, count)
     }
 
-    fn segment_closed(&mut self, env: &mut Env<'_>, segment: SegmentId) -> Result<(), ManagerError> {
+    fn segment_closed(
+        &mut self,
+        env: &mut Env<'_>,
+        segment: SegmentId,
+    ) -> Result<(), ManagerError> {
         self.pinned.retain(|&(s, _)| s != segment.as_u32());
         self.inner.segment_closed(env, segment)
     }
@@ -188,7 +192,11 @@ mod tests {
         // Pages 0..4 still resident; some of 4..8 were evicted.
         for p in 0..4 {
             assert!(
-                m.kernel().segment(seg).unwrap().entry(PageNumber(p)).is_some(),
+                m.kernel()
+                    .segment(seg)
+                    .unwrap()
+                    .entry(PageNumber(p))
+                    .is_some(),
                 "pinned page {p} was evicted"
             );
         }

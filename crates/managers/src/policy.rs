@@ -323,7 +323,9 @@ mod tests {
 
     /// Drives a policy against a simple reference-bit table, clearing bits
     /// on probe the way a real manager does.
-    fn probe_table(bits: &mut BTreeMap<Key, Probe>) -> impl FnMut(SegmentId, PageNumber) -> Probe + '_ {
+    fn probe_table(
+        bits: &mut BTreeMap<Key, Probe>,
+    ) -> impl FnMut(SegmentId, PageNumber) -> Probe + '_ {
         move |s, p| {
             let k = (s, p);
             match bits.get(&k).copied().unwrap_or(Probe::Gone) {

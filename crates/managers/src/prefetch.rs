@@ -133,11 +133,7 @@ impl Specialization for PrefetchSpec {
                 break;
             }
             let key = (seg.as_u32(), p);
-            let already_resident = env
-                .kernel
-                .segment(seg)?
-                .entry(PageNumber(p))
-                .is_some();
+            let already_resident = env.kernel.segment(seg)?.entry(PageNumber(p)).is_some();
             if already_resident || self.inflight.contains_key(&key) {
                 continue;
             }

@@ -140,7 +140,10 @@ mod tests {
 
     fn evict(m: &mut Machine, id: epcm_core::ManagerId, n: u64) {
         m.with_manager(id, |mgr, env| {
-            let mgr = mgr.as_any_mut().downcast_mut::<ReplicatingManager>().unwrap();
+            let mgr = mgr
+                .as_any_mut()
+                .downcast_mut::<ReplicatingManager>()
+                .unwrap();
             mgr.shrink(env, n).map(|_| ())
         })
         .unwrap();
@@ -150,7 +153,8 @@ mod tests {
     fn writeback_goes_to_both_replicas() {
         let (mut m, id, seg) = setup();
         for p in 0..4u64 {
-            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[p as u8 + 1; 64]).unwrap();
+            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[p as u8 + 1; 64])
+                .unwrap();
         }
         evict(&mut m, id, 4);
         let a = m.store().find("repl-1-a").expect("primary");
@@ -169,7 +173,8 @@ mod tests {
     fn survives_primary_failure() {
         let (mut m, id, seg) = setup();
         for p in 0..6u64 {
-            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[0xAB; 128]).unwrap();
+            m.store_bytes(seg, p * BASE_PAGE_SIZE, &[0xAB; 128])
+                .unwrap();
         }
         evict(&mut m, id, 6);
         // Kill the primary store.

@@ -461,10 +461,14 @@ impl SystemPageCacheManager {
             return Err(SpcmError::NotGranted { manager });
         }
         for &p in pages {
-            let entry = kernel
-                .segment(src)?
-                .entry(p)
-                .ok_or(epcm_core::KernelError::PageNotPresent { segment: src, page: p })?;
+            let entry =
+                kernel
+                    .segment(src)?
+                    .entry(p)
+                    .ok_or(epcm_core::KernelError::PageNotPresent {
+                        segment: src,
+                        page: p,
+                    })?;
             let home = PageNumber(entry.frame.index() as u64);
             kernel.migrate_pages(
                 src,
@@ -484,13 +488,52 @@ impl SystemPageCacheManager {
     /// the bankrupt managers the machine must force reclamation from, and
     /// clears the contention signal for the next period.
     pub fn bill(&mut self, kernel: &Kernel) -> Vec<ManagerId> {
+        self.bill_traced(kernel, None)
+    }
+
+    /// [`SystemPageCacheManager::bill`], additionally recording market
+    /// charges into `tracer` (the [`Machine`](crate::Machine) passes its
+    /// shared event tracer here).
+    pub fn bill_traced(
+        &mut self,
+        kernel: &Kernel,
+        tracer: Option<&epcm_trace::SharedTracer>,
+    ) -> Vec<ManagerId> {
         let now = kernel.now();
         let holdings = self.holdings();
         let contended = self.contended;
         self.contended = false;
         match &mut self.policy {
-            AllocationPolicy::Market { market, .. } => market.bill(now, &holdings, contended),
+            AllocationPolicy::Market { market, .. } => {
+                market.bill_traced(now, &holdings, contended, tracer)
+            }
             _ => Vec::new(),
+        }
+    }
+
+    /// Exports the SPCM's counters (and the market ledger totals, when a
+    /// market policy is in force) into `m` under `spcm.*` / `market.*`
+    /// names. Dram amounts are exported in millidrams, since the registry
+    /// holds integers.
+    pub fn export_metrics(&self, m: &mut epcm_trace::MetricsRegistry) {
+        m.set("spcm.requests", self.requests);
+        m.set("spcm.deferrals", self.deferrals);
+        m.set("spcm.refusals", self.refusals);
+        m.set("spcm.granted_frames", self.granted.values().sum());
+        m.set("spcm.granted_managers", self.granted.len() as u64);
+        if let Some(market) = self.market() {
+            m.set(
+                "market.total_charged_millidrams",
+                (market.total_charged() * 1000.0).round() as u64,
+            );
+            m.set(
+                "market.total_income_millidrams",
+                (market.total_income() * 1000.0).round() as u64,
+            );
+            m.set(
+                "market.total_tax_millidrams",
+                (market.total_tax() * 1000.0).round() as u64,
+            );
         }
     }
 }
@@ -514,11 +557,21 @@ mod tests {
     use super::*;
     use epcm_core::types::{SegmentKind, UserId};
 
-    fn setup(frames: usize, policy: AllocationPolicy, reserve: u64) -> (Kernel, SystemPageCacheManager, SegmentId) {
+    fn setup(
+        frames: usize,
+        policy: AllocationPolicy,
+        reserve: u64,
+    ) -> (Kernel, SystemPageCacheManager, SegmentId) {
         let mut kernel = Kernel::new(frames);
         let spcm = SystemPageCacheManager::new(policy, reserve);
         let free = kernel
-            .create_segment(SegmentKind::FramePool, UserId::SYSTEM, ManagerId(1), 1, frames as u64)
+            .create_segment(
+                SegmentKind::FramePool,
+                UserId::SYSTEM,
+                ManagerId(1),
+                1,
+                frames as u64,
+            )
             .unwrap();
         (kernel, spcm, free)
     }
@@ -586,7 +639,10 @@ mod tests {
                 ManagerId(1),
                 free,
                 10,
-                PhysConstraint::Color { color: 3, colors: 8 },
+                PhysConstraint::Color {
+                    color: 3,
+                    colors: 8,
+                },
             )
             .unwrap();
         assert_eq!(g, Grant::Granted(8)); // 64 frames / 8 colors
@@ -606,7 +662,8 @@ mod tests {
             .resident()
             .map(|(p, _)| p)
             .collect();
-        spcm.return_frames(&mut k, ManagerId(1), free, &pages).unwrap();
+        spcm.return_frames(&mut k, ManagerId(1), free, &pages)
+            .unwrap();
         assert_eq!(spcm.granted_to(ManagerId(1)), 0);
         assert_eq!(k.resident_pages(SegmentId::FRAME_POOL).unwrap(), 32);
         // Frames land in their home slots: page == frame index.
@@ -628,7 +685,12 @@ mod tests {
                 &[PageNumber(0), PageNumber(1), PageNumber(2)],
             )
             .unwrap_err();
-        assert_eq!(err, SpcmError::NotGranted { manager: ManagerId(1) });
+        assert_eq!(
+            err,
+            SpcmError::NotGranted {
+                manager: ManagerId(1)
+            }
+        );
     }
 
     #[test]
@@ -731,8 +793,8 @@ mod large_page_tests {
         assert_eq!(g, Grant::Granted(3));
         assert_eq!(k.resident_pages(big).unwrap(), 3);
         assert_eq!(spcm.granted_to(ManagerId(1)), 12); // frames, not pages
-        // Each large page's frame is 4-aligned relative to its run start
-        // and physically contiguous (compose_page verified it).
+                                                       // Each large page's frame is 4-aligned relative to its run start
+                                                       // and physically contiguous (compose_page verified it).
         for (_, e) in k.segment(big).unwrap().resident() {
             assert!(k.frames().is_valid(e.frame));
         }
@@ -789,7 +851,8 @@ mod large_page_tests {
     #[test]
     fn large_page_data_roundtrip_through_spcm_grant() {
         let (mut k, mut spcm, big) = setup(64);
-        spcm.request_large_pages(&mut k, ManagerId(1), big, 1).unwrap();
+        spcm.request_large_pages(&mut k, ManagerId(1), big, 1)
+            .unwrap();
         let data: Vec<u8> = (0..16384u32).map(|i| (i % 239) as u8).collect();
         assert!(k.store(big, 0, &data).unwrap().is_completed());
         let mut back = vec![0u8; data.len()];

@@ -1,0 +1,429 @@
+//! A self-contained, deterministic subset of the [proptest] API.
+//!
+//! The workspace's property tests were written against proptest, but this
+//! repository must build in network-restricted environments where no
+//! external crate can be fetched (see README "Offline builds"). This crate
+//! implements exactly the API surface those tests use — the [`proptest!`]
+//! macro, range/tuple/collection strategies, [`prop_oneof!`], `any::<T>()`
+//! and the `prop_assert*` macros — on top of a SplitMix64 generator seeded
+//! from the test's module path, so every run of a given test explores the
+//! same deterministic case sequence.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated values via
+//!   the ordinary assertion message; cases are deterministic, so a failure
+//!   is already reproducible.
+//! * **Deterministic seeding.** There is no `PROPTEST_` environment
+//!   handling; the per-test seed is a hash of `module_path!::test_name`.
+//! * **Small strategy algebra.** Only what the workspace uses: ranges,
+//!   tuples, `prop_map`, `prop_oneof!`, `any`, and `collection::{vec,
+//!   btree_set}`.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// The generator driving case generation: SplitMix64, seeded from the test
+/// name so each test has an independent, stable stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from an arbitrary string (the macro passes the
+    /// test's full module path).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name; any stable hash works.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)` (multiply-shift; bias below 2^-64
+    /// is irrelevant for test-case generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below requires a positive bound");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Runner configuration; only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased alternatives (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    alts: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// A union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alts` is empty.
+    pub fn new(alts: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!alts.is_empty(), "prop_oneof! requires an alternative");
+        Union { alts }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.alts.len() as u64) as usize;
+        self.alts[i].generate(rng)
+    }
+}
+
+// Integer and float ranges.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// Tuples of strategies.
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes an ordinary test running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a property test (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let mut c = TestRng::from_name("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (0u8..=255).generate(&mut rng);
+            let _ = w; // full range must not panic
+            let f = (1.5f64..2.5).generate(&mut rng);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let s = prop_oneof![
+            (0u64..10).prop_map(|v| v * 2),
+            (100u64..110).prop_map(|v| v + 1),
+        ];
+        let mut rng = TestRng::from_name("oneof");
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v < 20 || (101..111).contains(&v));
+            saw_low |= v < 20;
+            saw_high |= v >= 101;
+        }
+        assert!(saw_low && saw_high, "both branches must be exercised");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_cases(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let _ = flip;
+        }
+    }
+}

@@ -10,6 +10,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use epcm_trace::{EventKind, SharedTracer, TraceEvent, TraceSink};
+
 use crate::clock::{Micros, Timestamp};
 
 /// An entry in the event queue: ordering is by time, then insertion order
@@ -65,6 +67,7 @@ impl<E> Ord for Scheduled<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
+    tracer: Option<SharedTracer>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -79,7 +82,15 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            tracer: None,
         }
+    }
+
+    /// Records every subsequent insert into `tracer` as a
+    /// [`EventKind::Scheduled`] event (firing time + queue depth), so a
+    /// simulation's dispatch pattern shows up in the shared trace stream.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Schedules `event` to fire at absolute time `time`.
@@ -87,6 +98,15 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, event });
+        if let Some(t) = &self.tracer {
+            t.record(TraceEvent::new(
+                time.as_micros(),
+                EventKind::Scheduled {
+                    at_us: time.as_micros(),
+                    depth: self.heap.len() as u64,
+                },
+            ));
+        }
     }
 
     /// Schedules `event` to fire `delay` after `now`.
@@ -226,7 +246,11 @@ impl MultiServer {
 
     /// The earliest instant at which any server is free.
     pub fn earliest_free(&self) -> Timestamp {
-        self.free_at.iter().copied().min().unwrap_or(Timestamp::ZERO)
+        self.free_at
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Timestamp::ZERO)
     }
 }
 
@@ -253,6 +277,26 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_traces_inserts_when_tracer_set() {
+        let mut q = EventQueue::new();
+        let tracer = SharedTracer::with_capacity(16);
+        q.set_tracer(tracer.clone());
+        q.schedule(Timestamp::from_micros(5), "a");
+        q.schedule(Timestamp::from_micros(3), "b");
+        assert_eq!(tracer.kind_counts()["scheduled"], 2);
+        // Depth reflects the queue size after each insert.
+        let depths: Vec<u64> = tracer
+            .events()
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Scheduled { depth, .. } => depth,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(depths, vec![1, 2]);
     }
 
     #[test]

@@ -144,7 +144,6 @@ impl Rng {
     }
 }
 
-
 /// A Zipf-distributed sampler over `1..=n` with exponent `s`, using a
 /// precomputed CDF (database and file access patterns are classically
 /// Zipfian; the DBMS and scan workloads use this).
@@ -297,7 +296,12 @@ mod tests {
             counts[k as usize] += 1;
         }
         // Rank 0 is the clear favourite and the tail is light.
-        assert!(counts[0] > counts[10] * 2, "{} vs {}", counts[0], counts[10]);
+        assert!(
+            counts[0] > counts[10] * 2,
+            "{} vs {}",
+            counts[0],
+            counts[10]
+        );
         assert!(counts[0] > counts[99] * 10);
     }
 

@@ -207,7 +207,11 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return Micros::new(upper);
             }
         }
@@ -277,10 +281,7 @@ mod tests {
 
     #[test]
     fn summary_tracks_mean_min_max() {
-        let s: Summary = [10u64, 20, 30, 40]
-            .into_iter()
-            .map(Micros::new)
-            .collect();
+        let s: Summary = [10u64, 20, 30, 40].into_iter().map(Micros::new).collect();
         assert_eq!(s.count(), 4);
         assert_eq!(s.mean(), Micros::new(25));
         assert_eq!(s.min(), Micros::new(10));

@@ -1,0 +1,347 @@
+//! The structured event taxonomy.
+//!
+//! Events carry raw integers (segment ids, page numbers, manager ids,
+//! microseconds) because this crate sits below the crates that define the
+//! typed wrappers. The mapping is trivial and one-way: emitters convert
+//! their typed ids with `.raw()`/`as u64` at the emission site.
+
+use std::fmt;
+
+/// Raw encodings for [`EventKind::Fault::access`].
+pub mod access {
+    /// A data or instruction read.
+    pub const READ: u8 = 0;
+    /// A data write.
+    pub const WRITE: u8 = 1;
+}
+
+/// Raw encodings for [`EventKind::Fault::class`], mirroring the kernel's
+/// fault classification (paper §2.1: the kernel classifies, managers
+/// repair).
+pub mod fault_class {
+    /// No frame backs the page.
+    pub const MISSING: u8 = 0;
+    /// A frame is resident but its protection flags deny the access.
+    pub const PROTECTION: u8 = 1;
+    /// A write hit a copy-on-write binding.
+    pub const COW: u8 = 2;
+}
+
+/// What happened. One variant per operation class in the kernel interface
+/// (Table: `MigratePages`, `ComposePage`, `ModifyPageFlags`, `UioRead`,
+/// `UioWrite`, fault delivery) plus the management-layer events that give
+/// the economy and reclaim activity an audit trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The kernel delivered a page fault to a manager.
+    Fault {
+        /// Manager the fault was routed to.
+        manager: u32,
+        /// Segment needing repair.
+        segment: u64,
+        /// Page needing repair, in `segment`'s numbering.
+        page: u64,
+        /// [`access`] encoding of the faulting access.
+        access: u8,
+        /// [`fault_class`] encoding of the kernel's classification.
+        class: u8,
+    },
+    /// `MigratePages` moved page frames between segments.
+    Migrate {
+        /// Source segment.
+        from_segment: u64,
+        /// Destination segment.
+        to_segment: u64,
+        /// Number of pages moved.
+        pages: u64,
+    },
+    /// `ComposePage` assembled a large page from small frames.
+    Compose {
+        /// Segment holding the composed page.
+        segment: u64,
+        /// Page number of the composed page.
+        page: u64,
+        /// Number of small frames consumed.
+        frames: u64,
+    },
+    /// `DecomposePage` broke a large page back into small frames.
+    Decompose {
+        /// Segment holding the page.
+        segment: u64,
+        /// Page number of the decomposed page.
+        page: u64,
+    },
+    /// `ModifyPageFlags` changed protection/attribute flags.
+    FlagChange {
+        /// Segment operated on.
+        segment: u64,
+        /// First page of the affected run.
+        page: u64,
+        /// Number of pages whose flags changed.
+        pages: u64,
+        /// Raw bits of the flag mask that was set.
+        flags: u16,
+    },
+    /// The memory market billed a manager for its frame holdings.
+    MarketCharge {
+        /// Manager billed.
+        manager: u32,
+        /// Millidrams (drams × 1000, rounded) charged this interval.
+        charged: u64,
+        /// Account balance after the charge, in millidrams.
+        balance: i64,
+    },
+    /// A manager reclaimed page frames: either its replacement policy
+    /// evicted pages into its own free pool (`forced == false`), or the
+    /// SPCM forced it to hand frames back after bankruptcy
+    /// (`forced == true`).
+    Reclaim {
+        /// Manager the frames came from.
+        manager: u32,
+        /// Number of frames reclaimed.
+        frames: u64,
+        /// Whether the system pager forced the reclaim (bankruptcy).
+        forced: bool,
+    },
+    /// `UioRead` transferred data out of the page cache.
+    UioRead {
+        /// Segment read from.
+        segment: u64,
+        /// Byte offset of the transfer.
+        offset: u64,
+        /// Bytes transferred.
+        len: u64,
+    },
+    /// `UioWrite` transferred data into the page cache.
+    UioWrite {
+        /// Segment written to.
+        segment: u64,
+        /// Byte offset of the transfer.
+        offset: u64,
+        /// Bytes transferred.
+        len: u64,
+    },
+    /// A manager applied a batched swap: one I/O-and-migrate round trip
+    /// repairing several pages at once (§2.3 batching).
+    BatchSwap {
+        /// Manager that issued the batch.
+        manager: u32,
+        /// Segment repaired.
+        segment: u64,
+        /// Pages covered by the batch.
+        pages: u64,
+    },
+    /// The discrete-event simulator enqueued an event.
+    Scheduled {
+        /// Absolute firing time, µs.
+        at_us: u64,
+        /// Queue depth after the insert.
+        depth: u64,
+    },
+}
+
+impl EventKind {
+    /// A stable short name for the variant, used as the per-kind counter
+    /// key and in rendered traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Fault { .. } => "fault",
+            EventKind::Migrate { .. } => "migrate",
+            EventKind::Compose { .. } => "compose",
+            EventKind::Decompose { .. } => "decompose",
+            EventKind::FlagChange { .. } => "flag_change",
+            EventKind::MarketCharge { .. } => "market_charge",
+            EventKind::Reclaim { .. } => "reclaim",
+            EventKind::UioRead { .. } => "uio_read",
+            EventKind::UioWrite { .. } => "uio_write",
+            EventKind::BatchSwap { .. } => "batch_swap",
+            EventKind::Scheduled { .. } => "scheduled",
+        }
+    }
+}
+
+/// One recorded event: a timestamp plus [`EventKind`] payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event, µs since boot.
+    pub time_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Builds an event at `time_us`.
+    pub fn new(time_us: u64, kind: EventKind) -> Self {
+        TraceEvent { time_us, kind }
+    }
+}
+
+/// Renders one stable, line-oriented record per event. The format is part
+/// of the determinism contract: two same-seed runs must render
+/// byte-identical traces.
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>10} {} ", self.time_us, self.kind.name())?;
+        match self.kind {
+            EventKind::Fault {
+                manager,
+                segment,
+                page,
+                access,
+                class,
+            } => write!(
+                f,
+                "mgr={manager} seg={segment} page={page} access={access} class={class}"
+            ),
+            EventKind::Migrate {
+                from_segment,
+                to_segment,
+                pages,
+            } => write!(f, "from={from_segment} to={to_segment} pages={pages}"),
+            EventKind::Compose {
+                segment,
+                page,
+                frames,
+            } => write!(f, "seg={segment} page={page} frames={frames}"),
+            EventKind::Decompose { segment, page } => write!(f, "seg={segment} page={page}"),
+            EventKind::FlagChange {
+                segment,
+                page,
+                pages,
+                flags,
+            } => write!(
+                f,
+                "seg={segment} page={page} pages={pages} flags={flags:#06x}"
+            ),
+            EventKind::MarketCharge {
+                manager,
+                charged,
+                balance,
+            } => write!(f, "mgr={manager} charged={charged} balance={balance}"),
+            EventKind::Reclaim {
+                manager,
+                frames,
+                forced,
+            } => write!(f, "mgr={manager} frames={frames} forced={forced}"),
+            EventKind::UioRead {
+                segment,
+                offset,
+                len,
+            }
+            | EventKind::UioWrite {
+                segment,
+                offset,
+                len,
+            } => write!(f, "seg={segment} off={offset} len={len}"),
+            EventKind::BatchSwap {
+                manager,
+                segment,
+                pages,
+            } => write!(f, "mgr={manager} seg={segment} pages={pages}"),
+            EventKind::Scheduled { at_us, depth } => write!(f, "at={at_us} depth={depth}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let kinds = [
+            EventKind::Fault {
+                manager: 1,
+                segment: 2,
+                page: 3,
+                access: access::READ,
+                class: fault_class::MISSING,
+            },
+            EventKind::Migrate {
+                from_segment: 1,
+                to_segment: 2,
+                pages: 3,
+            },
+            EventKind::Compose {
+                segment: 1,
+                page: 0,
+                frames: 16,
+            },
+            EventKind::Decompose {
+                segment: 1,
+                page: 0,
+            },
+            EventKind::FlagChange {
+                segment: 1,
+                page: 0,
+                pages: 4,
+                flags: 0x3,
+            },
+            EventKind::MarketCharge {
+                manager: 1,
+                charged: 5,
+                balance: -2,
+            },
+            EventKind::Reclaim {
+                manager: 1,
+                frames: 8,
+                forced: true,
+            },
+            EventKind::UioRead {
+                segment: 1,
+                offset: 0,
+                len: 4096,
+            },
+            EventKind::UioWrite {
+                segment: 1,
+                offset: 0,
+                len: 4096,
+            },
+            EventKind::BatchSwap {
+                manager: 1,
+                segment: 2,
+                pages: 8,
+            },
+            EventKind::Scheduled {
+                at_us: 10,
+                depth: 1,
+            },
+        ];
+        let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "fault",
+                "migrate",
+                "compose",
+                "decompose",
+                "flag_change",
+                "market_charge",
+                "reclaim",
+                "uio_read",
+                "uio_write",
+                "batch_swap",
+                "scheduled",
+            ]
+        );
+    }
+
+    #[test]
+    fn display_is_line_oriented_and_stable() {
+        let ev = TraceEvent::new(
+            1234,
+            EventKind::Fault {
+                manager: 7,
+                segment: 3,
+                page: 42,
+                access: access::WRITE,
+                class: fault_class::COW,
+            },
+        );
+        assert_eq!(
+            ev.to_string(),
+            "      1234 fault mgr=7 seg=3 page=42 access=1 class=2"
+        );
+        assert!(!ev.to_string().contains('\n'));
+    }
+}

@@ -1,0 +1,191 @@
+//! A tiny JSON emitter.
+//!
+//! The workspace builds without registry access (no serde), and the only
+//! JSON we need is *output*: metric snapshots and `BENCH_*.json` result
+//! files. This module provides just enough — objects, arrays, and the
+//! scalar types those files use — with deterministic field order (callers
+//! control insertion order; the builders never reorder).
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for use inside a JSON string literal (without the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` the way the rest of the repo prints numbers:
+/// finite values as shortest-roundtrip decimals, non-finite as `null`
+/// (JSON has no NaN/Infinity).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Ensure a decimal point or exponent so the value reads as a
+        // float on the other side even when it is integral.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Builds one JSON object; fields appear in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a field whose value is already-rendered JSON.
+    pub fn raw(mut self, name: &str, json: impl Into<String>) -> Self {
+        self.fields.push((name.to_string(), json.into()));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn string(self, name: &str, value: &str) -> Self {
+        let rendered = format!("\"{}\"", escape(value));
+        self.raw(name, rendered)
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(self, name: &str, value: u64) -> Self {
+        self.raw(name, value.to_string())
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(self, name: &str, value: i64) -> Self {
+        self.raw(name, value.to_string())
+    }
+
+    /// Adds a float field (non-finite values render as `null`).
+    pub fn f64(self, name: &str, value: f64) -> Self {
+        self.raw(name, number(value))
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(self, name: &str, value: bool) -> Self {
+        self.raw(name, if value { "true" } else { "false" })
+    }
+
+    /// Renders the object on one line.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(name), value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Builds one JSON array; elements appear in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonArray {
+    items: Vec<String>,
+}
+
+impl JsonArray {
+    /// Creates an empty array.
+    pub fn new() -> Self {
+        JsonArray::default()
+    }
+
+    /// Appends an already-rendered JSON value.
+    pub fn push_raw(&mut self, json: impl Into<String>) -> &mut Self {
+        self.items.push(json.into());
+        self
+    }
+
+    /// Appends a string element.
+    pub fn push_string(&mut self, value: &str) -> &mut Self {
+        self.push_raw(format!("\"{}\"", escape(value)))
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn push_u64(&mut self, value: u64) -> &mut Self {
+        self.push_raw(value.to_string())
+    }
+
+    /// Appends a float element.
+    pub fn push_f64(&mut self, value: f64) -> &mut Self {
+        self.push_raw(number(value))
+    }
+
+    /// Renders the array on one line.
+    pub fn finish(self) -> String {
+        format!("[{}]", self.items.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nan_is_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(3.0), "3.0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let json = JsonObject::new()
+            .string("name", "t1")
+            .u64("count", 3)
+            .i64("delta", -2)
+            .bool("ok", true)
+            .f64("mean", 2.5)
+            .finish();
+        assert_eq!(
+            json,
+            "{\"name\":\"t1\",\"count\":3,\"delta\":-2,\"ok\":true,\"mean\":2.5}"
+        );
+    }
+
+    #[test]
+    fn array_builds_in_order() {
+        let mut a = JsonArray::new();
+        a.push_u64(1).push_f64(2.5).push_string("x");
+        assert_eq!(a.finish(), "[1,2.5,\"x\"]");
+    }
+
+    #[test]
+    fn nesting_via_raw() {
+        let inner = JsonObject::new().u64("n", 1).finish();
+        let json = JsonObject::new().raw("inner", inner).finish();
+        assert_eq!(json, "{\"inner\":{\"n\":1}}");
+    }
+}

@@ -1,0 +1,424 @@
+//! The unified metrics registry.
+//!
+//! Every layer of the simulation used to report through its own struct
+//! (`KernelStats`, `MachineStats`, per-manager stats, `epcm_sim`
+//! counters). Those remain as fast-path accumulators, but the *reporting*
+//! surface is now one registry of named counters and histograms with a
+//! single snapshot / diff / JSON story. Names are dotted and stable —
+//! `kernel.faults.protection`, `spcm.requests`, `market.total_charged` —
+//! so tests and the benchmark harness address a metric the same way no
+//! matter which layer produced it.
+
+use std::collections::BTreeMap;
+
+use crate::json::{JsonArray, JsonObject};
+
+/// Number of log₂ buckets in a [histogram](MetricsRegistry::observe):
+/// bucket `i` holds values in `[2^(i-1), 2^i)`, bucket 0 holds zero.
+const BUCKETS: usize = 65;
+
+/// A power-of-two-bucket histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_for(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+impl LogHistogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_for(value)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (0.0–1.0): the top edge of the
+    /// bucket containing that rank. Log buckets make this within 2× of
+    /// exact, which is all the latency tables need.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(bucket upper bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let hi = if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
+                (hi, n)
+            })
+            .collect()
+    }
+}
+
+/// The registry: named counters plus named histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the counter `name` to `value`, used by exporters that copy a
+    /// fast-path accumulator into the registry.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Current value of counter `name`, or 0 if absent.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into the histogram `name` (creating it).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// The histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counter names, sorted.
+    pub fn counter_names(&self) -> Vec<&str> {
+        self.counters.keys().map(String::as_str).collect()
+    }
+
+    /// Captures an immutable snapshot of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        HistogramSnapshot {
+                            count: h.count(),
+                            total: h.total(),
+                            min: h.min(),
+                            max: h.max(),
+                            p50: h.quantile_upper_bound(0.5),
+                            p99: h.quantile_upper_bound(0.99),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Summary statistics of one histogram at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub total: u64,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample (0 if empty).
+    pub max: u64,
+    /// Upper bound on the median.
+    pub p50: u64,
+    /// Upper bound on the 99th percentile.
+    pub p99: u64,
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`]: comparable, diffable,
+/// serializable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name, or 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Changes from `earlier` to `self`. Counters absent on one side are
+    /// treated as zero there, so the delta always covers the union of
+    /// names.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsDelta {
+        let names: std::collections::BTreeSet<&String> = self
+            .counters
+            .keys()
+            .chain(earlier.counters.keys())
+            .collect();
+        let counters = names
+            .into_iter()
+            .map(|name| {
+                let now = self.counter(name) as i64;
+                let then = earlier.counter(name) as i64;
+                (name.clone(), now - then)
+            })
+            .collect();
+        MetricsDelta { counters }
+    }
+
+    /// Renders the snapshot as a single-line JSON object with two keys,
+    /// `counters` and `histograms`, each mapping names to values. Field
+    /// order is the sorted name order, so equal snapshots render to equal
+    /// bytes.
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObject::new();
+        for (name, &value) in &self.counters {
+            counters = counters.u64(name, value);
+        }
+        let mut histograms = JsonObject::new();
+        for (name, h) in &self.histograms {
+            let rendered = JsonObject::new()
+                .u64("count", h.count)
+                .u64("total", h.total)
+                .u64("min", h.min)
+                .u64("max", h.max)
+                .u64("p50", h.p50)
+                .u64("p99", h.p99)
+                .finish();
+            histograms = histograms.raw(name, rendered);
+        }
+        JsonObject::new()
+            .raw("counters", counters.finish())
+            .raw("histograms", histograms.finish())
+            .finish()
+    }
+}
+
+/// The signed change between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsDelta {
+    /// Per-counter change (later minus earlier) over the union of names.
+    pub counters: BTreeMap<String, i64>,
+}
+
+impl MetricsDelta {
+    /// Change in counter `name`, or 0 if absent from both snapshots.
+    pub fn counter(&self, name: &str) -> i64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Names whose value changed, sorted.
+    pub fn changed(&self) -> Vec<&str> {
+        self.counters
+            .iter()
+            .filter(|(_, &d)| d != 0)
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// Renders the non-zero changes as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        for (name, &delta) in &self.counters {
+            if delta != 0 {
+                obj = obj.i64(name, delta);
+            }
+        }
+        obj.finish()
+    }
+}
+
+/// Renders a list of `(upper bound, count)` bucket pairs as a JSON array
+/// of two-element arrays — shared by bench output.
+pub fn buckets_to_json(buckets: &[(u64, u64)]) -> String {
+    let mut arr = JsonArray::new();
+    for &(hi, n) in buckets {
+        let mut pair = JsonArray::new();
+        pair.push_u64(hi).push_u64(n);
+        arr.push_raw(pair.finish());
+    }
+    arr.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_set_get() {
+        let mut m = MetricsRegistry::new();
+        m.add("kernel.faults.missing", 2);
+        m.add("kernel.faults.missing", 3);
+        m.set("market.total_charged", 17);
+        assert_eq!(m.get("kernel.faults.missing"), 5);
+        assert_eq!(m.get("market.total_charged"), 17);
+        assert_eq!(m.get("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = LogHistogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.total(), 1010);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1010.0 / 6.0).abs() < 1e-9);
+        // 0 lands in bucket 0; 2 and 3 share [2,4).
+        let buckets = h.nonzero_buckets();
+        assert!(buckets.iter().any(|&(hi, n)| hi == 3 && n == 2));
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds() {
+        let mut h = LogHistogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_upper_bound(0.5);
+        assert!((50..=127).contains(&p50), "p50 bound was {p50}");
+        assert!(h.quantile_upper_bound(1.0) >= 100);
+        assert_eq!(LogHistogram::default().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_diff_covers_union_of_names() {
+        let mut m = MetricsRegistry::new();
+        m.add("a", 1);
+        let before = m.snapshot();
+        m.add("a", 4);
+        m.add("b", 7);
+        let after = m.snapshot();
+        let delta = after.diff(&before);
+        assert_eq!(delta.counter("a"), 4);
+        assert_eq!(delta.counter("b"), 7);
+        assert_eq!(delta.counter("c"), 0);
+        assert_eq!(delta.changed(), vec!["a", "b"]);
+        // Diff in the other direction is negative.
+        assert_eq!(before.diff(&after).counter("b"), -7);
+    }
+
+    #[test]
+    fn equal_registries_snapshot_equal_and_render_equal() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            m.add("x", 2);
+            m.observe("lat", 10);
+            m.observe("lat", 20);
+            m.snapshot()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let mut m = MetricsRegistry::new();
+        m.add("b", 2);
+        m.add("a", 1);
+        m.observe("h", 5);
+        let json = m.snapshot().to_json();
+        // Sorted counter order, both sections present.
+        assert!(json.starts_with("{\"counters\":{\"a\":1,\"b\":2}"));
+        assert!(json.contains("\"histograms\":{\"h\":{\"count\":1"));
+    }
+
+    #[test]
+    fn delta_json_omits_zero_changes() {
+        let mut m = MetricsRegistry::new();
+        m.add("a", 1);
+        m.add("b", 1);
+        let before = m.snapshot();
+        m.add("b", 2);
+        let delta = m.snapshot().diff(&before);
+        assert_eq!(delta.to_json(), "{\"b\":2}");
+    }
+}

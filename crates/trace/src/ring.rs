@@ -1,0 +1,180 @@
+//! The fixed-capacity event ring.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::event::TraceEvent;
+
+/// A bounded in-memory trace: the most recent `capacity` events, plus
+/// per-kind counts over the *whole* run (counts are never dropped, only
+/// raw events are).
+///
+/// When full, recording overwrites the oldest event — tracing must stay
+/// cheap enough to leave on, so the buffer never grows and never errors.
+/// [`TraceBuffer::dropped`] reports how many events fell off the front.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    recorded: u64,
+    dropped: u64,
+    kind_counts: BTreeMap<&'static str, u64>,
+}
+
+impl TraceBuffer {
+    /// Default ring capacity: enough for every event of a Table-1 style
+    /// micro-benchmark without measurable memory cost.
+    pub const DEFAULT_CAPACITY: usize = 64 * 1024;
+
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        TraceBuffer {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            recorded: 0,
+            dropped: 0,
+            kind_counts: BTreeMap::new(),
+        }
+    }
+
+    /// Appends `event`, evicting the oldest event if the ring is full.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.recorded += 1;
+        *self.kind_counts.entry(event.kind.name()).or_insert(0) += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded, including those since overwritten.
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Per-kind event counts over the whole run (immune to wraparound).
+    pub fn kind_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.kind_counts
+    }
+
+    /// Iterates the held events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Copies the held events out, oldest-first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Drains the held events, oldest-first, leaving counts intact.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Renders the held events one per line — the byte-stable form the
+    /// determinism tests compare.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::new(t, EventKind::Scheduled { at_us: t, depth: 0 })
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut b = TraceBuffer::with_capacity(8);
+        for t in 0..5 {
+            b.record(ev(t));
+        }
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.dropped(), 0);
+        let times: Vec<u64> = b.iter().map(|e| e.time_us).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraparound_keeps_most_recent_and_counts_drops() {
+        let mut b = TraceBuffer::with_capacity(4);
+        for t in 0..10 {
+            b.record(ev(t));
+        }
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.total_recorded(), 10);
+        assert_eq!(b.dropped(), 6);
+        let times: Vec<u64> = b.events().iter().map(|e| e.time_us).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+        // Kind counts survive the wraparound.
+        assert_eq!(b.kind_counts()["scheduled"], 10);
+    }
+
+    #[test]
+    fn take_drains_but_preserves_counts() {
+        let mut b = TraceBuffer::with_capacity(4);
+        b.record(ev(1));
+        b.record(ev(2));
+        let drained = b.take();
+        assert_eq!(drained.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.total_recorded(), 2);
+        assert_eq!(b.kind_counts()["scheduled"], 2);
+    }
+
+    #[test]
+    fn render_is_one_line_per_event() {
+        let mut b = TraceBuffer::with_capacity(4);
+        b.record(ev(1));
+        b.record(ev(2));
+        let text = b.render();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        TraceBuffer::with_capacity(0);
+    }
+}

@@ -1,0 +1,138 @@
+//! How components emit events: the [`TraceSink`] trait and the shared
+//! ring-buffer handle every layer actually uses.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::TraceEvent;
+use crate::ring::TraceBuffer;
+
+/// Anything events can be recorded into.
+///
+/// Takes `&self` so sinks can be held behind shared handles; the only
+/// production implementation is [`SharedTracer`], which wraps the ring in
+/// a `RefCell`. Emission sites must therefore never hold a borrow of the
+/// buffer across a `record` call.
+pub trait TraceSink {
+    /// Records one event.
+    fn record(&self, event: TraceEvent);
+}
+
+/// A sink that discards everything. Useful as a placeholder where a sink
+/// is structurally required but tracing is off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// A cheaply clonable handle to one shared [`TraceBuffer`].
+///
+/// Clones share the buffer, so handing the same tracer to the kernel, the
+/// system pager and every manager produces a single time-ordered stream.
+/// The simulation is single-threaded (determinism is the whole point), so
+/// `Rc<RefCell<…>>` is the right tool — no locks on the fault path.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTracer {
+    buffer: Rc<RefCell<TraceBuffer>>,
+}
+
+impl SharedTracer {
+    /// Creates a tracer whose ring holds `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedTracer {
+            buffer: Rc::new(RefCell::new(TraceBuffer::with_capacity(capacity))),
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buffer.borrow().len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.borrow().is_empty()
+    }
+
+    /// Total events ever recorded.
+    pub fn total_recorded(&self) -> u64 {
+        self.buffer.borrow().total_recorded()
+    }
+
+    /// Events lost to ring wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.buffer.borrow().dropped()
+    }
+
+    /// Per-kind event counts, cloned out (immune to wraparound).
+    pub fn kind_counts(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        self.buffer.borrow().kind_counts().clone()
+    }
+
+    /// Copies the held events out, oldest-first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buffer.borrow().events()
+    }
+
+    /// Drains the held events, oldest-first, leaving counts intact.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        self.buffer.borrow_mut().take()
+    }
+
+    /// Renders the held events one per line (the byte-stable form).
+    pub fn render(&self) -> String {
+        self.buffer.borrow().render()
+    }
+}
+
+impl TraceSink for SharedTracer {
+    fn record(&self, event: TraceEvent) {
+        self.buffer.borrow_mut().record(event);
+    }
+}
+
+/// `Option<&SharedTracer>`-style emission helper: components store
+/// `Option<SharedTracer>` and call this, paying one branch when tracing
+/// is off.
+pub fn emit(sink: &Option<SharedTracer>, event: TraceEvent) {
+    if let Some(t) = sink {
+        t.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::new(t, EventKind::Scheduled { at_us: t, depth: 0 })
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let a = SharedTracer::with_capacity(16);
+        let b = a.clone();
+        a.record(ev(1));
+        b.record(ev(2));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.events(), a.events());
+    }
+
+    #[test]
+    fn emit_helper_respects_none() {
+        let none: Option<SharedTracer> = None;
+        emit(&none, ev(1)); // must not panic
+        let some = Some(SharedTracer::with_capacity(4));
+        emit(&some, ev(1));
+        assert_eq!(some.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let s = NullSink;
+        s.record(ev(1));
+    }
+}

@@ -11,6 +11,7 @@ use epcm_baseline::UltrixVm;
 use epcm_core::types::{AccessKind, SegmentKind, BASE_PAGE_SIZE};
 use epcm_managers::{DefaultSegmentManager, Machine, MachineError};
 use epcm_sim::clock::Micros;
+use epcm_trace::{MetricsSnapshot, TraceEvent};
 
 use crate::trace::AppSpec;
 
@@ -39,6 +40,42 @@ pub struct RunReport {
     pub write_ops: u64,
 }
 
+/// A [`RunReport`] together with the evidence behind it: the full event
+/// stream the run emitted and a unified metrics snapshot taken after the
+/// run. Produced by [`run_on_vpp_traced`]; lets workload tests assert on
+/// *how* a number came about, not just its value.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// The same report [`run_on_vpp`] would have produced.
+    pub report: RunReport,
+    /// Every event recorded during the run (warm-up included),
+    /// oldest-first, up to the ring capacity.
+    pub events: Vec<TraceEvent>,
+    /// Unified metrics snapshot taken after the run completed.
+    pub metrics: MetricsSnapshot,
+}
+
+impl TracedRun {
+    /// Lifetime count of events of `kind` (a [`EventKind::name`]
+    /// string such as `"fault"`), immune to ring wraparound.
+    ///
+    /// [`EventKind::name`]: epcm_trace::EventKind::name
+    pub fn event_count(&self, kind: &str) -> u64 {
+        self.metrics.counter(&format!("trace.events.{kind}"))
+    }
+
+    /// Renders the held events one per line — the byte-stable form used
+    /// by determinism tests.
+    pub fn render_trace(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(out, "{e}");
+        }
+        out
+    }
+}
+
 /// Runs the application on V++ with the default segment manager.
 ///
 /// Inputs are created and cached (faulted in) before measurement begins,
@@ -50,7 +87,35 @@ pub struct RunReport {
 /// Machine failures (all unexpected for well-formed specs).
 pub fn run_on_vpp(spec: &AppSpec, frames: usize) -> Result<RunReport, MachineError> {
     let mut m = Machine::with_default_manager(frames);
+    run_vpp_on(spec, &mut m)
+}
 
+/// Runs the application on V++ exactly as [`run_on_vpp`] does, but with
+/// event tracing enabled on the machine, returning the report together
+/// with the event stream and a metrics snapshot.
+///
+/// `trace_capacity` bounds the event ring; per-kind counts stay exact
+/// even when the ring wraps.
+///
+/// # Errors
+///
+/// As for [`run_on_vpp`].
+pub fn run_on_vpp_traced(
+    spec: &AppSpec,
+    frames: usize,
+    trace_capacity: usize,
+) -> Result<TracedRun, MachineError> {
+    let mut m = Machine::with_default_manager(frames);
+    let tracer = m.enable_event_tracing(trace_capacity);
+    let report = run_vpp_on(spec, &mut m)?;
+    Ok(TracedRun {
+        report,
+        events: tracer.events(),
+        metrics: m.metrics().snapshot(),
+    })
+}
+
+fn run_vpp_on(spec: &AppSpec, m: &mut Machine) -> Result<RunReport, MachineError> {
     // Create backing files.
     for f in &spec.inputs {
         m.store_mut().create(&f.name, f.size as usize);
@@ -80,7 +145,7 @@ pub fn run_on_vpp(spec: &AppSpec, frames: usize) -> Result<RunReport, MachineErr
     let calls0 = m.stats().manager_calls;
     let k0 = m.kernel_stats();
     let mgr_id = m.default_manager().expect("default manager registered");
-    let dm0 = default_stats(&m, mgr_id);
+    let dm0 = default_stats(m, mgr_id);
 
     // Read the inputs in the V++ 4 KB transfer unit.
     let mut buf = vec![0u8; BASE_PAGE_SIZE as usize];
@@ -126,7 +191,7 @@ pub fn run_on_vpp(spec: &AppSpec, frames: usize) -> Result<RunReport, MachineErr
     m.close_segment(heap)?;
 
     let k1 = m.kernel_stats();
-    let dm1 = default_stats(&m, mgr_id);
+    let dm1 = default_stats(m, mgr_id);
     Ok(RunReport {
         name: spec.name.clone(),
         elapsed: m.now().duration_since(t0),
@@ -139,10 +204,7 @@ pub fn run_on_vpp(spec: &AppSpec, frames: usize) -> Result<RunReport, MachineErr
     })
 }
 
-fn default_stats(
-    m: &Machine,
-    id: epcm_core::ManagerId,
-) -> epcm_managers::DefaultManagerStats {
+fn default_stats(m: &Machine, id: epcm_core::ManagerId) -> epcm_managers::DefaultManagerStats {
     m.manager(id)
         .expect("registered")
         .as_any()
@@ -249,6 +311,56 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_matches_untraced_report() {
+        let spec = small_spec();
+        let plain = run_on_vpp(&spec, 2048).unwrap();
+        let traced = run_on_vpp_traced(&spec, 2048, 64 * 1024).unwrap();
+        // Tracing is observation only: the report is unchanged.
+        assert_eq!(traced.report, plain);
+        assert!(!traced.events.is_empty());
+    }
+
+    #[test]
+    fn traced_run_events_corroborate_the_metrics() {
+        let spec = small_spec();
+        let t = run_on_vpp_traced(&spec, 2048, 64 * 1024).unwrap();
+        // Every kernel fault shows up exactly once in the event stream
+        // (trace counts cover the whole run, warm-up included).
+        let kernel_faults = t.metrics.counter("kernel.faults.missing")
+            + t.metrics.counter("kernel.faults.protection")
+            + t.metrics.counter("kernel.faults.cow");
+        assert_eq!(t.event_count("fault"), kernel_faults);
+        // UIO traffic is one event per call.
+        assert_eq!(
+            t.event_count("uio_read"),
+            t.metrics.counter("kernel.uio.reads")
+        );
+        assert_eq!(
+            t.event_count("uio_write"),
+            t.metrics.counter("kernel.uio.writes")
+        );
+        // Plenty of memory: the SPCM never forces a reclaim.
+        let forced = t
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, epcm_trace::EventKind::Reclaim { forced: true, .. }))
+            .count();
+        assert_eq!(forced, 0);
+        // Output appends land as multi-page batch swaps.
+        assert!(t.event_count("batch_swap") >= 1);
+    }
+
+    #[test]
+    fn traced_run_is_deterministic() {
+        let spec = small_spec();
+        let a = run_on_vpp_traced(&spec, 2048, 64 * 1024).unwrap();
+        let b = run_on_vpp_traced(&spec, 2048, 64 * 1024).unwrap();
+        assert_eq!(a.render_trace(), b.render_trace());
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+    }
+
+    #[test]
     fn ultrix_run_uses_8k_transfers_and_zeroes() {
         let spec = small_spec();
         let r = run_on_ultrix(&spec, 2048);
@@ -283,8 +395,7 @@ mod tests {
         // grants, and the per-page close-time migrations.
         let slack = Micros::from_millis(10);
         assert!(
-            elapsed_gap > fault_gap.saturating_sub(slack)
-                && elapsed_gap < fault_gap + slack,
+            elapsed_gap > fault_gap.saturating_sub(slack) && elapsed_gap < fault_gap + slack,
             "elapsed gap {elapsed_gap} vs fault gap {fault_gap}"
         );
     }
@@ -317,9 +428,8 @@ mod table_tests {
                 paper.ultrix_secs
             );
             assert_eq!(v.migrate_calls, paper.migrate_calls, "{}", spec.name);
-            let call_err =
-                (v.manager_calls as f64 - paper.manager_calls as f64).abs()
-                    / paper.manager_calls as f64;
+            let call_err = (v.manager_calls as f64 - paper.manager_calls as f64).abs()
+                / paper.manager_calls as f64;
             assert!(
                 call_err < 0.01,
                 "{}: manager calls {} vs paper {}",

@@ -182,12 +182,10 @@ mod tests {
             let mut m = Machine::builder(256)
                 .allocation(AllocationPolicy::Quota { per_manager: 40 })
                 .build();
-            let id = m.register_manager(Box::new(
-                epcm_managers::generic::GenericManager::new(
-                    epcm_managers::generic::PlainSpec,
-                    epcm_managers::ManagerMode::FaultingProcess,
-                ),
-            ));
+            let id = m.register_manager(Box::new(epcm_managers::generic::GenericManager::new(
+                epcm_managers::generic::PlainSpec,
+                epcm_managers::ManagerMode::FaultingProcess,
+            )));
             m.set_default_manager(id);
             let seg = m.create_segment(SegmentKind::Anonymous, 128).unwrap();
             drive_pattern(&mut m, seg, pattern, 128, 3_000, 5)
@@ -216,8 +214,7 @@ mod tests {
         )));
         m.set_default_manager(id);
         let seg = m.create_segment(SegmentKind::Anonymous, 64).unwrap();
-        let report =
-            drive_pattern(&mut m, seg, AccessPattern::Sequential, 64, 640, 3).unwrap();
+        let report = drive_pattern(&mut m, seg, AccessPattern::Sequential, 64, 640, 3).unwrap();
         assert!(
             report.fault_rate() > 0.9,
             "cyclic sweep should thrash: {:.2}",

@@ -73,18 +73,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{:<34} {:>10} {:>18} {:>8}",
-        "adaptive (asked the SPCM)", adaptive_pages, t_adaptive.to_string(), f_adaptive
+        "adaptive (asked the SPCM)",
+        adaptive_pages,
+        t_adaptive.to_string(),
+        f_adaptive
     );
     println!(
         "{:<34} {:>10} {:>18} {:>8}",
-        "oblivious (assumed plenty)", oblivious_pages, t_oblivious.to_string(), f_oblivious
+        "oblivious (assumed plenty)",
+        oblivious_pages,
+        t_oblivious.to_string(),
+        f_oblivious
     );
 
     // Science per second: the adaptive run does fewer particles per step
     // but vastly more steps per unit time.
-    let science = |pages: u64, t: Micros| {
-        (pages * TIMESTEPS) as f64 / t.as_secs_f64() / 1000.0
-    };
+    let science = |pages: u64, t: Micros| (pages * TIMESTEPS) as f64 / t.as_secs_f64() / 1000.0;
     println!(
         "\nthroughput: adaptive {:.0}k particle-pages/s vs oblivious {:.0}k/s",
         science(adaptive_pages, t_adaptive),

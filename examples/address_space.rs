@@ -26,10 +26,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //   pages  56..64  -> stack  (read/write)
     let aspace = machine.create_segment(SegmentKind::AddressSpace, 64)?;
     let k = machine.kernel_mut();
-    k.bind_region(aspace, PageNumber(0), 16, code, PageNumber(0), false,
-        PageFlags::READ | PageFlags::EXECUTE)?;
-    k.bind_region(aspace, PageNumber(16), 32, data, PageNumber(0), true, PageFlags::RW)?;
-    k.bind_region(aspace, PageNumber(56), 8, stack, PageNumber(0), false, PageFlags::RW)?;
+    k.bind_region(
+        aspace,
+        PageNumber(0),
+        16,
+        code,
+        PageNumber(0),
+        false,
+        PageFlags::READ | PageFlags::EXECUTE,
+    )?;
+    k.bind_region(
+        aspace,
+        PageNumber(16),
+        32,
+        data,
+        PageNumber(0),
+        true,
+        PageFlags::RW,
+    )?;
+    k.bind_region(
+        aspace,
+        PageNumber(56),
+        8,
+        stack,
+        PageNumber(0),
+        false,
+        PageFlags::RW,
+    )?;
 
     println!("Figure 1: Kernel Implementation of a Virtual Address Space\n");
     println!("{}", machine.kernel().segment(aspace)?);
@@ -54,16 +77,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Writing to the code region is a protection error — the binding caps
     // access at read/execute:
     let denied = machine.touch(aspace, 0, AccessKind::Write);
-    println!("write to code region: {}", if denied.is_err() { "denied (as bound)" } else { "?!" });
+    println!(
+        "write to code region: {}",
+        if denied.is_err() {
+            "denied (as bound)"
+        } else {
+            "?!"
+        }
+    );
 
     // Writing the COW data region gives this address space a private
     // copy; the underlying data segment is untouched:
     machine.store_bytes(aspace, 16 * 4096, b"private copy here")?;
     machine.load(data, 0, &mut buf)?;
-    println!("data segment after COW write: {:?}", std::str::from_utf8(&buf)?);
+    println!(
+        "data segment after COW write: {:?}",
+        std::str::from_utf8(&buf)?
+    );
     let mut priv_buf = [0u8; 17];
     machine.load(aspace, 16 * 4096, &mut priv_buf)?;
-    println!("address space sees:           {:?}", std::str::from_utf8(&priv_buf)?);
+    println!(
+        "address space sees:           {:?}",
+        std::str::from_utf8(&priv_buf)?
+    );
     println!(
         "\nCOW copies performed by the kernel: {}",
         machine.kernel_stats().cow_copies

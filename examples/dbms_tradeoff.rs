@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         index.segment()
     );
     let probe_key = records[1234].0;
-    println!("probe({probe_key:#x}) = {:?}", index.probe(&mut machine, probe_key)?);
+    println!(
+        "probe({probe_key:#x}) = {:?}",
+        index.probe(&mut machine, probe_key)?
+    );
 
     let released = index.discard(&mut machine)?;
     println!(

@@ -23,8 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in machine.take_trace() {
         match step {
             TraceStep::FaultRaised(fault) => {
-                println!("(1) application references {} {} and traps;", fault.segment, fault.page);
-                println!("    the kernel classifies it [{}] and forwards it to {}", fault.kind, fault.manager);
+                println!(
+                    "(1) application references {} {} and traps;",
+                    fault.segment, fault.page
+                );
+                println!(
+                    "    the kernel classifies it [{}] and forwards it to {}",
+                    fault.kind, fault.manager
+                );
             }
             TraceStep::Dispatched { manager, mode } => {
                 println!("(2) {manager} (running as {mode}) receives the fault,");
@@ -39,10 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The same walk for a fault that does need backing-store data:
-    println!("\n--- and again for a cached-file fault (steps 2-3 fetch from the file server) ---\n");
-    machine
-        .store_mut()
-        .create_with("input", vec![7u8; 8192]);
+    println!(
+        "\n--- and again for a cached-file fault (steps 2-3 fetch from the file server) ---\n"
+    );
+    machine.store_mut().create_with("input", vec![7u8; 8192]);
     let file = machine.open_file("input")?;
     machine.enable_trace();
     let mut buf = [0u8; 16];
@@ -50,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in machine.take_trace() {
         match step {
             TraceStep::FaultRaised(fault) => {
-                println!("(1) UIO read faults on {} {} -> {}", fault.segment, fault.page, fault.manager);
+                println!(
+                    "(1) UIO read faults on {} {} -> {}",
+                    fault.segment, fault.page, fault.manager
+                );
             }
             TraceStep::Dispatched { manager, .. } => {
                 println!("(2) {manager} allocates a frame and requests the page data from the file server,");

@@ -22,7 +22,10 @@ use epcm::sim::disk::Device;
 
 const MATRIX_PAGES: u64 = 128; // 512 KB per matrix
 
-fn run(prefetch_depth: u64, discard_scratch: bool) -> Result<(Micros, u64), Box<dyn std::error::Error>> {
+fn run(
+    prefetch_depth: u64,
+    discard_scratch: bool,
+) -> Result<(Micros, u64), Box<dyn std::error::Error>> {
     let mut m = Machine::builder(640).device(Device::disk_1992()).build();
     // Input matrices are cached files under a prefetching manager...
     let pf = m.register_manager(Box::new(prefetch_manager(prefetch_depth)));
@@ -30,8 +33,10 @@ fn run(prefetch_depth: u64, discard_scratch: bool) -> Result<(Micros, u64), Box<
     let dm = m.register_manager(Box::new(discardable_manager()));
     m.set_default_manager(dm);
 
-    m.store_mut().create("A", (MATRIX_PAGES * BASE_PAGE_SIZE) as usize);
-    m.store_mut().create("B", (MATRIX_PAGES * BASE_PAGE_SIZE) as usize);
+    m.store_mut()
+        .create("A", (MATRIX_PAGES * BASE_PAGE_SIZE) as usize);
+    m.store_mut()
+        .create("B", (MATRIX_PAGES * BASE_PAGE_SIZE) as usize);
     m.set_default_manager(pf);
     let a = m.open_file("A")?;
     let b = m.open_file("B")?;
@@ -63,7 +68,10 @@ fn run(prefetch_depth: u64, discard_scratch: bool) -> Result<(Micros, u64), Box<
     // Memory pressure at the end of the timestep (the next timestep's
     // matrices need the frames): the manager evicts the scratch matrix.
     m.with_manager(dm, |mgr, env| {
-        let mgr = mgr.as_any_mut().downcast_mut::<DiscardableManager>().unwrap();
+        let mgr = mgr
+            .as_any_mut()
+            .downcast_mut::<DiscardableManager>()
+            .unwrap();
         mgr.shrink(env, MATRIX_PAGES).map(|_| ())
     })?;
     Ok((m.now().duration_since(t0), m.store().write_count()))
@@ -71,10 +79,7 @@ fn run(prefetch_depth: u64, discard_scratch: bool) -> Result<(Micros, u64), Box<
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("C = f(A, B) through a scratch matrix T; 512 KB matrices, 1992 disk\n");
-    println!(
-        "{:<44} {:>12} {:>10}",
-        "configuration", "elapsed", "writes"
-    );
+    println!("{:<44} {:>12} {:>10}", "configuration", "elapsed", "writes");
     for (label, depth, discard) in [
         ("no prefetch, scratch written back", 0, false),
         ("prefetch 8, scratch written back", 8, false),

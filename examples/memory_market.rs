@@ -53,10 +53,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for second in 1..=120u64 {
         // Each job greedily grows its footprint as the market allows.
         for _ in 0..16 {
-            if machine.touch(seg_poor, next_poor % 600, AccessKind::Write).is_ok() {
+            if machine
+                .touch(seg_poor, next_poor % 600, AccessKind::Write)
+                .is_ok()
+            {
                 next_poor += 1;
             }
-            if machine.touch(seg_rich, next_rich % 600, AccessKind::Write).is_ok() {
+            if machine
+                .touch(seg_rich, next_rich % 600, AccessKind::Write)
+                .is_ok()
+            {
                 next_rich += 1;
             }
         }
@@ -83,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    let (a, b) = (machine.spcm().granted_to(poor), machine.spcm().granted_to(rich));
+    let (a, b) = (
+        machine.spcm().granted_to(poor),
+        machine.spcm().granted_to(rich),
+    );
     println!(
         "\nsteady state: {a} vs {b} frames — ratio {:.2}, tracking the 2.0 income ratio.",
         b as f64 / a.max(1) as f64

@@ -43,19 +43,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let audit_p = audit_colors(plain.kernel(), seg_p, COLORS)?;
 
     println!("96 virtual pages first-touched in program order, {COLORS}-color cache\n");
-    println!("{:<26} {:>10} {:>12} {:>12}", "allocator", "matched", "mismatched", "overcommit");
     println!(
         "{:<26} {:>10} {:>12} {:>12}",
-        "color-constrained (SPCM)", audit_c.matched, audit_c.mismatched, audit_c.max_overcommit()
+        "allocator", "matched", "mismatched", "overcommit"
     );
     println!(
         "{:<26} {:>10} {:>12} {:>12}",
-        "first-fit (default)", audit_p.matched, audit_p.mismatched, audit_p.max_overcommit()
+        "color-constrained (SPCM)",
+        audit_c.matched,
+        audit_c.mismatched,
+        audit_c.max_overcommit()
+    );
+    println!(
+        "{:<26} {:>10} {:>12} {:>12}",
+        "first-fit (default)",
+        audit_p.matched,
+        audit_p.mismatched,
+        audit_p.max_overcommit()
     );
 
     println!("\nframes per color (colored allocation):");
     for (color, count) in &audit_c.per_color {
-        println!("  color {color}: {count:>3} {}", "#".repeat(*count as usize));
+        println!(
+            "  color {color}: {count:>3} {}",
+            "#".repeat(*count as usize)
+        );
     }
     println!(
         "\nEvery virtual page got a frame of its own color: zero conflict overcommit, \

@@ -11,7 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 16 MB machine (4096 x 4 KB frames) with the default segment
     // manager — the configuration a conventional program sees.
     let mut machine = Machine::with_default_manager(4096);
-    println!("machine: {} frames, all in the boot segment", machine.kernel().frames().len());
+    println!(
+        "machine: {} frames, all in the boot segment",
+        machine.kernel().frames().len()
+    );
 
     // Anonymous memory: first touches are minimal faults resolved by the
     // manager migrating frames out of its free-page segment.
@@ -22,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("heap roundtrip: {:?}", std::str::from_utf8(&buf)?);
 
     // Cached files through the UIO block interface.
-    machine.store_mut().create_with("greeting", b"hello from the file store".to_vec());
+    machine
+        .store_mut()
+        .create_with("greeting", b"hello from the file store".to_vec());
     let file = machine.open_file("greeting")?;
     let mut content = vec![0u8; 25];
     machine.uio_read(file, 0, &mut content)?;
@@ -31,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The application can see exactly what it has in memory -
     // GetPageAttributes exposes flags and physical placement.
     machine.touch(heap, 5, AccessKind::Write)?;
-    let attrs = machine.kernel_mut().get_page_attributes(heap, PageNumber(0), 8)?;
+    let attrs = machine
+        .kernel_mut()
+        .get_page_attributes(heap, PageNumber(0), 8)?;
     println!("heap pages 0..8 (present/flags/physical address):");
     for a in &attrs {
         println!(

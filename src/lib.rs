@@ -9,6 +9,8 @@
 //!
 //! This facade crate re-exports the workspace members under one roof:
 //!
+//! * [`trace`] — structured kernel-event tracing and the unified metrics
+//!   registry every layer reports into.
 //! * [`sim`] — virtual clock, discrete-event engine, PRNG, cost model,
 //!   disk/file-server models.
 //! * [`core`] — the V++ kernel: segments, bound regions, page-frame
@@ -43,4 +45,5 @@ pub use epcm_core as core;
 pub use epcm_dbms as dbms;
 pub use epcm_managers as managers;
 pub use epcm_sim as sim;
+pub use epcm_trace as trace;
 pub use epcm_workloads as workloads;

@@ -12,10 +12,8 @@ use epcm::managers::Machine;
 fn machine_workload_is_bit_reproducible() {
     let run = || {
         let mut m = Machine::with_default_manager(96);
-        m.store_mut().create_with(
-            "input",
-            (0..40_960u32).map(|i| (i % 251) as u8).collect(),
-        );
+        m.store_mut()
+            .create_with("input", (0..40_960u32).map(|i| (i % 251) as u8).collect());
         let file = m.open_file("input").unwrap();
         let heap = m.create_segment(SegmentKind::Anonymous, 128).unwrap();
         let mut checksum = 0u64;
@@ -28,7 +26,8 @@ fn machine_workload_is_bit_reproducible() {
                     .wrapping_add(buf[round as usize % 4096] as u64);
             }
             for p in 0..64 {
-                m.touch(heap, (p * 7 + round) % 128, AccessKind::Write).unwrap();
+                m.touch(heap, (p * 7 + round) % 128, AccessKind::Write)
+                    .unwrap();
             }
             m.tick().unwrap();
         }

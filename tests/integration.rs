@@ -136,7 +136,15 @@ fn two_cow_children_diverge_independently() {
     for _ in 0..2 {
         let child = m.create_segment(SegmentKind::Anonymous, 8).unwrap();
         m.kernel_mut()
-            .bind_region(child, PageNumber(0), 8, parent, PageNumber(0), true, PageFlags::RW)
+            .bind_region(
+                child,
+                PageNumber(0),
+                8,
+                parent,
+                PageNumber(0),
+                true,
+                PageFlags::RW,
+            )
             .unwrap();
         children.push(child);
     }
@@ -181,9 +189,18 @@ fn sampling_protects_the_hot_set() {
     }
     // Most of the hot set should still be resident.
     let resident_hot = (0..8u64)
-        .filter(|&p| m.kernel().segment(seg).unwrap().entry(PageNumber(p)).is_some())
+        .filter(|&p| {
+            m.kernel()
+                .segment(seg)
+                .unwrap()
+                .entry(PageNumber(p))
+                .is_some()
+        })
         .count();
-    assert!(resident_hot >= 6, "only {resident_hot}/8 hot pages resident");
+    assert!(
+        resident_hot >= 6,
+        "only {resident_hot}/8 hot pages resident"
+    );
 }
 
 /// The complete Figure 2 path measured end-to-end equals Table 1 row 2
@@ -226,7 +243,10 @@ fn segment_ownership_transfer() {
     m.store_bytes(seg, 0, b"now app-managed").unwrap();
     mark_discardable(m.kernel_mut(), seg, PageNumber(0), 1).unwrap();
     m.with_manager(app_mgr, |mgr, env| {
-        let mgr = mgr.as_any_mut().downcast_mut::<DiscardableManager>().unwrap();
+        let mgr = mgr
+            .as_any_mut()
+            .downcast_mut::<DiscardableManager>()
+            .unwrap();
         mgr.shrink(env, 1).map(|_| ())
     })
     .unwrap();

@@ -13,8 +13,14 @@ fn kernel() -> Kernel {
 }
 
 fn anon(k: &mut Kernel, pages: u64) -> SegmentId {
-    k.create_segment(SegmentKind::Anonymous, UserId::SYSTEM, ManagerId(1), 1, pages)
-        .unwrap()
+    k.create_segment(
+        SegmentKind::Anonymous,
+        UserId::SYSTEM,
+        ManagerId(1),
+        1,
+        pages,
+    )
+    .unwrap()
 }
 
 fn fill(k: &mut Kernel, seg: SegmentId, page: u64) {
@@ -47,8 +53,16 @@ fn binding_chains_resolve_to_depth_limit() {
     for _ in 0..MAX_BIND_DEPTH {
         let upper = anon(&mut k, 8);
         let lower = *segs.last().unwrap();
-        k.bind_region(upper, PageNumber(0), 8, lower, PageNumber(0), false, PageFlags::RW)
-            .unwrap();
+        k.bind_region(
+            upper,
+            PageNumber(0),
+            8,
+            lower,
+            PageNumber(0),
+            false,
+            PageFlags::RW,
+        )
+        .unwrap();
         segs.push(upper);
     }
     // Data written at the top lands in the bottom segment.
@@ -61,7 +75,15 @@ fn binding_chains_resolve_to_depth_limit() {
     // One more level breaches the depth limit.
     let too_deep = anon(&mut k, 8);
     let err = k
-        .bind_region(too_deep, PageNumber(0), 8, top, PageNumber(0), false, PageFlags::RW)
+        .bind_region(
+            too_deep,
+            PageNumber(0),
+            8,
+            top,
+            PageNumber(0),
+            false,
+            PageFlags::RW,
+        )
         .unwrap_err();
     assert!(matches!(err, KernelError::BindingTooDeep(_)));
 }
@@ -76,10 +98,21 @@ fn unbind_keeps_private_pages() {
     assert!(k.store(source, 0, b"zero").unwrap().is_completed());
     assert!(k.store(source, 4096, b"one!").unwrap().is_completed());
     let child = anon(&mut k, 4);
-    k.bind_region(child, PageNumber(0), 2, source, PageNumber(0), true, PageFlags::RW)
-        .unwrap();
+    k.bind_region(
+        child,
+        PageNumber(0),
+        2,
+        source,
+        PageNumber(0),
+        true,
+        PageFlags::RW,
+    )
+    .unwrap();
     // Break page 0 only.
-    match k.reference(child, PageNumber(0), AccessKind::Write).unwrap() {
+    match k
+        .reference(child, PageNumber(0), AccessKind::Write)
+        .unwrap()
+    {
         AccessOutcome::Fault(_) => fill(&mut k, child, 0),
         AccessOutcome::Completed => panic!("expected COW fault"),
     }
@@ -103,8 +136,16 @@ fn resize_respects_regions() {
     let mut k = kernel();
     let target = anon(&mut k, 8);
     let seg = anon(&mut k, 16);
-    k.bind_region(seg, PageNumber(8), 8, target, PageNumber(0), false, PageFlags::RW)
-        .unwrap();
+    k.bind_region(
+        seg,
+        PageNumber(8),
+        8,
+        target,
+        PageNumber(0),
+        false,
+        PageFlags::RW,
+    )
+    .unwrap();
     assert!(matches!(
         k.resize_segment(seg, 12).unwrap_err(),
         KernelError::RegionOverlap { .. }
@@ -127,7 +168,11 @@ fn multi_block_uio_faults_pagewise() {
     let mut buf = vec![0u8; content.len()];
     m.uio_read(seg, 0, &mut buf).unwrap();
     assert_eq!(buf, content);
-    assert_eq!(m.stats().manager_calls - calls_before, 3, "one fault per page");
+    assert_eq!(
+        m.stats().manager_calls - calls_before,
+        3,
+        "one fault per page"
+    );
     // Re-read: zero faults.
     let calls = m.stats().manager_calls;
     m.uio_read(seg, 0, &mut buf).unwrap();
@@ -143,18 +188,36 @@ fn protection_masks_compose_along_chains() {
     fill(&mut k, data, 0);
     let middle = anon(&mut k, 4);
     // Middle allows RW...
-    k.bind_region(middle, PageNumber(0), 4, data, PageNumber(0), false, PageFlags::RW)
-        .unwrap();
+    k.bind_region(
+        middle,
+        PageNumber(0),
+        4,
+        data,
+        PageNumber(0),
+        false,
+        PageFlags::RW,
+    )
+    .unwrap();
     let top = anon(&mut k, 4);
     // ...but the top binding is read-only.
-    k.bind_region(top, PageNumber(0), 4, middle, PageNumber(0), false, PageFlags::READ)
-        .unwrap();
+    k.bind_region(
+        top,
+        PageNumber(0),
+        4,
+        middle,
+        PageNumber(0),
+        false,
+        PageFlags::READ,
+    )
+    .unwrap();
     assert!(k
         .reference(top, PageNumber(0), AccessKind::Read)
         .unwrap()
         .is_completed());
     match k.reference(top, PageNumber(0), AccessKind::Write).unwrap() {
-        AccessOutcome::Fault(f) => assert!(matches!(f.kind, epcm::core::FaultKind::Protection { .. })),
+        AccessOutcome::Fault(f) => {
+            assert!(matches!(f.kind, epcm::core::FaultKind::Protection { .. }))
+        }
         AccessOutcome::Completed => panic!("write must be masked"),
     }
     // Writing through the middle still works.
@@ -175,10 +238,21 @@ fn mapping_table_stays_coherent_across_migration() {
     assert!(k.store(a, 0, b"moving").unwrap().is_completed());
     // Populate the mapping table.
     for _ in 0..4 {
-        assert!(k.reference(a, PageNumber(0), AccessKind::Read).unwrap().is_completed());
+        assert!(k
+            .reference(a, PageNumber(0), AccessKind::Read)
+            .unwrap()
+            .is_completed());
     }
-    k.migrate_pages(a, b, PageNumber(0), PageNumber(2), 1, PageFlags::RW, PageFlags::empty())
-        .unwrap();
+    k.migrate_pages(
+        a,
+        b,
+        PageNumber(0),
+        PageNumber(2),
+        1,
+        PageFlags::RW,
+        PageFlags::empty(),
+    )
+    .unwrap();
     // Old slot faults; new slot hits with the data intact.
     assert!(matches!(
         k.reference(a, PageNumber(0), AccessKind::Read).unwrap(),

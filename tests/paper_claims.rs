@@ -119,7 +119,13 @@ fn claim_minimal_configuration_needs_no_managers() {
     use epcm::core::{Kernel, ManagerId, PageFlags, PageNumber, SegmentId, UserId};
     let mut kernel = Kernel::new(64);
     let app = kernel
-        .create_segment(SegmentKind::Anonymous, UserId::SYSTEM, ManagerId::SYSTEM, 1, 16)
+        .create_segment(
+            SegmentKind::Anonymous,
+            UserId::SYSTEM,
+            ManagerId::SYSTEM,
+            1,
+            16,
+        )
         .unwrap();
     // Allocate straight from the boot segment, no SPCM, no managers.
     kernel
@@ -148,7 +154,9 @@ fn claim_knowing_memory_enables_space_time_tradeoffs() {
     // sizes its working set accordingly; an oblivious one overshoots and
     // pages.
     let run_with = |pages: u64| {
-        let mut m = Machine::builder(96).device(epcm::sim::disk::Device::disk_1992()).build();
+        let mut m = Machine::builder(96)
+            .device(epcm::sim::disk::Device::disk_1992())
+            .build();
         let id = m.register_manager(Box::new(
             epcm::managers::default_manager::DefaultSegmentManager::with_config(
                 epcm::managers::ManagerMode::Server,

@@ -1,0 +1,99 @@
+//! Observability-level determinism: not only do runs reproduce
+//! bit-for-bit (see `determinism.rs`), the *evidence* they emit — event
+//! traces and metric snapshots — is byte-identical too, which is what
+//! lets CI diff `BENCH_*.json` files across commits.
+
+use epcm::core::{AccessKind, SegmentKind};
+use epcm::managers::Machine;
+use epcm::sim::clock::Micros;
+use epcm::trace::EventKind;
+use epcm::workloads::runner::run_on_vpp_traced;
+use epcm::workloads::trace::{AppSpec, InputFile};
+
+fn spec() -> AppSpec {
+    AppSpec {
+        name: "trace-det".into(),
+        inputs: vec![InputFile {
+            name: "in".into(),
+            size: 64 * 1024,
+        }],
+        output_bytes: 48 * 1024,
+        aux_files: 3,
+        heap_pages: 24,
+        compute_vpp: Micros::from_millis(2),
+        compute_ultrix: Micros::from_millis(2),
+    }
+}
+
+/// Two identical runs render byte-identical event traces and equal
+/// metric snapshots (including their JSON serialisations).
+#[test]
+fn traced_runs_are_byte_identical() {
+    let s = spec();
+    let a = run_on_vpp_traced(&s, 2048, 64 * 1024).unwrap();
+    let b = run_on_vpp_traced(&s, 2048, 64 * 1024).unwrap();
+    assert_eq!(a.report, b.report);
+    let trace_a = a.render_trace();
+    assert!(!trace_a.is_empty());
+    assert_eq!(trace_a, b.render_trace());
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+}
+
+/// A deliberately tiny ring wraps: held events are capped at capacity,
+/// drops are counted, and the per-kind counts (what the metrics report)
+/// stay exact — equal to what an unconstrained ring records.
+#[test]
+fn ring_wraparound_drops_events_but_not_counts() {
+    let s = spec();
+    let full = run_on_vpp_traced(&s, 2048, 1 << 20).unwrap();
+    let tiny = run_on_vpp_traced(&s, 2048, 16).unwrap();
+    assert_eq!(tiny.events.len(), 16);
+    assert!(tiny.metrics.counter("trace.dropped") > 0);
+    assert_eq!(full.metrics.counter("trace.dropped"), 0);
+    assert_eq!(
+        tiny.metrics.counter("trace.recorded"),
+        full.metrics.counter("trace.recorded")
+    );
+    assert_eq!(
+        tiny.metrics.counter("trace.events.fault"),
+        full.metrics.counter("trace.events.fault")
+    );
+    // The survivors are the most recent events of the full stream.
+    let tail: Vec<String> = full.events[full.events.len() - 16..]
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    let held: Vec<String> = tiny.events.iter().map(|e| e.to_string()).collect();
+    assert_eq!(held, tail);
+}
+
+/// Snapshot/diff across a live machine: deltas isolate exactly the work
+/// done between the two snapshots.
+#[test]
+fn snapshot_diff_isolates_incremental_work() {
+    let mut m = Machine::with_default_manager(512);
+    let tracer = m.enable_event_tracing(4096);
+    let seg = m.create_segment(SegmentKind::Anonymous, 16).unwrap();
+    m.touch(seg, 0, AccessKind::Write).unwrap();
+
+    let before = m.metrics().snapshot();
+    m.touch(seg, 1, AccessKind::Write).unwrap();
+    m.touch(seg, 2, AccessKind::Write).unwrap();
+    let after = m.metrics().snapshot();
+
+    let delta = after.diff(&before);
+    assert_eq!(delta.counter("kernel.faults.missing"), 2);
+    assert_eq!(delta.counter("trace.events.fault"), 2);
+    assert_eq!(delta.counter("machine.manager_calls"), 2);
+    // Nothing else about the kernel's fault taxonomy moved.
+    assert_eq!(delta.counter("kernel.faults.cow"), 0);
+    assert_eq!(delta.counter("kernel.faults.protection"), 0);
+    // The trace corroborates: the last two events are the two faults.
+    let faults = tracer
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Fault { .. }))
+        .count();
+    assert_eq!(faults, 3); // warm-up fault + the two measured ones
+}
