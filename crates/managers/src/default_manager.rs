@@ -16,7 +16,8 @@ use epcm_core::fault::{FaultEvent, FaultKind};
 use epcm_core::flags::PageFlags;
 use epcm_core::kernel::Kernel;
 use epcm_core::types::{ManagerId, PageNumber, SegmentId, SegmentKind, BASE_PAGE_SIZE};
-use epcm_sim::disk::FileId;
+use epcm_sim::clock::Micros;
+use epcm_sim::disk::{FileId, FileStore, FileStoreError};
 use epcm_trace::{EventKind, MetricsRegistry, SharedTracer, TraceEvent, TraceSink};
 
 use crate::manager::{Env, ManagerError, ManagerMode, SegmentManager};
@@ -69,6 +70,20 @@ pub struct DefaultManagerStats {
     pub migrate_calls: u64,
 }
 
+/// Counters for the retry-with-backoff backing-store I/O path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoRetryStats {
+    /// Store operations attempted (first tries and retries).
+    pub attempts: u64,
+    /// Retries issued after a transient injected failure.
+    pub retries: u64,
+    /// Operations abandoned: a permanent failure, or transient failures
+    /// outlasting the retry budget.
+    pub gave_up: u64,
+    /// Dirty pages pinned in place because their writeback target is dead.
+    pub quarantined_pages: u64,
+}
+
 /// Tuning knobs for the default manager.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DefaultManagerConfig {
@@ -87,6 +102,11 @@ pub struct DefaultManagerConfig {
     /// Resident pages protection-revoked per tick for reference sampling
     /// (0 disables sampling).
     pub sample_batch: u64,
+    /// Retries per backing-store operation before giving up on a
+    /// transiently failing device (0 = fail on first error).
+    pub io_retry_limit: u32,
+    /// Virtual-time delay before the first retry; doubles per attempt.
+    pub io_retry_backoff: Micros,
 }
 
 impl Default for DefaultManagerConfig {
@@ -98,6 +118,8 @@ impl Default for DefaultManagerConfig {
             append_batch: 4,
             protection_batch: 16,
             sample_batch: 0,
+            io_retry_limit: 4,
+            io_retry_backoff: Micros::new(500),
         }
     }
 }
@@ -131,7 +153,12 @@ pub struct DefaultSegmentManager {
     laundry_order: VecDeque<(u32, u64)>,
     /// Cursor for the sampling sweep.
     sample_cursor: (u32, u64),
+    /// Dirty pages pinned in place after their writeback target died:
+    /// `(segment, page)`. Their data is preserved but their frames are
+    /// withdrawn from replacement.
+    quarantined: BTreeSet<(u32, u64)>,
     stats: DefaultManagerStats,
+    io_stats: IoRetryStats,
     tracer: Option<SharedTracer>,
 }
 
@@ -163,7 +190,9 @@ impl DefaultSegmentManager {
             laundry: BTreeMap::new(),
             laundry_order: VecDeque::new(),
             sample_cursor: (0, 0),
+            quarantined: BTreeSet::new(),
             stats: DefaultManagerStats::default(),
+            io_stats: IoRetryStats::default(),
             tracer: None,
         }
     }
@@ -178,6 +207,97 @@ impl DefaultSegmentManager {
     /// Manager counters.
     pub fn manager_stats(&self) -> DefaultManagerStats {
         self.stats
+    }
+
+    /// Retry/backoff counters for backing-store I/O.
+    pub fn io_retry_stats(&self) -> IoRetryStats {
+        self.io_stats
+    }
+
+    /// Dirty pages currently pinned in quarantine.
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantined.len() as u64
+    }
+
+    /// Runs one backing-store operation with bounded retry and exponential
+    /// backoff on the virtual clock. Every injected fault and every retry
+    /// is traced; a permanent failure (or a transient one outlasting the
+    /// budget) is returned to the caller.
+    fn store_io_with_retry(
+        &mut self,
+        env: &mut Env<'_>,
+        write: bool,
+        mut op: impl FnMut(&mut FileStore) -> Result<Micros, FileStoreError>,
+    ) -> Result<Micros, ManagerError> {
+        let limit = self.config.io_retry_limit;
+        let mut attempt = 0u32;
+        loop {
+            self.io_stats.attempts += 1;
+            let err = match op(env.store) {
+                Ok(latency) => return Ok(latency),
+                Err(e) => e,
+            };
+            let (file, op_idx, transient) = match &err {
+                FileStoreError::Io {
+                    file,
+                    op,
+                    transient,
+                    ..
+                } => (file.as_u32(), *op, *transient),
+                _ => return Err(ManagerError::Store(err)),
+            };
+            self.trace(
+                env.kernel,
+                EventKind::FaultInjected {
+                    file,
+                    op: op_idx,
+                    write,
+                    transient,
+                },
+            );
+            if transient && attempt < limit {
+                attempt += 1;
+                self.io_stats.retries += 1;
+                self.trace(
+                    env.kernel,
+                    EventKind::IoRetry {
+                        manager: self.id.0,
+                        file,
+                        attempt,
+                        write,
+                    },
+                );
+                env.kernel
+                    .charge(self.config.io_retry_backoff * (1u64 << (attempt - 1).min(20)));
+                continue;
+            }
+            self.io_stats.gave_up += 1;
+            return Err(ManagerError::Store(err));
+        }
+    }
+
+    /// Pins a dirty page whose backing store refuses its data: the frame
+    /// is withdrawn from replacement but the data survives in memory.
+    fn quarantine_in_place(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: SegmentId,
+        page: PageNumber,
+    ) -> Result<(), ManagerError> {
+        env.kernel
+            .modify_page_flags(seg, page, 1, PageFlags::PINNED, PageFlags::empty())?;
+        if self.quarantined.insert((seg.as_u32(), page.as_u64())) {
+            self.io_stats.quarantined_pages += 1;
+            self.trace(
+                env.kernel,
+                EventKind::ManagerQuarantined {
+                    manager: self.id.0,
+                    pages: self.quarantined.len() as u64,
+                    destroyed: false,
+                },
+            );
+        }
+        Ok(())
     }
 
     /// The manager's free-page segment, once created.
@@ -262,11 +382,15 @@ impl DefaultSegmentManager {
 
     /// Reclaims `count` pages from managed segments into the free pool,
     /// writing dirty data back first. Reclaimed pages stay rescuable until
-    /// their frame is reused.
+    /// their frame is reused. Dirty victims whose store is dead are
+    /// quarantined in place and another victim is tried, so a failing
+    /// device degrades capacity instead of wedging replacement.
     fn reclaim_into_pool(&mut self, env: &mut Env<'_>, count: u64) -> Result<u64, ManagerError> {
         let free_seg = self.free_seg(env)?;
         let mut reclaimed = 0;
-        for _ in 0..count {
+        let mut attempts = 0;
+        while reclaimed < count && attempts < count * 2 + 8 {
+            attempts += 1;
             let victim = {
                 let kernel = &mut *env.kernel;
                 self.policy.select_victim(&mut |s, p| {
@@ -294,8 +418,9 @@ impl DefaultSegmentManager {
                 })
             };
             let Some((seg, page)) = victim else { break };
-            self.evict(env, free_seg, seg, page)?;
-            reclaimed += 1;
+            if self.evict(env, free_seg, seg, page)? {
+                reclaimed += 1;
+            }
         }
         if reclaimed > 0 {
             self.trace(
@@ -311,20 +436,30 @@ impl DefaultSegmentManager {
     }
 
     /// Writes back (if dirty) and migrates one page into the free pool.
+    /// Returns whether a frame was actually freed: a dirty page whose
+    /// store is permanently failing is quarantined in place instead
+    /// (`false`), leaving the caller to pick another victim.
     fn evict(
         &mut self,
         env: &mut Env<'_>,
         free_seg: SegmentId,
         seg: SegmentId,
         page: PageNumber,
-    ) -> Result<(), ManagerError> {
+    ) -> Result<bool, ManagerError> {
         let entry = env
             .kernel
             .segment(seg)?
             .entry(page)
             .ok_or(epcm_core::KernelError::PageNotPresent { segment: seg, page })?;
         if entry.flags.contains(PageFlags::DIRTY) {
-            self.writeback(env, seg, page)?;
+            match self.writeback(env, seg, page) {
+                Ok(()) => {}
+                Err(ManagerError::Store(FileStoreError::Io { .. })) => {
+                    self.quarantine_in_place(env, seg, page)?;
+                    return Ok(false);
+                }
+                Err(other) => return Err(other),
+            }
         }
         // Destination: first empty slot in the free segment.
         let slot = first_empty_slot(env.kernel, free_seg)?;
@@ -341,10 +476,11 @@ impl DefaultSegmentManager {
         self.laundry.insert(key, slot);
         self.laundry_order.push_back(key);
         self.stats.reclaimed += 1;
-        Ok(())
+        Ok(true)
     }
 
-    /// Writes one dirty page to its backing store (file or swap).
+    /// Writes one dirty page to its backing store (file or swap), retrying
+    /// transient device failures with backoff.
     fn writeback(
         &mut self,
         env: &mut Env<'_>,
@@ -354,12 +490,9 @@ impl DefaultSegmentManager {
         let Some(ms) = self.managed.get_mut(&seg.as_u32()) else {
             return Ok(()); // unmanaged (e.g. free segment itself): nothing to do
         };
-        let mut buf = vec![0u8; BASE_PAGE_SIZE as usize];
-        env.kernel.manager_read_page(seg, page, &mut buf)?;
-        env.kernel.charge(env.kernel.costs().page_copy_4k);
-        let (file, mark) = match &mut ms.backing {
-            Backing::File(f) => (*f, None),
-            Backing::Anonymous { swap, swapped } => {
+        let (file, is_anon) = match &mut ms.backing {
+            Backing::File(f) => (*f, false),
+            Backing::Anonymous { swap, .. } => {
                 let f = match swap {
                     Some(f) => *f,
                     None => {
@@ -368,15 +501,23 @@ impl DefaultSegmentManager {
                         f
                     }
                 };
-                (f, Some(swapped))
+                (f, true)
             }
         };
-        let latency = env
-            .store
-            .write(file, page.as_u64() * BASE_PAGE_SIZE, &buf)?;
+        let mut buf = vec![0u8; BASE_PAGE_SIZE as usize];
+        env.kernel.manager_read_page(seg, page, &mut buf)?;
+        env.kernel.charge(env.kernel.costs().page_copy_4k);
+        let offset = page.as_u64() * BASE_PAGE_SIZE;
+        let latency =
+            self.store_io_with_retry(env, true, |store| store.write(file, offset, &buf))?;
         env.kernel.charge(latency);
-        if let Some(swapped) = mark {
-            swapped.insert(page.as_u64());
+        if is_anon {
+            if let Some(ManagedSegment {
+                backing: Backing::Anonymous { swapped, .. },
+            }) = self.managed.get_mut(&seg.as_u32())
+            {
+                swapped.insert(page.as_u64());
+            }
         }
         self.stats.writebacks += 1;
         Ok(())
@@ -392,22 +533,27 @@ impl DefaultSegmentManager {
         let page = fault.page;
         let free_seg = self.free_seg(env)?;
 
-        // Laundry rescue: the frame is still intact in the free pool.
+        // Laundry rescue: the frame is still intact in the free pool. A
+        // forced SPCM seizure may have taken the frame out from under the
+        // map, so verify the slot is still resident; a stale entry falls
+        // through to a normal fill.
         let key = (seg.as_u32(), page.as_u64());
         if let Some(slot) = self.laundry.remove(&key) {
-            env.kernel.migrate_pages(
-                free_seg,
-                seg,
-                slot,
-                page,
-                1,
-                PageFlags::RW,
-                PageFlags::empty(),
-            )?;
-            self.policy.note_resident(seg, page);
-            self.stats.laundry_rescues += 1;
-            self.stats.migrate_calls += 1;
-            return Ok(());
+            if env.kernel.segment(free_seg)?.entry(slot).is_some() {
+                env.kernel.migrate_pages(
+                    free_seg,
+                    seg,
+                    slot,
+                    page,
+                    1,
+                    PageFlags::RW,
+                    PageFlags::empty(),
+                )?;
+                self.policy.note_resident(seg, page);
+                self.stats.laundry_rescues += 1;
+                self.stats.migrate_calls += 1;
+                return Ok(());
+            }
         }
 
         let fill = match self.managed.get(&seg.as_u32()) {
@@ -421,10 +567,11 @@ impl DefaultSegmentManager {
                     }
                 }
                 Backing::Anonymous { swap, swapped } => {
-                    if swapped.contains(&page.as_u64()) {
-                        Some((swap.expect("swapped implies swap file"), true))
-                    } else {
-                        None
+                    // A page is only registered in `swapped` once a swap
+                    // file exists; with no file it is a first touch.
+                    match (swap, swapped.contains(&page.as_u64())) {
+                        (Some(f), true) => Some((*f, true)),
+                        _ => None,
                     }
                 }
             },
@@ -440,7 +587,9 @@ impl DefaultSegmentManager {
                 let size = env.store.size(file).map_err(epcm_core::KernelError::from)?;
                 let n = (BASE_PAGE_SIZE).min(size.saturating_sub(offset)) as usize;
                 if n > 0 {
-                    let latency = env.store.read(file, offset, &mut buf[..n])?;
+                    let latency = self.store_io_with_retry(env, false, |store| {
+                        store.read(file, offset, &mut buf[..n])
+                    })?;
                     env.kernel.charge(latency);
                 }
                 env.kernel.manager_write_page(free_seg, slot, &buf)?;
@@ -877,6 +1026,14 @@ impl SegmentManager for DefaultSegmentManager {
         m.set(&format!("manager.{id}.cow_faults"), s.cow_faults);
         m.set(&format!("manager.{id}.append_batches"), s.append_batches);
         m.set(&format!("manager.{id}.migrate_calls"), s.migrate_calls);
+        let io = &self.io_stats;
+        m.set(&format!("manager.{id}.io_attempts"), io.attempts);
+        m.set(&format!("manager.{id}.io_retries"), io.retries);
+        m.set(&format!("manager.{id}.io_gave_up"), io.gave_up);
+        m.set(
+            &format!("manager.{id}.quarantined_pages"),
+            io.quarantined_pages,
+        );
     }
 }
 

@@ -425,8 +425,8 @@ impl<S: Specialization + 'static> SegmentManager for GenericManager<S> {
             FaultKind::Missing => {
                 env.kernel.charge(env.kernel.costs().manager_alloc);
                 let constraint = self.spec.frame_constraint(seg, page);
+                let free_seg = self.free_seg(env)?;
                 let slot = self.take_free_slot(env, constraint)?;
-                let free_seg = self.free_seg.expect("created by take_free_slot");
                 let mut buf = vec![0u8; BASE_PAGE_SIZE as usize];
                 match self.spec.fill(env, seg, page, &mut buf)? {
                     Fill::Minimal => {
@@ -465,8 +465,8 @@ impl<S: Specialization + 'static> SegmentManager for GenericManager<S> {
             FaultKind::CopyOnWrite { .. } => {
                 env.kernel.charge(env.kernel.costs().manager_alloc);
                 let constraint = self.spec.frame_constraint(seg, page);
+                let free_seg = self.free_seg(env)?;
                 let slot = self.take_free_slot(env, constraint)?;
-                let free_seg = self.free_seg.expect("created by take_free_slot");
                 env.kernel.migrate_pages(
                     free_seg,
                     seg,

@@ -45,6 +45,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod batch;
 pub mod coloring;
@@ -61,8 +62,13 @@ pub mod prefetch;
 pub mod replicate;
 pub mod spcm;
 
-pub use default_manager::{DefaultManagerConfig, DefaultManagerStats, DefaultSegmentManager};
+pub use default_manager::{
+    DefaultManagerConfig, DefaultManagerStats, DefaultSegmentManager, IoRetryStats,
+};
 pub use machine::{Machine, MachineBuilder, MachineError, MachineStats, TraceStep};
 pub use manager::{Env, ManagerError, ManagerMode, SegmentManager};
 pub use market::{MarketConfig, MemoryMarket};
-pub use spcm::{AllocationPolicy, Grant, PhysConstraint, SpcmError, SystemPageCacheManager};
+pub use spcm::{
+    AllocationPolicy, Grant, PhysConstraint, Revocation, RevocationConfig, SpcmError,
+    SystemPageCacheManager,
+};

@@ -18,14 +18,15 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use epcm_core::fault::FaultEvent;
+use epcm_core::flags::PageFlags;
 use epcm_core::kernel::{AccessOutcome, Kernel, KernelStats};
 use epcm_core::types::{
     AccessKind, ManagerId, PageNumber, SegmentId, SegmentKind, UserId, BASE_PAGE_SIZE,
 };
 use epcm_sim::clock::{Micros, Timestamp};
 use epcm_sim::cost::CostModel;
-use epcm_sim::disk::{Device, FileStore};
-use epcm_trace::{MetricsRegistry, SharedTracer};
+use epcm_sim::disk::{Device, FileId, FileStore, FileStoreError};
+use epcm_trace::{EventKind, MetricsRegistry, SharedTracer, TraceEvent, TraceSink};
 
 use crate::manager::{Env, ManagerError, ManagerMode, SegmentManager};
 use crate::spcm::{AllocationPolicy, SystemPageCacheManager};
@@ -201,6 +202,7 @@ impl MachineBuilder {
             stats: MachineStats::default(),
             trace: None,
             event_tracer: None,
+            quarantine_seg: None,
         }
     }
 }
@@ -233,7 +235,18 @@ pub struct Machine {
     stats: MachineStats,
     trace: Option<Vec<TraceStep>>,
     event_tracer: Option<SharedTracer>,
+    /// System-owned segment where seized dirty pages that could not be
+    /// written back are impounded; created on first use.
+    quarantine_seg: Option<SegmentId>,
 }
+
+/// Write-back attempts the machine itself makes while seizing a dirty
+/// page (the evicted manager no longer gets a say).
+const SEIZE_RETRY_LIMIT: u32 = 3;
+
+/// Base backoff between machine-level seizure write-back retries;
+/// doubles per attempt.
+const SEIZE_RETRY_BACKOFF: Micros = Micros::new(500);
 
 impl Machine {
     /// Starts building a machine with `frames` page frames.
@@ -528,6 +541,350 @@ impl Machine {
         Ok(())
     }
 
+    // ----- forced reclamation (SPCM revocation) ---------------------------------
+
+    /// Records `kind` on the shared event tracer, if tracing is on.
+    fn emit(&self, kind: EventKind) {
+        if let Some(t) = &self.event_tracer {
+            t.record(TraceEvent::new(self.kernel.now().as_micros(), kind));
+        }
+    }
+
+    /// The quarantine segment, created on first use: a system-owned frame
+    /// pool where seized dirty pages whose backing store is dead are
+    /// impounded with their data intact. Slot = frame index, so a
+    /// destination slot is never occupied.
+    fn quarantine_segment(&mut self) -> Result<SegmentId, MachineError> {
+        if let Some(seg) = self.quarantine_seg {
+            return Ok(seg);
+        }
+        let frames = self.kernel.frames().len() as u64;
+        let seg = self.kernel.create_segment(
+            SegmentKind::FramePool,
+            UserId::SYSTEM,
+            ManagerId::SYSTEM,
+            1,
+            frames,
+        )?;
+        self.quarantine_seg = Some(seg);
+        Ok(seg)
+    }
+
+    /// Frames currently impounded in the quarantine segment.
+    pub fn quarantined_frames(&self) -> u64 {
+        self.quarantine_seg
+            .and_then(|s| self.kernel.resident_pages(s).ok())
+            .unwrap_or(0)
+    }
+
+    /// Demands `count` frames back from `manager` — the revocation
+    /// protocol bankrupt or over-quota managers are subjected to.
+    ///
+    /// The manager is first asked politely through
+    /// [`SegmentManager::reclaim`]. Compliance settles the demand (and
+    /// forgives accumulated strikes). On refusal, failure or shortfall a
+    /// demand with a grace deadline is registered with the SPCM; once the
+    /// deadline passes — on a later `revoke` or [`Machine::tick`] — the
+    /// frames are seized by force, the seizure fee is debited from the
+    /// manager's market account, and after
+    /// [`RevocationConfig::max_strikes`](crate::spcm::RevocationConfig)
+    /// seizures the manager is destroyed outright.
+    ///
+    /// # Errors
+    ///
+    /// Kernel failures while seizing; a manager's own `reclaim` failure
+    /// counts as refusal and is not propagated.
+    pub fn revoke(&mut self, manager: ManagerId, count: u64) -> Result<(), MachineError> {
+        let count = count.min(self.spcm.granted_to(manager));
+        if count == 0 {
+            return Ok(());
+        }
+        let demand = self
+            .spcm
+            .begin_revocation(manager, count, self.kernel.now());
+        // Polite phase: the manager's own reclaim. A misbehaving manager
+        // may under-deliver or fail outright; either way the demand stands
+        // until the SPCM sees the frames back.
+        let shortfall = demand.shortfall(self.spcm.granted_to(manager));
+        if shortfall > 0 && self.managers.contains_key(&manager.0) {
+            self.stats.manager_calls += 1;
+            let _ = self.with_manager(manager, |m, env| m.reclaim(env, shortfall));
+        }
+        if self.spcm.revocation_satisfied(manager) {
+            self.spcm.clear_revocation(manager);
+            return Ok(());
+        }
+        if self.kernel.now() >= demand.deadline {
+            self.enforce_revocation(manager)?;
+        }
+        Ok(())
+    }
+
+    /// Settles an expired demand by force: seizes the shortfall, records
+    /// the strike, and destroys the manager once strikes run out.
+    fn enforce_revocation(&mut self, manager: ManagerId) -> Result<(), MachineError> {
+        let Some(demand) = self.spcm.revocation(manager) else {
+            return Ok(());
+        };
+        let shortfall = demand.shortfall(self.spcm.granted_to(manager));
+        if shortfall == 0 {
+            self.spcm.clear_revocation(manager);
+            return Ok(());
+        }
+        let (seized, quarantined) = self.force_seize(manager, shortfall, false)?;
+        let strikes = self
+            .spcm
+            .note_seized(manager, seized + quarantined, quarantined);
+        self.emit(EventKind::ForcedReclaim {
+            manager: manager.0,
+            demanded: shortfall,
+            seized,
+            quarantined,
+        });
+        if quarantined > 0 {
+            self.emit(EventKind::ManagerQuarantined {
+                manager: manager.0,
+                pages: quarantined,
+                destroyed: false,
+            });
+        }
+        if strikes >= self.spcm.revocation_config().max_strikes {
+            self.destroy_manager(manager)?;
+        }
+        Ok(())
+    }
+
+    /// Takes up to `count` frames from `manager` without its cooperation.
+    /// Pool frames and clean pages go first (straight back to the boot
+    /// pool), then dirty pages — written back by the machine where the
+    /// store allows, impounded in the quarantine segment where it does
+    /// not. Pinned pages are spared unless `thorough` (destruction).
+    /// Returns `(frames to the pool, frames quarantined)`.
+    fn force_seize(
+        &mut self,
+        manager: ManagerId,
+        count: u64,
+        thorough: bool,
+    ) -> Result<(u64, u64), MachineError> {
+        // Single-frame segments only: compound pages cannot be split back
+        // into boot home slots and are left for segment reassignment.
+        let segs: Vec<SegmentId> = self
+            .kernel
+            .segment_ids()
+            .filter(|&s| s != SegmentId::FRAME_POOL && self.quarantine_seg != Some(s))
+            .filter(|&s| {
+                self.kernel
+                    .segment(s)
+                    .map(|seg| seg.manager() == manager && seg.page_frames() == 1)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let mut pool = Vec::new();
+        let mut clean = Vec::new();
+        let mut dirty = Vec::new();
+        for &s in &segs {
+            let seg = self.kernel.segment(s)?;
+            let is_pool = matches!(seg.kind(), SegmentKind::FramePool);
+            let file = match seg.kind() {
+                SegmentKind::CachedFile(f) => Some(f),
+                _ => None,
+            };
+            for (p, e) in seg.resident() {
+                if e.flags.contains(PageFlags::PINNED) && !thorough {
+                    continue;
+                }
+                let is_dirty = e.flags.contains(PageFlags::DIRTY);
+                if is_pool {
+                    pool.push((s, p, false, None));
+                } else if is_dirty {
+                    dirty.push((s, p, true, file));
+                } else {
+                    clean.push((s, p, false, file));
+                }
+            }
+        }
+        let mut seized = 0u64;
+        let mut quarantined = 0u64;
+        for (s, p, is_dirty, file) in pool.into_iter().chain(clean).chain(dirty) {
+            if seized + quarantined >= count {
+                break;
+            }
+            let written_back = match (is_dirty, file) {
+                (false, _) => true,
+                (true, Some(f)) => self.seize_writeback(manager, s, p, f)?,
+                // Dirty anonymous memory: the swap mapping is private to
+                // the evicted manager, so the data can only be impounded.
+                (true, None) => false,
+            };
+            if written_back {
+                self.return_home(s, p)?;
+                seized += 1;
+            } else {
+                self.impound(s, p)?;
+                quarantined += 1;
+            }
+        }
+        Ok((seized, quarantined))
+    }
+
+    /// Migrates one seized page back to its home slot in the boot pool
+    /// (home slot = frame index, so the destination is always free).
+    fn return_home(&mut self, src: SegmentId, page: PageNumber) -> Result<(), MachineError> {
+        let entry = self
+            .kernel
+            .segment(src)?
+            .entry(page)
+            .ok_or(epcm_core::KernelError::PageNotPresent { segment: src, page })?;
+        let home = PageNumber(entry.frame.index() as u64);
+        self.kernel.migrate_pages(
+            src,
+            SegmentId::FRAME_POOL,
+            page,
+            home,
+            1,
+            PageFlags::RW,
+            PageFlags::DIRTY
+                | PageFlags::REFERENCED
+                | PageFlags::PINNED
+                | PageFlags::MANAGER_A
+                | PageFlags::MANAGER_B,
+        )?;
+        Ok(())
+    }
+
+    /// Impounds one dirty, unwritable page in the quarantine segment
+    /// (slot = frame index), keeping its data and DIRTY flag intact.
+    fn impound(&mut self, src: SegmentId, page: PageNumber) -> Result<(), MachineError> {
+        let qseg = self.quarantine_segment()?;
+        let entry = self
+            .kernel
+            .segment(src)?
+            .entry(page)
+            .ok_or(epcm_core::KernelError::PageNotPresent { segment: src, page })?;
+        let slot = PageNumber(entry.frame.index() as u64);
+        self.kernel.migrate_pages(
+            src,
+            qseg,
+            page,
+            slot,
+            1,
+            PageFlags::READ | PageFlags::PINNED,
+            PageFlags::WRITE | PageFlags::REFERENCED | PageFlags::MANAGER_A | PageFlags::MANAGER_B,
+        )?;
+        Ok(())
+    }
+
+    /// The machine's own write-back of a seized dirty file page, with
+    /// bounded retry on transient store faults. Returns whether the write
+    /// stuck; `false` means the page must be quarantined.
+    fn seize_writeback(
+        &mut self,
+        manager: ManagerId,
+        seg: SegmentId,
+        page: PageNumber,
+        file: FileId,
+    ) -> Result<bool, MachineError> {
+        let mut buf = vec![0u8; BASE_PAGE_SIZE as usize];
+        self.kernel.manager_read_page(seg, page, &mut buf)?;
+        let offset = page.as_u64() * BASE_PAGE_SIZE;
+        let mut attempt = 0u32;
+        loop {
+            match self.store.write(file, offset, &buf) {
+                Ok(latency) => {
+                    self.kernel.charge(latency);
+                    return Ok(true);
+                }
+                Err(FileStoreError::Io {
+                    file: f,
+                    op,
+                    write,
+                    transient,
+                }) => {
+                    self.emit(EventKind::FaultInjected {
+                        file: f.as_u32(),
+                        op,
+                        write,
+                        transient,
+                    });
+                    if transient && attempt < SEIZE_RETRY_LIMIT {
+                        attempt += 1;
+                        self.emit(EventKind::IoRetry {
+                            manager: manager.0,
+                            file: f.as_u32(),
+                            attempt,
+                            write,
+                        });
+                        self.kernel
+                            .charge(SEIZE_RETRY_BACKOFF * (1u64 << (attempt - 1)));
+                        continue;
+                    }
+                    return Ok(false);
+                }
+                Err(_) => return Ok(false),
+            }
+        }
+    }
+
+    /// Destroys a manager that exhausted its strikes: seizes everything it
+    /// holds (pinned pages included), reassigns its data segments to the
+    /// default manager, destroys its emptied frame pools and unregisters
+    /// it. The rest of the machine keeps running.
+    ///
+    /// # Errors
+    ///
+    /// Kernel failures, or the default manager failing to adopt a
+    /// segment.
+    pub fn destroy_manager(&mut self, manager: ManagerId) -> Result<(), MachineError> {
+        let (seized, quarantined) = self.force_seize(manager, u64::MAX, true)?;
+        if seized + quarantined > 0 {
+            // Keep the seizure/quarantine ledger honest; the strike this
+            // records is moot, the manager is going away.
+            self.spcm
+                .note_seized(manager, seized + quarantined, quarantined);
+        }
+        let segs: Vec<SegmentId> = self
+            .kernel
+            .segment_ids()
+            .filter(|&s| s != SegmentId::FRAME_POOL && self.quarantine_seg != Some(s))
+            .filter(|&s| {
+                self.kernel
+                    .segment(s)
+                    .map(|seg| seg.manager() == manager)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let heir = self.default_manager.filter(|&d| d != manager);
+        for s in segs {
+            let is_pool = matches!(self.kernel.segment(s)?.kind(), SegmentKind::FramePool);
+            let residual = self.kernel.resident_pages(s)?;
+            match heir {
+                // Data segments move to the default manager; the grant
+                // ledger follows any frames still resident (compound
+                // pages the seizure could not split).
+                Some(d) if !is_pool => {
+                    self.stats.manager_calls += 1;
+                    self.with_manager(d, |m, env| m.attach(env, s))?;
+                    self.spcm.transfer_grant(manager, d, residual);
+                }
+                _ if residual == 0 => self.kernel.destroy_segment(s)?,
+                // No heir and still resident: orphan it to the system so
+                // the frames stay accounted for rather than leaking.
+                _ => self.kernel.set_segment_manager(s, ManagerId::SYSTEM)?,
+            }
+        }
+        self.managers.remove(&manager.0);
+        if self.default_manager == Some(manager) {
+            self.default_manager = None;
+        }
+        self.spcm.note_destroyed(manager);
+        self.emit(EventKind::ManagerQuarantined {
+            manager: manager.0,
+            pages: quarantined,
+            destroyed: true,
+        });
+        Ok(())
+    }
+
     // ----- the fault loop -------------------------------------------------------
 
     fn run_to_completion(
@@ -678,8 +1035,9 @@ impl Machine {
         self.run_to_completion(|k| k.uio_write(seg, offset, buf))
     }
 
-    /// Housekeeping: bills the memory market (forcing reclamation from
-    /// bankrupt managers) and gives every manager its periodic tick.
+    /// Housekeeping: bills the memory market, revokes frames from
+    /// bankrupt managers (forcibly, once their grace deadline passes),
+    /// and gives every surviving manager its periodic tick.
     ///
     /// # Errors
     ///
@@ -690,15 +1048,24 @@ impl Machine {
             .bill_traced(&self.kernel, self.event_tracer.as_ref());
         for mgr in bankrupt {
             let held = self.spcm.granted_to(mgr);
-            let give_back = held.div_ceil(2);
-            if give_back > 0 && self.managers.contains_key(&mgr.0) {
-                self.stats.manager_calls += 1;
-                self.with_manager(mgr, |m, env| m.reclaim(env, give_back).map(|_| ()))?;
-            }
+            self.revoke(mgr, held.div_ceil(2))?;
+        }
+        // Enforce demands whose grace deadline has passed unmet.
+        let expired: Vec<ManagerId> = self
+            .spcm
+            .expired_revocations(self.kernel.now())
+            .into_iter()
+            .map(|(m, _)| m)
+            .collect();
+        for mgr in expired {
+            self.enforce_revocation(mgr)?;
         }
         let ids: Vec<u32> = self.managers.keys().copied().collect();
         for id in ids {
-            self.with_manager(ManagerId(id), |m, env| m.tick(env))?;
+            // A manager may have been destroyed by enforcement this tick.
+            if self.managers.contains_key(&id) {
+                self.with_manager(ManagerId(id), |m, env| m.tick(env))?;
+            }
         }
         Ok(())
     }

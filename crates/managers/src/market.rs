@@ -57,7 +57,10 @@ pub struct Account {
 }
 
 impl Account {
-    /// Current balance in drams (may be negative, pending forced reclaim).
+    /// Current balance in drams. A negative balance marks the account
+    /// bankrupt; [`MemoryMarket::bill`] reports it and the machine responds
+    /// by revoking frames through the SPCM's forced-reclamation protocol
+    /// (see [`Machine::revoke`](crate::Machine::revoke)).
     pub fn balance(&self) -> f64 {
         self.balance
     }
@@ -178,6 +181,16 @@ impl MemoryMarket {
             let charge = blocks as f64 * self.config.io_charge_per_block;
             a.balance -= charge;
             self.total_charged += charge;
+        }
+    }
+
+    /// Imposes a penalty charge on an account — the SPCM's fee for frames
+    /// it had to seize by force. Counts toward `total_charged`, so
+    /// [`MemoryMarket::ledger_residual`] stays conserved.
+    pub fn debit(&mut self, manager: ManagerId, amount: f64) {
+        if let Some(a) = self.accounts.get_mut(&manager.0) {
+            a.balance -= amount;
+            self.total_charged += amount;
         }
     }
 
@@ -366,6 +379,20 @@ mod tests {
         let b = m.balance(ManagerId(1)).unwrap();
         assert!((b - 7.5).abs() < 1e-9, "balance {b}");
         assert!(m.total_tax() > 0.0);
+    }
+
+    #[test]
+    fn debit_charges_and_conserves() {
+        let mut m = mkt();
+        m.open_account(ManagerId(1), Some(10.0));
+        m.bill(SEC, &[], true); // +10 income
+        m.debit(ManagerId(1), 4.0);
+        assert!((m.balance(ManagerId(1)).unwrap() - 6.0).abs() < 1e-9);
+        assert!((m.total_charged() - 4.0).abs() < 1e-9);
+        assert!(m.ledger_residual().abs() < 1e-9);
+        // Debiting an unknown account is a no-op.
+        m.debit(ManagerId(9), 100.0);
+        assert!(m.ledger_residual().abs() < 1e-9);
     }
 
     #[test]

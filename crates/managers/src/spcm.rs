@@ -13,7 +13,7 @@ use std::fmt;
 use epcm_core::flags::PageFlags;
 use epcm_core::kernel::Kernel;
 use epcm_core::types::{FrameId, ManagerId, PageNumber, SegmentId};
-use epcm_sim::clock::Micros;
+use epcm_sim::clock::{Micros, Timestamp};
 
 use crate::market::MemoryMarket;
 
@@ -100,6 +100,51 @@ pub enum AllocationPolicy {
     },
 }
 
+/// Parameters of the forced-reclamation (revocation) protocol the SPCM
+/// runs against non-compliant managers (§3.1: "the SPCM reclaims pages
+/// from managers that exceed their purchasing power").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RevocationConfig {
+    /// Virtual time a manager is given to satisfy a revoke demand through
+    /// its own `reclaim` before the SPCM seizes frames by force.
+    pub grace: Micros,
+    /// Forced seizures a manager survives before it is destroyed and its
+    /// segments handed to the default manager.
+    pub max_strikes: u32,
+    /// Drams debited per forcibly seized frame (market policy only).
+    pub fee_per_frame: f64,
+}
+
+impl Default for RevocationConfig {
+    fn default() -> Self {
+        RevocationConfig {
+            grace: Micros::from_millis(50),
+            max_strikes: 3,
+            fee_per_frame: 1.0,
+        }
+    }
+}
+
+/// An outstanding revoke demand against one manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Revocation {
+    /// Frames demanded back.
+    pub demanded: u64,
+    /// Frames the manager held when the demand was issued; compliance
+    /// means dropping to `baseline - demanded` or below.
+    pub baseline: u64,
+    /// Virtual-time deadline after which the SPCM seizes by force.
+    pub deadline: Timestamp,
+}
+
+impl Revocation {
+    /// Frames still owed given the manager's current holding.
+    pub fn shortfall(&self, held: u64) -> u64 {
+        let target = self.baseline.saturating_sub(self.demanded);
+        held.saturating_sub(target)
+    }
+}
+
 /// Errors from SPCM operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpcmError {
@@ -170,6 +215,15 @@ pub struct SystemPageCacheManager {
     requests: u64,
     deferrals: u64,
     refusals: u64,
+    revocation_config: RevocationConfig,
+    /// Outstanding revoke demands by manager.
+    revocations: BTreeMap<u32, Revocation>,
+    /// Forced-seizure strikes by manager.
+    strikes: BTreeMap<u32, u32>,
+    revocations_issued: u64,
+    frames_seized: u64,
+    pages_quarantined: u64,
+    managers_destroyed: u64,
 }
 
 impl SystemPageCacheManager {
@@ -184,6 +238,132 @@ impl SystemPageCacheManager {
             requests: 0,
             deferrals: 0,
             refusals: 0,
+            revocation_config: RevocationConfig::default(),
+            revocations: BTreeMap::new(),
+            strikes: BTreeMap::new(),
+            revocations_issued: 0,
+            frames_seized: 0,
+            pages_quarantined: 0,
+            managers_destroyed: 0,
+        }
+    }
+
+    /// The forced-reclamation parameters in force.
+    pub fn revocation_config(&self) -> RevocationConfig {
+        self.revocation_config
+    }
+
+    /// Replaces the forced-reclamation parameters.
+    pub fn set_revocation_config(&mut self, config: RevocationConfig) {
+        self.revocation_config = config;
+    }
+
+    /// Registers a revoke demand of `demanded` frames against `manager`,
+    /// due `grace` after `now`. A demand already outstanding is left
+    /// untouched (the original deadline stands). Returns the demand.
+    pub fn begin_revocation(
+        &mut self,
+        manager: ManagerId,
+        demanded: u64,
+        now: Timestamp,
+    ) -> Revocation {
+        let baseline = self.granted_to(manager);
+        let grace = self.revocation_config.grace;
+        *self.revocations.entry(manager.0).or_insert_with(|| {
+            self.revocations_issued += 1;
+            Revocation {
+                demanded,
+                baseline,
+                deadline: now + grace,
+            }
+        })
+    }
+
+    /// The outstanding revoke demand against `manager`, if any.
+    pub fn revocation(&self, manager: ManagerId) -> Option<Revocation> {
+        self.revocations.get(&manager.0).copied()
+    }
+
+    /// Whether `manager` has satisfied its outstanding demand (vacuously
+    /// true with no demand outstanding).
+    pub fn revocation_satisfied(&self, manager: ManagerId) -> bool {
+        match self.revocations.get(&manager.0) {
+            Some(r) => r.shortfall(self.granted_to(manager)) == 0,
+            None => true,
+        }
+    }
+
+    /// Clears the demand against `manager` and — compliance earning back
+    /// trust — its strikes.
+    pub fn clear_revocation(&mut self, manager: ManagerId) {
+        self.revocations.remove(&manager.0);
+        self.strikes.remove(&manager.0);
+    }
+
+    /// Managers whose revoke deadline has passed unmet, with their
+    /// remaining shortfalls.
+    pub fn expired_revocations(&self, now: Timestamp) -> Vec<(ManagerId, u64)> {
+        self.revocations
+            .iter()
+            .filter(|(_, r)| now >= r.deadline)
+            .map(|(&m, r)| (ManagerId(m), r.shortfall(self.granted_to(ManagerId(m)))))
+            .filter(|&(_, short)| short > 0)
+            .collect()
+    }
+
+    /// Records a forced seizure: `frames` frames taken from `manager` (of
+    /// which `quarantined` went to the quarantine segment rather than the
+    /// free pool), debits the seizure fee when a market is in force, and
+    /// adds a strike. Returns the manager's strike count.
+    pub fn note_seized(&mut self, manager: ManagerId, frames: u64, quarantined: u64) -> u32 {
+        let held = self.granted.entry(manager.0).or_insert(0);
+        *held = held.saturating_sub(frames);
+        self.frames_seized += frames;
+        self.pages_quarantined += quarantined;
+        self.revocations.remove(&manager.0);
+        let fee = self.revocation_config.fee_per_frame * frames as f64;
+        if let Some(market) = self.market_mut() {
+            market.debit(manager, fee);
+        }
+        let strikes = self.strikes.entry(manager.0).or_insert(0);
+        *strikes += 1;
+        *strikes
+    }
+
+    /// Forgets a destroyed manager: its grant, demand and strikes.
+    pub fn note_destroyed(&mut self, manager: ManagerId) {
+        self.granted.remove(&manager.0);
+        self.revocations.remove(&manager.0);
+        self.strikes.remove(&manager.0);
+        self.managers_destroyed += 1;
+    }
+
+    /// Forced-seizure strikes currently held against `manager`.
+    pub fn strikes(&self, manager: ManagerId) -> u32 {
+        self.strikes.get(&manager.0).copied().unwrap_or(0)
+    }
+
+    /// Lifetime forced-reclamation counters:
+    /// `(demands issued, frames seized, pages quarantined, managers
+    /// destroyed)`.
+    pub fn revocation_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.revocations_issued,
+            self.frames_seized,
+            self.pages_quarantined,
+            self.managers_destroyed,
+        )
+    }
+
+    /// Moves up to `frames` of grant accounting from one manager to
+    /// another — used when the machine reassigns a destroyed manager's
+    /// still-resident segments so the ledger follows the frames.
+    pub fn transfer_grant(&mut self, from: ManagerId, to: ManagerId, frames: u64) {
+        let held = self.granted.entry(from.0).or_insert(0);
+        let moved = frames.min(*held);
+        *held -= moved;
+        if moved > 0 {
+            *self.granted.entry(to.0).or_insert(0) += moved;
         }
     }
 
@@ -521,6 +701,11 @@ impl SystemPageCacheManager {
         m.set("spcm.refusals", self.refusals);
         m.set("spcm.granted_frames", self.granted.values().sum());
         m.set("spcm.granted_managers", self.granted.len() as u64);
+        m.set("spcm.revoked.issued", self.revocations_issued);
+        m.set("spcm.revoked.active", self.revocations.len() as u64);
+        m.set("spcm.revoked.seized_frames", self.frames_seized);
+        m.set("spcm.revoked.quarantined_pages", self.pages_quarantined);
+        m.set("spcm.revoked.destroyed_managers", self.managers_destroyed);
         if let Some(market) = self.market() {
             m.set(
                 "market.total_charged_millidrams",
@@ -724,6 +909,7 @@ mod tests {
     #[test]
     fn market_bankruptcy_reported_through_bill() {
         use crate::market::{MarketConfig, MemoryMarket};
+        use epcm_core::types::AccessKind;
         let mut market = MemoryMarket::new(MarketConfig {
             income_per_sec: 100.0,
             ..MarketConfig::default()
@@ -733,18 +919,93 @@ mod tests {
             market,
             horizon: Micros::new(1), // trivially affordable horizon
         };
-        let (mut k, mut spcm, free) = setup(4096, policy, 0);
-        k.charge(Micros::from_secs(100)); // accrue a little income
-        spcm.bill(&k);
-        let g = spcm
-            .request_frames(&mut k, ManagerId(1), free, 2560, PhysConstraint::Any)
+        let mut machine = crate::Machine::builder(512).allocation(policy).build();
+        let mgr = machine.register_manager(Box::new(crate::DefaultSegmentManager::server()));
+        assert_eq!(mgr, ManagerId(1), "account was opened for manager 1");
+        machine.set_default_manager(mgr);
+        machine.kernel_mut().charge(Micros::from_secs(100)); // accrue a little income
+        machine.tick().unwrap(); // first bill deposits it
+                                 // Touch more pages than the machine has frames: the manager ends
+                                 // up holding nearly the whole pool and the market turns contended.
+        let seg = machine
+            .create_segment(SegmentKind::Anonymous, 1024)
             .unwrap();
-        assert_eq!(g.granted(), 2560);
-        // Make the market contended so holding is charged.
-        let _ = spcm.request_frames(&mut k, ManagerId(2), free, 1, PhysConstraint::Any);
-        k.charge(Micros::from_secs(1000)); // 10 MB held, charge >> income
-        let bankrupt = spcm.bill(&k);
-        assert_eq!(bankrupt, vec![ManagerId(1)]);
+        for p in 0..600 {
+            machine.touch(seg, p, AccessKind::Write).unwrap();
+        }
+        let held_before = machine.spcm().granted_to(mgr);
+        assert!(held_before > 0);
+        // ~2 MB held for 1000 s dwarfs the 0.01 dram/s income.
+        machine.kernel_mut().charge(Micros::from_secs(1000));
+        machine.tick().unwrap();
+        // The bill drove the account bankrupt...
+        let balance = machine.spcm().market().unwrap().balance(mgr).unwrap();
+        assert!(balance < 0.0, "expected bankruptcy, balance {balance}");
+        // ...and the machine responded by clawing frames back: the demand
+        // was met (politely or by force) and the holding shrank.
+        let held_after = machine.spcm().granted_to(mgr);
+        assert!(
+            held_after <= held_before - held_before.div_ceil(2),
+            "holding not clawed back: {held_before} -> {held_after}"
+        );
+        assert!(machine.spcm().revocation_satisfied(mgr));
+        // Conservation: every seized frame is back in the boot pool.
+        let pool = machine
+            .kernel()
+            .resident_pages(SegmentId::FRAME_POOL)
+            .unwrap();
+        assert!(pool >= held_before - held_after);
+    }
+
+    #[test]
+    fn revocation_state_machine_tracks_demands_and_strikes() {
+        let (mut k, mut spcm, free) = setup(64, AllocationPolicy::FirstCome, 0);
+        spcm.request_frames(&mut k, ManagerId(1), free, 16, PhysConstraint::Any)
+            .unwrap();
+        let now = k.now();
+        let demand = spcm.begin_revocation(ManagerId(1), 8, now);
+        assert_eq!(demand.demanded, 8);
+        assert_eq!(demand.baseline, 16);
+        assert_eq!(demand.deadline, now + spcm.revocation_config().grace);
+        assert!(!spcm.revocation_satisfied(ManagerId(1)));
+        // Re-issuing does not reset the deadline or re-count the demand.
+        k.charge(Micros::from_millis(1));
+        let again = spcm.begin_revocation(ManagerId(1), 12, k.now());
+        assert_eq!(again.deadline, demand.deadline);
+        // Not expired before the grace deadline.
+        assert!(spcm.expired_revocations(now).is_empty());
+        let late = demand.deadline + Micros::from_millis(1);
+        assert_eq!(
+            spcm.expired_revocations(late),
+            vec![(ManagerId(1), 8)],
+            "full shortfall still outstanding"
+        );
+        // A forced seizure settles the demand and records a strike.
+        let strikes = spcm.note_seized(ManagerId(1), 8, 3);
+        assert_eq!(strikes, 1);
+        assert_eq!(spcm.granted_to(ManagerId(1)), 8);
+        assert!(spcm.revocation_satisfied(ManagerId(1)));
+        assert!(spcm.expired_revocations(late).is_empty());
+        // Compliance forgives strikes; destruction forgets the manager.
+        spcm.begin_revocation(ManagerId(1), 2, late);
+        spcm.clear_revocation(ManagerId(1));
+        assert_eq!(spcm.strikes(ManagerId(1)), 0);
+        spcm.note_destroyed(ManagerId(1));
+        assert_eq!(spcm.granted_to(ManagerId(1)), 0);
+    }
+
+    #[test]
+    fn transfer_grant_moves_accounting_between_managers() {
+        let (mut k, mut spcm, free) = setup(64, AllocationPolicy::FirstCome, 0);
+        spcm.request_frames(&mut k, ManagerId(1), free, 10, PhysConstraint::Any)
+            .unwrap();
+        spcm.transfer_grant(ManagerId(1), ManagerId(2), 4);
+        assert_eq!(spcm.granted_to(ManagerId(1)), 6);
+        assert_eq!(spcm.granted_to(ManagerId(2)), 4);
+        // Transfers are clamped to what the source actually holds.
+        spcm.transfer_grant(ManagerId(1), ManagerId(2), 100);
+        assert_eq!(spcm.granted_to(ManagerId(1)), 0);
+        assert_eq!(spcm.granted_to(ManagerId(2)), 10);
     }
 
     #[test]

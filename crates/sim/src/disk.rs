@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::clock::Micros;
+use crate::rng::Rng;
 
 /// Identifies a file within a [`FileStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -112,6 +113,31 @@ pub enum FileStoreError {
         /// Actual file size.
         size: u64,
     },
+    /// An injected device-level I/O failure (see [`FaultPlan`]).
+    Io {
+        /// The file being accessed.
+        file: FileId,
+        /// The store-wide operation index at which the fault fired.
+        op: u64,
+        /// `true` for a write, `false` for a read.
+        write: bool,
+        /// `true` if a retry may succeed; `false` if the matching rule fails
+        /// this access permanently.
+        transient: bool,
+    },
+}
+
+impl FileStoreError {
+    /// `true` for an injected I/O error a retry may clear.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FileStoreError::Io {
+                transient: true,
+                ..
+            }
+        )
+    }
 }
 
 impl fmt::Display for FileStoreError {
@@ -127,11 +153,196 @@ impl fmt::Display for FileStoreError {
                 f,
                 "access [{offset}, {offset}+{len}) out of range for {file} of size {size}"
             ),
+            FileStoreError::Io {
+                file,
+                op,
+                write,
+                transient,
+            } => write!(
+                f,
+                "injected {} {} error on {file} at op {op}",
+                if *transient { "transient" } else { "permanent" },
+                if *write { "write" } else { "read" },
+            ),
         }
     }
 }
 
 impl std::error::Error for FileStoreError {}
+
+/// Which operation kinds a [`FaultRule`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Reads only.
+    Read,
+    /// Writes only.
+    Write,
+    /// Both reads and writes.
+    Any,
+}
+
+/// What a matching [`FaultRule`] injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpec {
+    /// The matched operation fails with probability `rate`; a retry redraws
+    /// and may succeed.
+    Transient {
+        /// Failure probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Every matched operation fails, forever — the medium is dead.
+    Permanent,
+}
+
+/// One fault-injection rule: filters narrowing which operations it covers,
+/// plus the failure it injects. All filters must match for the rule to apply;
+/// an unset filter matches everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    op: FaultOp,
+    file: Option<FileId>,
+    /// Half-open `[start, end)` block range the access must overlap.
+    blocks: Option<(u64, u64)>,
+    /// Half-open `[start, end)` window of store-wide operation indices.
+    ops: Option<(u64, u64)>,
+    spec: FaultSpec,
+}
+
+impl FaultRule {
+    /// A rule injecting transient failures at the given probability.
+    pub fn transient(rate: f64) -> Self {
+        FaultRule {
+            op: FaultOp::Any,
+            file: None,
+            blocks: None,
+            ops: None,
+            spec: FaultSpec::Transient { rate },
+        }
+    }
+
+    /// A rule that fails every matched operation permanently.
+    pub fn permanent() -> Self {
+        FaultRule {
+            op: FaultOp::Any,
+            file: None,
+            blocks: None,
+            ops: None,
+            spec: FaultSpec::Permanent,
+        }
+    }
+
+    /// Restricts the rule to reads.
+    pub fn reads_only(mut self) -> Self {
+        self.op = FaultOp::Read;
+        self
+    }
+
+    /// Restricts the rule to writes.
+    pub fn writes_only(mut self) -> Self {
+        self.op = FaultOp::Write;
+        self
+    }
+
+    /// Restricts the rule to one file.
+    pub fn on_file(mut self, file: FileId) -> Self {
+        self.file = Some(file);
+        self
+    }
+
+    /// Restricts the rule to accesses overlapping blocks `[start, end)`.
+    pub fn on_blocks(mut self, start: u64, end: u64) -> Self {
+        self.blocks = Some((start, end));
+        self
+    }
+
+    /// Restricts the rule to store-wide operation indices `[start, end)`.
+    pub fn during_ops(mut self, start: u64, end: u64) -> Self {
+        self.ops = Some((start, end));
+        self
+    }
+
+    fn matches(&self, write: bool, file: FileId, op: u64, first: u64, last: u64) -> bool {
+        let kind_ok = match self.op {
+            FaultOp::Read => !write,
+            FaultOp::Write => write,
+            FaultOp::Any => true,
+        };
+        kind_ok
+            && self.file.is_none_or(|f| f == file)
+            && self.ops.is_none_or(|(s, e)| op >= s && op < e)
+            && self.blocks.is_none_or(|(s, e)| first < e && last >= s)
+    }
+}
+
+/// A deterministic, seeded schedule of injected [`FileStore`] failures.
+///
+/// Attach one with [`FileStore::set_fault_plan`]; each read/write is checked
+/// against the rules in order, and the first rule that *fires* (a permanent
+/// rule always fires; a transient rule fires with its configured rate using
+/// the plan's own seeded [`Rng`]) turns the operation into
+/// [`FileStoreError::Io`]. The same seed and the same operation sequence
+/// reproduce the same faults exactly.
+///
+/// # Example
+///
+/// ```
+/// use epcm_sim::disk::{Device, FaultPlan, FaultRule, FileStore, FileStoreError};
+///
+/// let mut store = FileStore::new(Device::Instant);
+/// let f = store.create("data", 4096);
+/// store.set_fault_plan(FaultPlan::new(7).with_rule(FaultRule::permanent().writes_only()));
+/// assert!(matches!(
+///     store.write(f, 0, b"x"),
+///     Err(FileStoreError::Io { write: true, .. })
+/// ));
+/// let mut buf = [0u8; 1];
+/// assert!(store.read(f, 0, &mut buf).is_ok()); // reads unaffected
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    rng: Rng,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with its own seeded generator.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            rng: Rng::seed_from(seed),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule; rules are consulted in insertion order.
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The standard hostile preset used by CI's `fault-smoke` job: every
+    /// read and write fails transiently with probability `rate`.
+    pub fn hostile(seed: u64, rate: f64) -> Self {
+        FaultPlan::new(seed).with_rule(FaultRule::transient(rate))
+    }
+
+    /// Rolls the plan for one operation; `Some(transient)` means inject.
+    fn roll(&mut self, write: bool, file: FileId, op: u64, first: u64, last: u64) -> Option<bool> {
+        for rule in &self.rules {
+            if !rule.matches(write, file, op, first, last) {
+                continue;
+            }
+            match rule.spec {
+                FaultSpec::Permanent => return Some(false),
+                FaultSpec::Transient { rate } => {
+                    if self.rng.chance(rate) {
+                        return Some(true);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
 
 /// Named files with real byte contents behind a latency [`Device`].
 ///
@@ -158,6 +369,9 @@ pub struct FileStore {
     last_block: Option<(FileId, u64)>,
     reads: u64,
     writes: u64,
+    plan: Option<FaultPlan>,
+    op_index: u64,
+    faults: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -179,7 +393,68 @@ impl FileStore {
             last_block: None,
             reads: 0,
             writes: 0,
+            plan: None,
+            op_index: 0,
+            faults: 0,
         }
+    }
+
+    /// Installs a fault-injection plan; replaces any existing plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Removes the fault plan; subsequent I/O always succeeds.
+    pub fn clear_fault_plan(&mut self) {
+        self.plan = None;
+    }
+
+    /// Whether a fault plan is installed.
+    pub fn has_fault_plan(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Store-wide operation index of the *next* read or write. Every
+    /// attempted read/write — including ones that fail — consumes one index,
+    /// so fault rules keyed on operation windows are deterministic.
+    pub fn op_index(&self) -> u64 {
+        self.op_index
+    }
+
+    /// Number of injected I/O faults so far.
+    pub fn fault_count(&self) -> u64 {
+        self.faults
+    }
+
+    /// Consumes one operation index and rolls the fault plan for it.
+    fn inject(
+        &mut self,
+        write: bool,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), FileStoreError> {
+        let op = self.op_index;
+        self.op_index += 1;
+        let Some(plan) = self.plan.as_mut() else {
+            return Ok(());
+        };
+        let first = offset / BLOCK_SIZE;
+        let last = if len == 0 {
+            first
+        } else {
+            (offset + len - 1) / BLOCK_SIZE
+        };
+        if let Some(transient) = plan.roll(write, file, op, first, last) {
+            self.faults += 1;
+            return Err(FileStoreError::Io {
+                file,
+                op,
+                write,
+                transient,
+            });
+        }
+        Ok(())
     }
 
     /// Creates a zero-filled file of `size` bytes and returns its id.
@@ -247,8 +522,7 @@ impl FileStore {
         buf: &mut [u8],
     ) -> Result<Micros, FileStoreError> {
         let len = buf.len() as u64;
-        let entry = self.entry(file)?;
-        let size = entry.data.len() as u64;
+        let size = self.entry(file)?.data.len() as u64;
         if offset + len > size {
             return Err(FileStoreError::OutOfRange {
                 file,
@@ -257,6 +531,8 @@ impl FileStore {
                 size,
             });
         }
+        self.inject(false, file, offset, len)?;
+        let entry = self.entry(file)?;
         buf.copy_from_slice(&entry.data[offset as usize..(offset + len) as usize]);
         self.reads += 1;
         Ok(self.charge(file, offset, len))
@@ -275,6 +551,10 @@ impl FileStore {
         buf: &[u8],
     ) -> Result<Micros, FileStoreError> {
         let len = buf.len() as u64;
+        if !self.files.contains_key(&file) {
+            return Err(FileStoreError::UnknownFile(file));
+        }
+        self.inject(true, file, offset, len)?;
         {
             let entry = self
                 .files
@@ -423,6 +703,104 @@ mod tests {
         let f = s.create("a", 10);
         let lat = s.write(f, 0, b"").unwrap();
         assert_eq!(lat, Micros::ZERO);
+    }
+
+    #[test]
+    fn permanent_fault_kills_matched_ops_only() {
+        let mut s = FileStore::new(Device::Instant);
+        let a = s.create("a", 64);
+        let b = s.create("b", 64);
+        s.set_fault_plan(FaultPlan::new(1).with_rule(FaultRule::permanent().on_file(a)));
+        let mut buf = [0u8; 4];
+        let err = s.read(a, 0, &mut buf).unwrap_err();
+        assert_eq!(
+            err,
+            FileStoreError::Io {
+                file: a,
+                op: 0,
+                write: false,
+                transient: false,
+            }
+        );
+        assert!(!err.is_transient());
+        // Same file keeps failing; the other file is untouched.
+        assert!(s.write(a, 0, b"x").is_err());
+        assert!(s.read(b, 0, &mut buf).is_ok());
+        assert_eq!(s.fault_count(), 2);
+        assert_eq!(s.op_index(), 3);
+        // Failed ops never count as served.
+        assert_eq!(s.read_count(), 1);
+        assert_eq!(s.write_count(), 0);
+    }
+
+    #[test]
+    fn transient_faults_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut s = FileStore::new(Device::Instant);
+            let f = s.create("a", 4096);
+            s.set_fault_plan(FaultPlan::hostile(seed, 0.3));
+            let mut buf = [0u8; 8];
+            (0..200)
+                .map(|_| s.read(f, 0, &mut buf).is_err())
+                .collect::<Vec<_>>()
+        };
+        let first = run(42);
+        let second = run(42);
+        assert_eq!(first, second);
+        assert_ne!(first, run(43));
+        let failures = first.iter().filter(|&&e| e).count();
+        assert!((30..90).contains(&failures), "rate off: {failures}/200");
+    }
+
+    #[test]
+    fn op_window_and_block_range_filters() {
+        let mut s = FileStore::new(Device::Instant);
+        let f = s.create("a", 8 * BLOCK_SIZE as usize);
+        s.set_fault_plan(
+            FaultPlan::new(5).with_rule(
+                FaultRule::permanent()
+                    .reads_only()
+                    .on_blocks(2, 4)
+                    .during_ops(1, 3),
+            ),
+        );
+        let mut buf = [0u8; 16];
+        // Op 0: in block range but outside the op window.
+        assert!(s.read(f, 2 * BLOCK_SIZE, &mut buf).is_ok());
+        // Op 1: matches both filters.
+        assert!(s.read(f, 2 * BLOCK_SIZE, &mut buf).is_err());
+        // Op 2: write is exempt (reads_only), even in range.
+        assert!(s.write(f, 2 * BLOCK_SIZE, &buf).is_ok());
+        // Op 3: window closed again.
+        assert!(s.read(f, 2 * BLOCK_SIZE, &mut buf).is_ok());
+        // Block 5 never matches.
+        assert!(s.read(f, 5 * BLOCK_SIZE, &mut buf).is_ok());
+        assert_eq!(s.fault_count(), 1);
+    }
+
+    #[test]
+    fn clearing_the_plan_restores_service() {
+        let mut s = FileStore::new(Device::Instant);
+        let f = s.create("a", 16);
+        s.set_fault_plan(FaultPlan::new(9).with_rule(FaultRule::permanent()));
+        assert!(s.write(f, 0, b"x").is_err());
+        assert!(s.has_fault_plan());
+        s.clear_fault_plan();
+        assert!(!s.has_fault_plan());
+        assert!(s.write(f, 0, b"x").is_ok());
+    }
+
+    #[test]
+    fn failed_write_does_not_mutate_contents() {
+        let mut s = FileStore::new(Device::Instant);
+        let f = s.create("a", 4);
+        s.write(f, 0, b"keep").unwrap();
+        s.set_fault_plan(FaultPlan::new(2).with_rule(FaultRule::permanent().writes_only()));
+        assert!(s.write(f, 0, b"lost").is_err());
+        s.clear_fault_plan();
+        let mut buf = [0u8; 4];
+        s.read(f, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"keep");
     }
 
     #[test]

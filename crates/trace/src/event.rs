@@ -138,6 +138,54 @@ pub enum EventKind {
         /// Queue depth after the insert.
         depth: u64,
     },
+    /// The backing store's fault plan injected an I/O error that a
+    /// manager (or the SPCM's seizure path) observed.
+    FaultInjected {
+        /// Raw id of the file whose operation failed.
+        file: u32,
+        /// The store's operation index at the failure.
+        op: u64,
+        /// `true` for a write, `false` for a read.
+        write: bool,
+        /// Whether the failure was transient (a retry may succeed).
+        transient: bool,
+    },
+    /// A manager retried a failed store operation after a backoff delay.
+    IoRetry {
+        /// Manager performing the retry.
+        manager: u32,
+        /// Raw id of the file being retried.
+        file: u32,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+        /// `true` for a write, `false` for a read.
+        write: bool,
+    },
+    /// The SPCM forcibly seized frames from a non-compliant manager
+    /// after a revocation deadline expired.
+    ForcedReclaim {
+        /// Manager the frames were seized from.
+        manager: u32,
+        /// Frames the revocation demanded.
+        demanded: u64,
+        /// Frames actually returned to the global pool.
+        seized: u64,
+        /// Dirty frames impounded in the quarantine pool instead
+        /// (their writeback permanently failed or had no known store).
+        quarantined: u64,
+    },
+    /// Pages were quarantined: a manager pinned dirty pages whose store
+    /// is permanently dead (`destroyed == false`), or the SPCM destroyed
+    /// a repeatedly non-compliant manager and impounded what remained
+    /// (`destroyed == true`).
+    ManagerQuarantined {
+        /// The manager involved.
+        manager: u32,
+        /// Pages quarantined by this action.
+        pages: u64,
+        /// Whether the manager itself was destroyed.
+        destroyed: bool,
+    },
 }
 
 impl EventKind {
@@ -156,6 +204,10 @@ impl EventKind {
             EventKind::UioWrite { .. } => "uio_write",
             EventKind::BatchSwap { .. } => "batch_swap",
             EventKind::Scheduled { .. } => "scheduled",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::IoRetry { .. } => "io_retry",
+            EventKind::ForcedReclaim { .. } => "forced_reclaim",
+            EventKind::ManagerQuarantined { .. } => "manager_quarantined",
         }
     }
 }
@@ -239,6 +291,35 @@ impl fmt::Display for TraceEvent {
                 pages,
             } => write!(f, "mgr={manager} seg={segment} pages={pages}"),
             EventKind::Scheduled { at_us, depth } => write!(f, "at={at_us} depth={depth}"),
+            EventKind::FaultInjected {
+                file,
+                op,
+                write,
+                transient,
+            } => write!(f, "file={file} op={op} write={write} transient={transient}"),
+            EventKind::IoRetry {
+                manager,
+                file,
+                attempt,
+                write,
+            } => write!(
+                f,
+                "mgr={manager} file={file} attempt={attempt} write={write}"
+            ),
+            EventKind::ForcedReclaim {
+                manager,
+                demanded,
+                seized,
+                quarantined,
+            } => write!(
+                f,
+                "mgr={manager} demanded={demanded} seized={seized} quarantined={quarantined}"
+            ),
+            EventKind::ManagerQuarantined {
+                manager,
+                pages,
+                destroyed,
+            } => write!(f, "mgr={manager} pages={pages} destroyed={destroyed}"),
         }
     }
 }
@@ -306,6 +387,29 @@ mod tests {
                 at_us: 10,
                 depth: 1,
             },
+            EventKind::FaultInjected {
+                file: 0,
+                op: 9,
+                write: true,
+                transient: true,
+            },
+            EventKind::IoRetry {
+                manager: 1,
+                file: 0,
+                attempt: 2,
+                write: false,
+            },
+            EventKind::ForcedReclaim {
+                manager: 1,
+                demanded: 16,
+                seized: 12,
+                quarantined: 4,
+            },
+            EventKind::ManagerQuarantined {
+                manager: 1,
+                pages: 4,
+                destroyed: false,
+            },
         ];
         let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(
@@ -322,6 +426,10 @@ mod tests {
                 "uio_write",
                 "batch_swap",
                 "scheduled",
+                "fault_injected",
+                "io_retry",
+                "forced_reclaim",
+                "manager_quarantined",
             ]
         );
     }

@@ -200,3 +200,182 @@ fn forced_reclamation_shrinks_bankrupt_holdings() {
         "holdings {held_before} -> {held_after}"
     );
 }
+
+// ----- fault-injection + revocation robustness ------------------------------
+
+/// A non-compliant manager for the revocation property: hoards frames one
+/// batch at a time and refuses every reclaim.
+#[derive(Debug)]
+struct HoarderManager {
+    id: ManagerId,
+    free_seg: Option<epcm::core::SegmentId>,
+}
+
+impl epcm::managers::SegmentManager for HoarderManager {
+    fn id(&self) -> ManagerId {
+        self.id
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+    fn set_id(&mut self, id: ManagerId) {
+        self.id = id;
+    }
+    fn mode(&self) -> epcm::managers::ManagerMode {
+        epcm::managers::ManagerMode::FaultingProcess
+    }
+
+    fn handle_fault(
+        &mut self,
+        env: &mut epcm::managers::Env<'_>,
+        fault: &epcm::core::FaultEvent,
+    ) -> Result<(), epcm::managers::ManagerError> {
+        use epcm::managers::{Grant, ManagerError, PhysConstraint};
+        let free = match self.free_seg {
+            Some(s) => s,
+            None => {
+                let frames = env.kernel.frames().len() as u64;
+                let s = env.kernel.create_segment(
+                    SegmentKind::FramePool,
+                    epcm::core::UserId::SYSTEM,
+                    self.id,
+                    1,
+                    frames,
+                )?;
+                self.free_seg = Some(s);
+                s
+            }
+        };
+        if env.kernel.resident_pages(free)? == 0 {
+            match env
+                .spcm
+                .request_frames(env.kernel, self.id, free, 8, PhysConstraint::Any)?
+            {
+                Grant::Granted(_) => {}
+                _ => return Err(ManagerError::OutOfFrames { manager: self.id }),
+            }
+        }
+        let slot = env
+            .kernel
+            .segment(free)?
+            .resident()
+            .map(|(p, _)| p)
+            .next()
+            .ok_or(ManagerError::OutOfFrames { manager: self.id })?;
+        env.kernel.migrate_pages(
+            free,
+            fault.segment,
+            slot,
+            fault.page,
+            1,
+            epcm::core::PageFlags::RW,
+            epcm::core::PageFlags::empty(),
+        )?;
+        Ok(())
+    }
+
+    fn reclaim(
+        &mut self,
+        _env: &mut epcm::managers::Env<'_>,
+        _count: u64,
+    ) -> Result<u64, epcm::managers::ManagerError> {
+        Ok(0)
+    }
+
+    fn segment_closed(
+        &mut self,
+        _env: &mut epcm::managers::Env<'_>,
+        _segment: epcm::core::SegmentId,
+    ) -> Result<(), epcm::managers::ManagerError> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Robustness invariant: under any seeded fault plan and any
+    /// interleaving of faults, billing ticks and revocations against a
+    /// manager that refuses to cooperate, every physical frame stays
+    /// mapped exactly once (none lost, none double-granted) and the
+    /// grant ledger never exceeds the machine.
+    #[test]
+    fn frames_conserved_under_faults_and_revocation(
+        seed in any::<u64>(),
+        rate in 0.0f64..0.25,
+        ops in proptest::collection::vec((0u8..5, 0u64..64), 1..50),
+    ) {
+        use epcm::sim::disk::FaultPlan;
+        const FRAMES: u64 = 64;
+        let mut market = MemoryMarket::new(MarketConfig {
+            income_per_sec: 1000.0,
+            ..MarketConfig::default()
+        });
+        market.open_account(ManagerId(1), Some(0.01));
+        market.open_account(ManagerId(2), Some(1000.0));
+        let mut m = Machine::builder(FRAMES as usize)
+            .allocation(AllocationPolicy::Market {
+                market,
+                horizon: Micros::new(1),
+            })
+            .build();
+        let hoarder = m.register_manager(Box::new(HoarderManager {
+            id: ManagerId(0),
+            free_seg: None,
+        }));
+        let default = m.register_manager(Box::new(DefaultSegmentManager::with_config(
+            ManagerMode::Server,
+            DefaultManagerConfig {
+                target_free: 6,
+                low_water: 2,
+                refill_batch: 6,
+                ..DefaultManagerConfig::default()
+            },
+        )));
+        m.set_default_manager(default);
+        m.kernel_mut().charge(Micros::from_secs(10));
+        m.tick().expect("first bill");
+        m.store_mut().set_fault_plan(FaultPlan::hostile(seed, rate));
+        let hoard = m
+            .create_segment_with(SegmentKind::Anonymous, FRAMES, hoarder, epcm::core::UserId(1))
+            .expect("hoard segment");
+        let work = m
+            .create_segment(SegmentKind::Anonymous, FRAMES)
+            .expect("work segment");
+        for &(op, x) in &ops {
+            // Individual operations may fail (hostile store, refused
+            // grants, bankrupt accounts) — the invariants may not.
+            match op {
+                0 => { let _ = m.touch(hoard, x % FRAMES, AccessKind::Write); }
+                1 => { let _ = m.touch(hoard, x % FRAMES, AccessKind::Read); }
+                2 => { let _ = m.touch(work, x % FRAMES, AccessKind::Write); }
+                3 => {
+                    m.kernel_mut().charge(Micros::from_secs(50));
+                    let _ = m.tick();
+                }
+                _ => { let _ = m.revoke(hoarder, x % 24); }
+            }
+            // Every frame mapped exactly once across all segments.
+            let kernel = m.kernel();
+            let mut seen = std::collections::BTreeSet::new();
+            let segs: Vec<SegmentId> = kernel.segment_ids().collect();
+            for s in segs {
+                for (_, e) in kernel.segment(s).expect("live segment").resident() {
+                    prop_assert!(
+                        seen.insert(e.frame.index()),
+                        "frame {} mapped twice after op {:?}",
+                        e.frame.index(),
+                        (op, x)
+                    );
+                }
+            }
+            prop_assert_eq!(seen.len() as u64, FRAMES, "frames lost after op {:?}", (op, x));
+            // The grant ledger never promises more than the machine has.
+            let granted: u64 = m.spcm().holdings().iter().map(|&(_, n)| n).sum();
+            prop_assert!(granted <= FRAMES, "over-granted: {granted}");
+        }
+    }
+}
