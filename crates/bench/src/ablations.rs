@@ -32,6 +32,8 @@ use epcm_sim::clock::Micros;
 use epcm_sim::cost::CostModel;
 use epcm_sim::disk::Device;
 
+use crate::pool::{Job, ScenarioPool};
+
 /// 1. Fault cost by manager execution mode: `(in-process, server)` µs.
 pub fn manager_mode_costs() -> (Micros, Micros) {
     (
@@ -130,34 +132,38 @@ pub fn policy_comparison(seed: u64) -> Vec<(&'static str, u64)> {
     ];
     policies
         .into_iter()
-        .map(|(name, make)| {
-            let quota = 32u64;
-            let mut m = Machine::builder(256)
-                .allocation(AllocationPolicy::Quota { per_manager: quota })
-                .build();
-            let id = m.register_manager(Box::new(GenericManager::with_policy(
-                PlainSpec,
-                ManagerMode::FaultingProcess,
-                make(),
-            )));
-            m.set_default_manager(id);
-            let seg = m
-                .create_segment(SegmentKind::Anonymous, 128)
-                .expect("segment");
-            let mut rng = epcm_sim::rng::Rng::seed_from(seed);
-            let f0 = m.kernel_stats().faults_missing;
-            for _ in 0..4000 {
-                // 80% of accesses to a 16-page hot set, 20% to 64 cold pages.
-                let page = if rng.chance(0.8) {
-                    rng.below(16)
-                } else {
-                    16 + rng.below(64)
-                };
-                m.touch(seg, page, AccessKind::Read).expect("touch");
-            }
-            (name, m.kernel_stats().faults_missing - f0)
-        })
+        .map(|(name, make)| (name, policy_fault_count(make(), seed)))
         .collect()
+}
+
+/// Runs one policy through the 80/20 workload of [`policy_comparison`]
+/// and returns the refault count.
+fn policy_fault_count(policy: Box<dyn ReplacementPolicy>, seed: u64) -> u64 {
+    let quota = 32u64;
+    let mut m = Machine::builder(256)
+        .allocation(AllocationPolicy::Quota { per_manager: quota })
+        .build();
+    let id = m.register_manager(Box::new(GenericManager::with_policy(
+        PlainSpec,
+        ManagerMode::FaultingProcess,
+        policy,
+    )));
+    m.set_default_manager(id);
+    let seg = m
+        .create_segment(SegmentKind::Anonymous, 128)
+        .expect("segment");
+    let mut rng = epcm_sim::rng::Rng::seed_from(seed);
+    let f0 = m.kernel_stats().faults_missing;
+    for _ in 0..4000 {
+        // 80% of accesses to a 16-page hot set, 20% to 64 cold pages.
+        let page = if rng.chance(0.8) {
+            rng.below(16)
+        } else {
+            16 + rng.below(64)
+        };
+        m.touch(seg, page, AccessKind::Read).expect("touch");
+    }
+    m.kernel_stats().faults_missing - f0
 }
 
 /// 6. Prefetch depth sweep: elapsed time to scan a file with compute
@@ -323,13 +329,35 @@ pub fn tlb_sweep(working_set: u64, sizes: &[usize]) -> Vec<(usize, f64)> {
 ///    `(delay_ms, paging_avg_ms, regen_avg_ms)` triples; regeneration is
 ///    flat while paging grows, which is the paper's concluding argument.
 pub fn dbms_fault_sweep(delays_ms: &[u64]) -> Vec<(u64, f64, f64)> {
+    dbms_fault_sweep_at(SweepScale::Quick, delays_ms)
+}
+
+/// Scale at which the DBMS fault-latency sweep runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepScale {
+    /// Reduced transaction counts — unit tests and quick sanity renders.
+    Quick,
+    /// The full §3.3 transaction counts, as printed by
+    /// `reproduce --ablations`.
+    Paper,
+}
+
+fn dbms_sweep_config(scale: SweepScale, strategy: IndexStrategy, delay_ms: u64) -> DbmsConfig {
+    let mut cfg = match scale {
+        SweepScale::Quick => DbmsConfig::quick(strategy),
+        SweepScale::Paper => DbmsConfig::paper(strategy),
+    };
+    cfg.fault_delay = Micros::from_millis(delay_ms);
+    cfg
+}
+
+/// [`dbms_fault_sweep`] at an explicit [`SweepScale`].
+pub fn dbms_fault_sweep_at(scale: SweepScale, delays_ms: &[u64]) -> Vec<(u64, f64, f64)> {
     delays_ms
         .iter()
         .map(|&ms| {
-            let mut paging = DbmsConfig::quick(IndexStrategy::Paging);
-            paging.fault_delay = Micros::from_millis(ms);
-            let mut regen = DbmsConfig::quick(IndexStrategy::Regeneration);
-            regen.fault_delay = Micros::from_millis(ms);
+            let paging = dbms_sweep_config(scale, IndexStrategy::Paging, ms);
+            let regen = dbms_sweep_config(scale, IndexStrategy::Regeneration, ms);
             (
                 ms,
                 epcm_dbms::engine::run(&paging).average_ms(),
@@ -339,76 +367,157 @@ pub fn dbms_fault_sweep(delays_ms: &[u64]) -> Vec<(u64, f64, f64)> {
         .collect()
 }
 
+/// The report text is assembled from static pieces interleaved with
+/// pool-job results, so independent sweep points run concurrently while
+/// the concatenation order (and hence every output byte) stays exactly
+/// the declared, serial order.
+enum Piece {
+    Text(String),
+    Job(usize),
+}
+
+struct Assembly<'a> {
+    jobs: Vec<Job<'a, String>>,
+    pieces: Vec<Piece>,
+}
+
+impl<'a> Assembly<'a> {
+    fn new() -> Self {
+        Self {
+            jobs: Vec::new(),
+            pieces: Vec::new(),
+        }
+    }
+
+    fn text(&mut self, s: impl Into<String>) {
+        self.pieces.push(Piece::Text(s.into()));
+    }
+
+    fn job(&mut self, job: impl FnOnce() -> String + Send + 'a) {
+        self.pieces.push(Piece::Job(self.jobs.len()));
+        self.jobs.push(Box::new(job));
+    }
+
+    fn render(self, pool: &ScenarioPool) -> String {
+        let Assembly { jobs, pieces } = self;
+        let mut results: Vec<Option<String>> = pool.run(jobs).into_iter().map(Some).collect();
+        let mut out = String::new();
+        for piece in pieces {
+            match piece {
+                Piece::Text(s) => out.push_str(&s),
+                Piece::Job(i) => {
+                    out.push_str(&results[i].take().expect("each job result is used once"));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn policy_line(name: &'static str, policy: Box<dyn ReplacementPolicy>, seed: u64) -> String {
+    format!("  {name:<7} {} faults\n", policy_fault_count(policy, seed))
+}
+
 /// Renders every ablation as one report.
 pub fn render() -> String {
-    let mut out = String::new();
-    out.push_str("\n=== Ablations ===\n");
+    render_with(&ScenarioPool::serial(), SweepScale::Quick)
+}
 
-    let (inproc, server) = manager_mode_costs();
-    out.push_str(&format!(
-        "manager mode:       in-process fault {inproc}, server fault {server} ({}x)\n",
-        server.as_micros() / inproc.as_micros().max(1)
-    ));
+/// Renders every ablation, fanning independent sweep points across the
+/// pool. Output is byte-identical for any worker count, and identical to
+/// the historical serial renderer at the same [`SweepScale`].
+pub fn render_with(pool: &ScenarioPool, scale: SweepScale) -> String {
+    let mut asm = Assembly::new();
+    asm.text("\n=== Ablations ===\n");
 
-    let (with, without) = zeroing_costs();
-    out.push_str(&format!(
-        "security zeroing:   Ultrix fault {with} with zeroing, {without} without\n"
-    ));
+    asm.job(|| {
+        let (inproc, server) = manager_mode_costs();
+        format!(
+            "manager mode:       in-process fault {inproc}, server fault {server} ({}x)\n",
+            server.as_micros() / inproc.as_micros().max(1)
+        )
+    });
 
-    let (vops, vus, uops, uus) = transfer_unit_comparison(64);
-    out.push_str(&format!(
-        "transfer unit 64KB: V++ {vops} ops / {vus}; Ultrix {uops} ops / {uus}\n"
-    ));
+    asm.job(|| {
+        let (with, without) = zeroing_costs();
+        format!("security zeroing:   Ultrix fault {with} with zeroing, {without} without\n")
+    });
 
-    out.push_str("protection batching (64 sampled pages):\n");
-    for (w, faults) in protection_batch_sweep(64, &[1, 4, 16, 64]) {
-        out.push_str(&format!("  batch {w:>2}: {faults} sampling faults\n"));
+    asm.job(|| {
+        let (vops, vus, uops, uus) = transfer_unit_comparison(64);
+        format!("transfer unit 64KB: V++ {vops} ops / {vus}; Ultrix {uops} ops / {uus}\n")
+    });
+
+    asm.text("protection batching (64 sampled pages):\n");
+    asm.job(|| {
+        protection_batch_sweep(64, &[1, 4, 16, 64])
+            .into_iter()
+            .map(|(w, faults)| format!("  batch {w:>2}: {faults} sampling faults\n"))
+            .collect()
+    });
+
+    asm.text("replacement policy (80/20 workload, 4000 touches):\n");
+    asm.job(|| policy_line("clock", Box::new(ClockPolicy::new()), 3));
+    asm.job(|| policy_line("fifo", Box::new(FifoPolicy::new()), 3));
+    asm.job(|| policy_line("lru", Box::new(LruPolicy::new()), 3));
+    asm.job(|| policy_line("random", Box::new(RandomPolicy::new(7)), 3));
+
+    asm.text("prefetch depth (64-page scan, 3 ms compute/page):\n");
+    for depth in [0u64, 2, 4, 8, 16] {
+        asm.job(move || {
+            let (d, t) = prefetch_depth_sweep(&[depth])[0];
+            format!("  depth {d:>2}: {t}\n")
+        });
     }
 
-    out.push_str("replacement policy (80/20 workload, 4000 touches):\n");
-    for (name, faults) in policy_comparison(3) {
-        out.push_str(&format!("  {name:<7} {faults} faults\n"));
+    asm.job(|| {
+        let (a, b) = market_shares(100);
+        format!(
+            "memory market:      incomes 10:20 -> holdings {a}:{b} (ratio {:.2})\n",
+            b as f64 / a.max(1) as f64
+        )
+    });
+
+    asm.job(|| {
+        let (cm, pm, co, po) = coloring_comparison();
+        format!(
+            "page coloring:      mismatches {cm} vs {pm}; overcommit {co} vs {po} (colored vs first-fit)\n"
+        )
+    });
+
+    asm.text("mapping-table size (4096 live translations):\n");
+    asm.job(|| {
+        mapping_table_sweep(4096, &[1024, 8192, 65_536])
+            .into_iter()
+            .map(|(slots, rate)| format!("  {slots:>6} slots: {:.1}% hit rate\n", rate * 100.0))
+            .collect()
+    });
+
+    asm.text("TLB reach (random refs over 128 pages):\n");
+    asm.job(|| {
+        tlb_sweep(128, &[16, 64, 256, 512])
+            .into_iter()
+            .map(|(entries, rate)| {
+                format!("  {entries:>3} entries: {:.1}% hit rate\n", rate * 100.0)
+            })
+            .collect()
+    });
+
+    asm.text("DBMS fault-delay sweep (avg ms, paging vs regeneration):\n");
+    for ms in [2u64, 6, 12, 20] {
+        asm.text(format!("  {ms:>2} ms faults: paging "));
+        asm.job(move || {
+            let cfg = dbms_sweep_config(scale, IndexStrategy::Paging, ms);
+            format!("{:>7.0}", epcm_dbms::engine::run(&cfg).average_ms())
+        });
+        asm.text(", regeneration ");
+        asm.job(move || {
+            let cfg = dbms_sweep_config(scale, IndexStrategy::Regeneration, ms);
+            format!("{:>5.0}", epcm_dbms::engine::run(&cfg).average_ms())
+        });
+        asm.text("\n");
     }
-
-    out.push_str("prefetch depth (64-page scan, 3 ms compute/page):\n");
-    for (d, t) in prefetch_depth_sweep(&[0, 2, 4, 8, 16]) {
-        out.push_str(&format!("  depth {d:>2}: {t}\n"));
-    }
-
-    let (a, b) = market_shares(100);
-    out.push_str(&format!(
-        "memory market:      incomes 10:20 -> holdings {a}:{b} (ratio {:.2})\n",
-        b as f64 / a.max(1) as f64
-    ));
-
-    let (cm, pm, co, po) = coloring_comparison();
-    out.push_str(&format!(
-        "page coloring:      mismatches {cm} vs {pm}; overcommit {co} vs {po} (colored vs first-fit)\n"
-    ));
-
-    out.push_str("mapping-table size (4096 live translations):\n");
-    for (slots, rate) in mapping_table_sweep(4096, &[1024, 8192, 65_536]) {
-        out.push_str(&format!(
-            "  {slots:>6} slots: {:.1}% hit rate\n",
-            rate * 100.0
-        ));
-    }
-
-    out.push_str("TLB reach (random refs over 128 pages):\n");
-    for (entries, rate) in tlb_sweep(128, &[16, 64, 256, 512]) {
-        out.push_str(&format!(
-            "  {entries:>3} entries: {:.1}% hit rate\n",
-            rate * 100.0
-        ));
-    }
-
-    out.push_str("DBMS fault-delay sweep (avg ms, paging vs regeneration):\n");
-    for (ms, paging, regen) in dbms_fault_sweep(&[2, 6, 12, 20]) {
-        out.push_str(&format!(
-            "  {ms:>2} ms faults: paging {paging:>7.0}, regeneration {regen:>5.0}\n"
-        ));
-    }
-    out
+    asm.render(pool)
 }
 
 #[cfg(test)]

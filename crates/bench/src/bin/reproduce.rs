@@ -3,11 +3,13 @@
 //! sweeps from DESIGN.md.
 //!
 //! ```text
-//! reproduce              # Tables 1-4
-//! reproduce --table 4    # one table
-//! reproduce --quick      # Table 4 at reduced transaction count
-//! reproduce --json       # also write BENCH_*.json result files
-//! reproduce --ablations  # ablation sweeps only
+//! reproduce                  # Tables 1-4
+//! reproduce --table 4        # one table
+//! reproduce --quick          # Table 4 at reduced transaction count
+//! reproduce --json           # also write BENCH_*.json result files
+//! reproduce --ablations      # ablation sweeps only (full DBMS sweep)
+//! reproduce --jobs 8         # fan independent scenarios over 8 workers
+//! reproduce --wall-clock     # time each phase, write BENCH_timings.json
 //! ```
 //!
 //! `--json` writes one machine-readable document per table into the
@@ -15,8 +17,20 @@
 //! `BENCH_table4.json`) plus `BENCH_metrics.json`, the full unified
 //! metrics snapshot of a traced application run. CI archives these as
 //! build artifacts.
+//!
+//! `--jobs N` runs independent scenarios on a [`ScenarioPool`]; every
+//! table, trace and JSON document is byte-identical to `--jobs 1`
+//! (pinned by `tests/parallel_determinism.rs`). `--wall-clock` writes
+//! `BENCH_timings.json` — the one intentionally run-dependent document,
+//! carrying per-phase wall-clock milliseconds plus a calibration run
+//! that lets the CI perf gate normalise numbers across machines.
 
+use std::time::Instant;
+
+use epcm_bench::json_report::WallClockEntry;
+use epcm_bench::pool::ScenarioPool;
 use epcm_bench::{ablations, json_report, table1, table23, table4};
+use epcm_dbms::config::{DbmsConfig, IndexStrategy};
 
 fn write_json(path: &str, json: &str) {
     let mut contents = json.to_string();
@@ -30,22 +44,101 @@ fn write_json(path: &str, json: &str) {
     }
 }
 
+/// Fixed deterministic workload timed on every `--wall-clock` run: a
+/// reduced-scale in-memory DBMS run. The perf gate divides a fresh
+/// calibration by the baseline's to estimate the machine-speed ratio.
+fn calibration_ms() -> f64 {
+    let t0 = Instant::now();
+    let report = epcm_dbms::engine::run(&DbmsConfig::quick(IndexStrategy::InMemory));
+    let elapsed = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        report.average_ms() > 0.0,
+        "calibration run produced no work"
+    );
+    elapsed
+}
+
+struct WallClock {
+    enabled: bool,
+    entries: Vec<WallClockEntry>,
+    started: Instant,
+}
+
+impl WallClock {
+    fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            entries: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let result = f();
+        if self.enabled {
+            self.entries.push(WallClockEntry {
+                name: name.to_string(),
+                ms: t0.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+        result
+    }
+
+    fn finish(self, jobs: usize) {
+        if !self.enabled {
+            return;
+        }
+        let total_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        let calibration = self
+            .entries
+            .iter()
+            .find(|e| e.name == "calibration")
+            .map(|e| e.ms)
+            .unwrap_or(0.0);
+        for e in &self.entries {
+            println!("wall-clock {:<12} {:>10.1} ms", e.name, e.ms);
+        }
+        println!(
+            "wall-clock {:<12} {:>10.1} ms ({jobs} jobs)",
+            "total", total_ms
+        );
+        write_json(
+            "BENCH_timings.json",
+            &json_report::timings_json(jobs, calibration, &self.entries, total_ms),
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let only_table: Option<u32> = args
-        .iter()
-        .position(|a| a == "--table")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok());
+    let arg_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let only_table: Option<u32> = arg_value("--table").and_then(|v| v.parse().ok());
+    let jobs: usize = arg_value("--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let pool = ScenarioPool::new(jobs);
+    let mut wall = WallClock::new(args.iter().any(|a| a == "--wall-clock"));
+    if wall.enabled {
+        wall.time("calibration", calibration_ms);
+    }
     if args.iter().any(|a| a == "--ablations") {
-        print!("{}", ablations::render());
+        let report = wall.time("ablations", || {
+            ablations::render_with(&pool, ablations::SweepScale::Paper)
+        });
+        print!("{report}");
+        wall.finish(pool.jobs());
         return;
     }
     let want = |n: u32| only_table.is_none() || only_table == Some(n);
     if want(1) {
-        print!("{}", table1::render());
+        print!("{}", wall.time("table1", table1::render));
         if json {
             write_json("BENCH_table1.json", &json_report::table1_json());
         }
@@ -53,7 +146,7 @@ fn main() {
     if want(2) || want(3) {
         if json {
             // Traced runs produce the same reports plus event counts.
-            let traced = json_report::traced_results();
+            let traced = wall.time("tables23", || json_report::traced_results_with(&pool));
             let results: Vec<table23::AppResult> =
                 traced.iter().map(|t| t.result.clone()).collect();
             if want(2) {
@@ -65,7 +158,7 @@ fn main() {
             write_json("BENCH_tables23.json", &json_report::tables23_json(&traced));
             write_json("BENCH_metrics.json", &json_report::metrics_json(&traced[0]));
         } else {
-            let results = table23::results();
+            let results = wall.time("tables23", || table23::results_with(&pool));
             if want(2) {
                 print!("{}", table23::render_table2(&results));
             }
@@ -75,11 +168,13 @@ fn main() {
         }
     }
     if want(4) {
-        let results = if quick {
-            table4::quick_results()
-        } else {
-            table4::results()
-        };
+        let results = wall.time("table4", || {
+            if quick {
+                table4::quick_results_with(&pool)
+            } else {
+                table4::results_with(&pool)
+            }
+        });
         print!("{}", table4::render(&results));
         if json {
             write_json(
@@ -88,5 +183,6 @@ fn main() {
             );
         }
     }
+    wall.finish(pool.jobs());
     println!("\n(Figures 1 and 2 are architecture diagrams; run `cargo run --example address_space` and `cargo run --example fault_walkthrough` for their executable equivalents.)");
 }

@@ -16,6 +16,7 @@ use epcm_trace::json::{JsonArray, JsonObject};
 use epcm_workloads::apps::table2_apps;
 use epcm_workloads::runner::{run_on_ultrix, run_on_vpp_traced, TracedRun, PAPER_FRAMES};
 
+use crate::pool::ScenarioPool;
 use crate::{table1, table23, table4};
 
 /// Ring capacity for traced benchmark runs: big enough that the paper
@@ -33,20 +34,25 @@ pub struct TracedAppResult {
 
 /// Runs all three Table 2 applications with event tracing enabled.
 pub fn traced_results() -> Vec<TracedAppResult> {
-    table2_apps()
-        .into_iter()
-        .map(|(spec, paper)| {
-            let traced = run_on_vpp_traced(&spec, PAPER_FRAMES, TRACE_CAPACITY).expect("vpp run");
-            TracedAppResult {
-                result: table23::AppResult {
-                    paper,
-                    vpp: traced.report.clone(),
-                    ultrix: run_on_ultrix(&spec, PAPER_FRAMES),
-                },
-                traced,
-            }
-        })
-        .collect()
+    traced_results_with(&ScenarioPool::serial())
+}
+
+/// Runs all three Table 2 applications with event tracing enabled, one
+/// pool job per application. Each job owns its machine, tracer and
+/// metrics registry, so the traces and snapshots are byte-identical to
+/// the serial run for any worker count.
+pub fn traced_results_with(pool: &ScenarioPool) -> Vec<TracedAppResult> {
+    pool.map(table2_apps(), |(spec, paper)| {
+        let traced = run_on_vpp_traced(&spec, PAPER_FRAMES, TRACE_CAPACITY).expect("vpp run");
+        TracedAppResult {
+            result: table23::AppResult {
+                paper,
+                vpp: traced.report.clone(),
+                ultrix: run_on_ultrix(&spec, PAPER_FRAMES),
+            },
+            traced,
+        }
+    })
 }
 
 fn opt_u64(o: JsonObject, name: &str, v: Option<u64>) -> JsonObject {
@@ -166,9 +172,72 @@ pub fn metrics_json(app: &TracedAppResult) -> String {
         .finish()
 }
 
+/// One named wall-clock measurement from the `reproduce` pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallClockEntry {
+    /// Phase name, e.g. `"table4"` or `"ablations"`.
+    pub name: String,
+    /// Elapsed wall-clock milliseconds.
+    pub ms: f64,
+}
+
+/// Wall-clock timings as JSON (`BENCH_timings.json`).
+///
+/// Unlike the table documents, this file is *expected* to differ between
+/// runs — it is the perf-tracking artifact, kept separate so the table
+/// JSONs stay byte-identical across `--jobs` counts. `calibration_ms`
+/// times a fixed deterministic workload on the measuring machine, so the
+/// perf gate can normalise absolute numbers across hardware before
+/// applying its regression tolerance.
+pub fn timings_json(
+    jobs: usize,
+    calibration_ms: f64,
+    entries: &[WallClockEntry],
+    total_ms: f64,
+) -> String {
+    let mut rows = JsonArray::new();
+    for e in entries {
+        rows.push_raw(
+            JsonObject::new()
+                .string("name", &e.name)
+                .f64("ms", e.ms)
+                .finish(),
+        );
+    }
+    JsonObject::new()
+        .string("table", "timings")
+        .string("title", "Wall-clock timings for the reproduction pipeline")
+        .u64("jobs", jobs as u64)
+        .f64("calibration_ms", calibration_ms)
+        .f64("total_ms", total_ms)
+        .raw("entries", rows.finish())
+        .finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn timings_json_is_structured_and_ordered() {
+        let entries = vec![
+            WallClockEntry {
+                name: "table1".into(),
+                ms: 1.5,
+            },
+            WallClockEntry {
+                name: "table4".into(),
+                ms: 250.0,
+            },
+        ];
+        let j = timings_json(8, 12.5, &entries, 300.25);
+        assert!(j.contains("\"jobs\":8"));
+        assert!(j.contains("\"calibration_ms\":12.5"));
+        assert!(j.contains("\"name\":\"table1\""));
+        let t1 = j.find("table1").expect("table1 present");
+        let t4 = j.find("table4").expect("table4 present");
+        assert!(t1 < t4, "entries keep declared order");
+    }
 
     #[test]
     fn table1_json_has_all_rows_and_null_for_in_text_value() {

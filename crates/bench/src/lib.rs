@@ -15,11 +15,15 @@
 //!   market, and DBMS fault-latency sweeps.
 //! * [`json_report`] — the same tables as machine-readable `BENCH_*.json`
 //!   documents (with per-run event counts) for CI archival.
+//! * [`pool`] — the deterministic worker pool that fans independent
+//!   scenarios across threads while keeping every output byte-identical
+//!   to the serial run (`reproduce --jobs N`).
 
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod json_report;
+pub mod pool;
 pub mod table1;
 pub mod table23;
 pub mod table4;

@@ -4,6 +4,8 @@ use epcm_sim::cost::CostModel;
 use epcm_workloads::apps::{table2_apps, PaperRow};
 use epcm_workloads::runner::{run_on_ultrix, run_on_vpp, RunReport, PAPER_FRAMES};
 
+use crate::pool::ScenarioPool;
+
 /// One application's complete measurement set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AppResult {
@@ -34,14 +36,18 @@ impl AppResult {
 
 /// Runs all three applications on both systems.
 pub fn results() -> Vec<AppResult> {
-    table2_apps()
-        .into_iter()
-        .map(|(spec, paper)| AppResult {
-            paper,
-            vpp: run_on_vpp(&spec, PAPER_FRAMES).expect("vpp run"),
-            ultrix: run_on_ultrix(&spec, PAPER_FRAMES),
-        })
-        .collect()
+    results_with(&ScenarioPool::serial())
+}
+
+/// Runs all three applications on both systems, one pool job per
+/// application; result order matches [`table2_apps`] regardless of
+/// worker count.
+pub fn results_with(pool: &ScenarioPool) -> Vec<AppResult> {
+    pool.map(table2_apps(), |(spec, paper)| AppResult {
+        paper,
+        vpp: run_on_vpp(&spec, PAPER_FRAMES).expect("vpp run"),
+        ultrix: run_on_ultrix(&spec, PAPER_FRAMES),
+    })
 }
 
 /// Renders Table 2.

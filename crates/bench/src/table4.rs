@@ -3,6 +3,8 @@
 use epcm_dbms::config::{DbmsConfig, IndexStrategy};
 use epcm_dbms::engine::{run, DbmsReport};
 
+use crate::pool::ScenarioPool;
+
 /// Paper Table 4 reference values `(average ms, worst-case ms)`.
 pub fn paper_values(strategy: IndexStrategy) -> (f64, f64) {
     match strategy {
@@ -15,19 +17,29 @@ pub fn paper_values(strategy: IndexStrategy) -> (f64, f64) {
 
 /// Runs all four configurations at paper scale.
 pub fn results() -> Vec<DbmsReport> {
-    IndexStrategy::all()
-        .into_iter()
-        .map(|s| run(&DbmsConfig::paper(s)))
-        .collect()
+    results_with(&ScenarioPool::serial())
+}
+
+/// Runs all four configurations at paper scale, one pool job per
+/// configuration; the report order matches [`IndexStrategy::all`]
+/// regardless of worker count.
+pub fn results_with(pool: &ScenarioPool) -> Vec<DbmsReport> {
+    pool.map(IndexStrategy::all().into_iter().collect(), |s| {
+        run(&DbmsConfig::paper(s))
+    })
 }
 
 /// Runs all four configurations at reduced scale (for quick checks and
 /// Criterion timing).
 pub fn quick_results() -> Vec<DbmsReport> {
-    IndexStrategy::all()
-        .into_iter()
-        .map(|s| run(&DbmsConfig::quick(s)))
-        .collect()
+    quick_results_with(&ScenarioPool::serial())
+}
+
+/// Reduced-scale variant of [`results_with`].
+pub fn quick_results_with(pool: &ScenarioPool) -> Vec<DbmsReport> {
+    pool.map(IndexStrategy::all().into_iter().collect(), |s| {
+        run(&DbmsConfig::quick(s))
+    })
 }
 
 /// Renders the table.

@@ -43,11 +43,15 @@ enum Kind {
     Join,
 }
 
+/// Every transaction shape takes exactly this many locks, so the lock
+/// list is a fixed array — no per-transaction heap allocation.
+const LOCKS_PER_TXN: usize = 5;
+
 #[derive(Debug)]
 struct Txn {
     arrival: Timestamp,
     kind: Kind,
-    locks: Vec<(Resource, LockMode)>,
+    locks: [(Resource, LockMode); LOCKS_PER_TXN],
     next_lock: usize,
     stall: Micros,
     burst: Micros,
@@ -125,6 +129,9 @@ struct Engine<'a> {
     dc: Summary,
     joins: Summary,
     histogram: Histogram,
+    /// Commit-path scratch buffers, reused across transactions.
+    granted_scratch: Vec<(TxnId, Resource)>,
+    resumable_scratch: Vec<usize>,
 }
 
 impl<'a> Engine<'a> {
@@ -135,7 +142,7 @@ impl<'a> Engine<'a> {
             config,
             rng: Rng::seed_from(config.seed),
             now: Timestamp::ZERO,
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(256),
             txns: Vec::with_capacity(config.txn_count as usize),
             locks: LockManager::new(),
             busy_cpus: 0,
@@ -149,6 +156,8 @@ impl<'a> Engine<'a> {
             dc: Summary::new(),
             joins: Summary::new(),
             histogram: Histogram::new(),
+            granted_scratch: Vec::new(),
+            resumable_scratch: Vec::new(),
         }
     }
 
@@ -194,7 +203,7 @@ impl<'a> Engine<'a> {
             let result_page = self.rng.below(cfg.results_pages);
             (
                 Kind::Join,
-                vec![
+                [
                     (Resource::Database, LockMode::IntentShared),
                     (Resource::Relation(ACCOUNTS), LockMode::Shared),
                     (Resource::Relation(DETAIL), LockMode::Shared),
@@ -207,7 +216,7 @@ impl<'a> Engine<'a> {
             let branch_page = self.rng.below(cfg.branch_pages);
             (
                 Kind::DebitCredit,
-                vec![
+                [
                     (Resource::Database, LockMode::IntentExclusive),
                     (Resource::Relation(ACCOUNTS), LockMode::IntentExclusive),
                     (Resource::Relation(BRANCHES), LockMode::IntentExclusive),
@@ -327,18 +336,23 @@ impl<'a> Engine<'a> {
                 self.index_resident = false;
             }
         }
-        let granted = self.locks.release_all(TxnId(i as u64));
-        let mut resumable: Vec<usize> = Vec::new();
-        for (txn, resource) in granted {
+        let mut granted = std::mem::take(&mut self.granted_scratch);
+        granted.clear();
+        self.locks.release_all_into(TxnId(i as u64), &mut granted);
+        let mut resumable = std::mem::take(&mut self.resumable_scratch);
+        resumable.clear();
+        for &(txn, resource) in &granted {
             let j = txn.0 as usize;
             let t = &mut self.txns[j];
             debug_assert_eq!(t.locks[t.next_lock].0, resource);
             t.next_lock += 1;
             resumable.push(j);
         }
-        for j in resumable {
+        self.granted_scratch = granted;
+        for &j in &resumable {
             self.try_locks(j);
         }
+        self.resumable_scratch = resumable;
         if let Some(next) = self.ready.pop_front() {
             self.busy_cpus += 1;
             let burst = self.txns[next].burst;
@@ -427,18 +441,40 @@ mod table4_tests {
     /// (worst-case columns are tail statistics and inherently noisier —
     /// checked at 35%), and the qualitative relations the paper draws
     /// hold exactly.
+    ///
+    /// Runs at full paper scale (4 × ~30 000 transactions). That is
+    /// sub-second in release builds — CI runs it in the dedicated
+    /// `table4-full` job — but tens of seconds in debug, so debug builds
+    /// skip it rather than drag down `cargo test`.
     #[test]
-    #[ignore = "several seconds; run with --ignored or via the bench harness"]
     fn table4_reproduces() {
+        if cfg!(debug_assertions) {
+            eprintln!(
+                "table4_reproduces: skipped in debug builds; \
+                 run `cargo test --release -p epcm-dbms table4_reproduces`"
+            );
+            return;
+        }
         let paper = [
             (IndexStrategy::NoIndex, 866.0, 3770.0),
             (IndexStrategy::InMemory, 43.0, 410.0),
             (IndexStrategy::Paging, 575.0, 3930.0),
             (IndexStrategy::Regeneration, 55.0, 680.0),
         ];
-        let mut results = Vec::new();
-        for &(s, avg, worst) in &paper {
-            let r = run(&DbmsConfig::paper(s));
+        // The four configurations are independent simulations; fan them
+        // across threads and join in declared order, exactly the
+        // discipline the bench harness's ScenarioPool uses.
+        let results: Vec<DbmsReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = paper
+                .iter()
+                .map(|&(s, _, _)| scope.spawn(move || run(&DbmsConfig::paper(s))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("table 4 run panicked"))
+                .collect()
+        });
+        for (r, &(s, avg, worst)) in results.iter().zip(&paper) {
             assert!(
                 (r.average_ms() - avg).abs() / avg < 0.25,
                 "{}: avg {:.0} vs paper {avg}",
@@ -451,7 +487,6 @@ mod table4_tests {
                 s.label(),
                 r.worst_ms()
             );
-            results.push(r);
         }
         let (no_index, in_mem, paging, regen) =
             (&results[0], &results[1], &results[2], &results[3]);

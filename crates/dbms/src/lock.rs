@@ -195,8 +195,16 @@ impl LockManager {
     /// granting queued requests. Returns newly granted `(txn, resource)`
     /// pairs in grant order so the engine can resume the waiters.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, Resource)> {
-        let resources = self.held_by.remove(&txn).unwrap_or_default();
         let mut granted = Vec::new();
+        self.release_all_into(txn, &mut granted);
+        granted
+    }
+
+    /// [`LockManager::release_all`], appending grants into a caller-owned
+    /// buffer — the engine reuses one buffer across commits instead of
+    /// allocating a fresh vector per transaction.
+    pub fn release_all_into(&mut self, txn: TxnId, granted: &mut Vec<(TxnId, Resource)>) {
+        let resources = self.held_by.remove(&txn).unwrap_or_default();
         for resource in resources {
             let state = self
                 .locks
@@ -220,7 +228,6 @@ impl LockManager {
                 self.locks.remove(&resource);
             }
         }
-        granted
     }
 
     /// Debug invariant: no two holders of any resource conflict.

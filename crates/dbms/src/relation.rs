@@ -267,7 +267,7 @@ mod tests {
         let rows: Vec<Record> = (0..600).map(|i| Record::numbered(i * 7, i)).collect();
         let rel = Relation::create(&mut m, &rows).unwrap();
         assert_eq!(rel.len(), 600);
-        assert_eq!(rel.pages(), (600 + 255) / 256);
+        assert_eq!(rel.pages(), 600_u64.div_ceil(256));
         assert_eq!(rel.get(&mut m, 599).unwrap(), rows[599]);
         rel.update_payload(&mut m, 10, [9u8; 12]).unwrap();
         assert_eq!(rel.get(&mut m, 10).unwrap().payload, [9u8; 12]);

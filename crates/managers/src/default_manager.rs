@@ -151,6 +151,11 @@ pub struct DefaultSegmentManager {
     /// segment: `(segment, page) -> free-segment slot`. FIFO reuse order.
     laundry: BTreeMap<(u32, u64), PageNumber>,
     laundry_order: VecDeque<(u32, u64)>,
+    /// Incremental mirror of `laundry.values()` as slot -> entry count,
+    /// so the free-slot picker and the append-run scanner check "is this
+    /// slot keeping laundry alive?" in O(log n) instead of rebuilding a
+    /// set from the whole map on every fault.
+    laundry_slot_counts: BTreeMap<u64, usize>,
     /// Cursor for the sampling sweep.
     sample_cursor: (u32, u64),
     /// Dirty pages pinned in place after their writeback target died:
@@ -189,6 +194,7 @@ impl DefaultSegmentManager {
             policy: ClockPolicy::new(),
             laundry: BTreeMap::new(),
             laundry_order: VecDeque::new(),
+            laundry_slot_counts: BTreeMap::new(),
             sample_cursor: (0, 0),
             quarantined: BTreeSet::new(),
             stats: DefaultManagerStats::default(),
@@ -355,25 +361,49 @@ impl DefaultSegmentManager {
         }
     }
 
+    /// Records `key`'s data surviving in free-segment `slot`.
+    fn laundry_insert(&mut self, key: (u32, u64), slot: PageNumber) {
+        if let Some(old) = self.laundry.insert(key, slot) {
+            self.laundry_slot_released(old);
+        }
+        self.laundry_order.push_back(key);
+        *self.laundry_slot_counts.entry(slot.as_u64()).or_insert(0) += 1;
+    }
+
+    /// Removes a laundry entry, keeping the slot-count mirror in sync.
+    fn laundry_remove(&mut self, key: &(u32, u64)) -> Option<PageNumber> {
+        let slot = self.laundry.remove(key)?;
+        self.laundry_slot_released(slot);
+        Some(slot)
+    }
+
+    fn laundry_slot_released(&mut self, slot: PageNumber) {
+        if let Some(n) = self.laundry_slot_counts.get_mut(&slot.as_u64()) {
+            *n -= 1;
+            if *n == 0 {
+                self.laundry_slot_counts.remove(&slot.as_u64());
+            }
+        }
+    }
+
     /// Takes one free slot, evicting the oldest laundry entry if every
     /// free frame is acting as a laundry page.
     fn take_free_slot(&mut self, env: &mut Env<'_>) -> Result<PageNumber, ManagerError> {
         let free_seg = self.free_seg(env)?;
         self.ensure_free(env, 1)?;
-        let laundry_slots: BTreeSet<u64> = self.laundry.values().map(|p| p.as_u64()).collect();
         let pick = env
             .kernel
             .segment(free_seg)?
             .resident()
             .map(|(p, _)| p)
-            .find(|p| !laundry_slots.contains(&p.as_u64()));
+            .find(|p| !self.laundry_slot_counts.contains_key(&p.as_u64()));
         if let Some(p) = pick {
             return Ok(p);
         }
         // All free frames hold laundry: drop the oldest mapping (its data
         // was already written back at reclaim time).
         while let Some(key) = self.laundry_order.pop_front() {
-            if let Some(slot) = self.laundry.remove(&key) {
+            if let Some(slot) = self.laundry_remove(&key) {
                 return Ok(slot);
             }
         }
@@ -473,8 +503,7 @@ impl DefaultSegmentManager {
             PageFlags::DIRTY | PageFlags::REFERENCED | PageFlags::MANAGER_B,
         )?;
         let key = (seg.as_u32(), page.as_u64());
-        self.laundry.insert(key, slot);
-        self.laundry_order.push_back(key);
+        self.laundry_insert(key, slot);
         self.stats.reclaimed += 1;
         Ok(true)
     }
@@ -538,7 +567,7 @@ impl DefaultSegmentManager {
         // map, so verify the slot is still resident; a stale entry falls
         // through to a normal fill.
         let key = (seg.as_u32(), page.as_u64());
-        if let Some(slot) = self.laundry.remove(&key) {
+        if let Some(slot) = self.laundry_remove(&key) {
             if env.kernel.segment(free_seg)?.entry(slot).is_some() {
                 env.kernel.migrate_pages(
                     free_seg,
@@ -649,7 +678,7 @@ impl DefaultSegmentManager {
                 self.ensure_free(env, want)?;
                 // Prefer a consecutive run of free slots so the batch is a
                 // single MigratePages invocation (the 16 KB append unit).
-                let run = find_free_run(env.kernel, free_seg, want, &self.laundry)?;
+                let run = find_free_run(env.kernel, free_seg, want, &self.laundry_slot_counts)?;
                 match run {
                     Some((start, len)) => {
                         env.kernel.migrate_pages(
@@ -818,16 +847,15 @@ fn find_free_run(
     kernel: &Kernel,
     free_seg: SegmentId,
     want: u64,
-    laundry: &BTreeMap<(u32, u64), PageNumber>,
+    in_laundry: &BTreeMap<u64, usize>,
 ) -> Result<Option<(PageNumber, u64)>, epcm_core::KernelError> {
-    let in_laundry: BTreeSet<u64> = laundry.values().map(|p| p.as_u64()).collect();
     let s = kernel.segment(free_seg)?;
     let mut best: Option<(u64, u64)> = None; // (start, len)
     let mut run_start: Option<u64> = None;
     let mut prev: Option<u64> = None;
     for (p, _) in s.resident() {
         let p = p.as_u64();
-        if in_laundry.contains(&p) {
+        if in_laundry.contains_key(&p) {
             run_start = None;
             prev = None;
             continue;
@@ -940,8 +968,15 @@ impl SegmentManager for DefaultSegmentManager {
             .collect();
         // Frames leaving our pool invalidate any laundry they hold.
         let leaving: BTreeSet<u64> = give.iter().map(|p| p.as_u64()).collect();
-        self.laundry
-            .retain(|_, slot| !leaving.contains(&slot.as_u64()));
+        let invalidated: Vec<(u32, u64)> = self
+            .laundry
+            .iter()
+            .filter(|(_, slot)| leaving.contains(&slot.as_u64()))
+            .map(|(key, _)| *key)
+            .collect();
+        for key in invalidated {
+            self.laundry_remove(&key);
+        }
         env.spcm
             .return_frames(env.kernel, self.id, free_seg, &give)?;
         self.trace(
@@ -990,7 +1025,7 @@ impl SegmentManager for DefaultSegmentManager {
                 PageFlags::DIRTY | PageFlags::REFERENCED | PageFlags::MANAGER_B,
             )?;
             self.policy.note_removed(segment, p);
-            self.laundry.remove(&(segment.as_u32(), p.as_u64()));
+            self.laundry_remove(&(segment.as_u32(), p.as_u64()));
         }
         self.managed.remove(&segment.as_u32());
         Ok(())

@@ -9,7 +9,7 @@
 //! bits, pins) through the probe callback, keeping the policies
 //! independent of the kernel and directly unit-testable.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use epcm_core::types::{PageNumber, SegmentId};
@@ -64,11 +64,42 @@ pub trait ReplacementPolicy: fmt::Debug {
     }
 }
 
+/// Multiset mirror of a lazy-deletion ring: O(log n) membership checks
+/// on the fault path instead of O(n) `VecDeque::contains` scans. Counts
+/// (rather than a plain set) keep the mirror exact even if a key is ever
+/// enqueued twice.
+#[derive(Debug, Default)]
+struct RingIndex {
+    counts: BTreeMap<Key, usize>,
+}
+
+impl RingIndex {
+    fn contains(&self, key: &Key) -> bool {
+        self.counts.contains_key(key)
+    }
+
+    /// One copy of `key` entered the ring.
+    fn added(&mut self, key: Key) {
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+
+    /// One copy of `key` permanently left the ring.
+    fn dropped(&mut self, key: &Key) {
+        if let Some(n) = self.counts.get_mut(key) {
+            *n -= 1;
+            if *n == 0 {
+                self.counts.remove(key);
+            }
+        }
+    }
+}
+
 /// The classic clock (second-chance) algorithm the default manager uses.
 #[derive(Debug, Default)]
 pub struct ClockPolicy {
     ring: VecDeque<Key>,
     dead: BTreeSet<Key>,
+    index: RingIndex,
 }
 
 impl ClockPolicy {
@@ -88,14 +119,15 @@ impl ReplacementPolicy for ClockPolicy {
         // A dead entry still sits in the ring (lazy deletion); reviving it
         // just clears the tombstone. Otherwise enqueue it.
         let was_dead = self.dead.remove(&key);
-        if !was_dead || !self.ring.contains(&key) {
+        if !was_dead || !self.index.contains(&key) {
             self.ring.push_back(key);
+            self.index.added(key);
         }
     }
 
     fn note_removed(&mut self, seg: SegmentId, page: PageNumber) {
         // Lazy deletion: the hand skips dead entries.
-        if self.ring.contains(&(seg, page)) {
+        if self.index.contains(&(seg, page)) {
             self.dead.insert((seg, page));
         }
     }
@@ -116,14 +148,18 @@ impl ReplacementPolicy for ClockPolicy {
             budget -= 1;
             let key = self.ring.pop_front()?;
             if self.dead.remove(&key) {
+                self.index.dropped(&key);
                 continue;
             }
             match probe(key.0, key.1) {
                 Probe::Referenced | Probe::Pinned => self.ring.push_back(key),
                 Probe::NotReferenced => {
+                    self.index.dropped(&key);
                     return Some(key);
                 }
-                Probe::Gone => {}
+                Probe::Gone => {
+                    self.index.dropped(&key);
+                }
             }
         }
         None
@@ -139,6 +175,7 @@ impl ReplacementPolicy for ClockPolicy {
 pub struct FifoPolicy {
     queue: VecDeque<Key>,
     dead: BTreeSet<Key>,
+    index: RingIndex,
 }
 
 impl FifoPolicy {
@@ -151,13 +188,14 @@ impl FifoPolicy {
 impl ReplacementPolicy for FifoPolicy {
     fn note_resident(&mut self, seg: SegmentId, page: PageNumber) {
         self.dead.remove(&(seg, page));
-        if !self.queue.contains(&(seg, page)) {
+        if !self.index.contains(&(seg, page)) {
             self.queue.push_back((seg, page));
+            self.index.added((seg, page));
         }
     }
 
     fn note_removed(&mut self, seg: SegmentId, page: PageNumber) {
-        if self.queue.contains(&(seg, page)) {
+        if self.index.contains(&(seg, page)) {
             self.dead.insert((seg, page));
         }
     }
@@ -173,13 +211,19 @@ impl ReplacementPolicy for FifoPolicy {
             budget -= 1;
             let key = self.queue.pop_front()?;
             if self.dead.remove(&key) {
+                self.index.dropped(&key);
                 continue;
             }
             match probe(key.0, key.1) {
                 Probe::Pinned => self.queue.push_back(key),
-                Probe::Gone => {}
+                Probe::Gone => {
+                    self.index.dropped(&key);
+                }
                 // FIFO ignores the reference bit.
-                Probe::Referenced | Probe::NotReferenced => return Some(key),
+                Probe::Referenced | Probe::NotReferenced => {
+                    self.index.dropped(&key);
+                    return Some(key);
+                }
             }
         }
         None
@@ -197,6 +241,7 @@ pub struct LruPolicy {
     // Front = least recently used.
     order: VecDeque<Key>,
     dead: BTreeSet<Key>,
+    index: RingIndex,
 }
 
 impl LruPolicy {
@@ -209,13 +254,14 @@ impl LruPolicy {
 impl ReplacementPolicy for LruPolicy {
     fn note_resident(&mut self, seg: SegmentId, page: PageNumber) {
         self.dead.remove(&(seg, page));
-        if !self.order.contains(&(seg, page)) {
+        if !self.index.contains(&(seg, page)) {
             self.order.push_back((seg, page));
+            self.index.added((seg, page));
         }
     }
 
     fn note_removed(&mut self, seg: SegmentId, page: PageNumber) {
-        if self.order.contains(&(seg, page)) {
+        if self.index.contains(&(seg, page)) {
             self.dead.insert((seg, page));
         }
     }
@@ -237,12 +283,18 @@ impl ReplacementPolicy for LruPolicy {
             budget -= 1;
             let key = self.order.pop_front()?;
             if self.dead.remove(&key) {
+                self.index.dropped(&key);
                 continue;
             }
             match probe(key.0, key.1) {
                 Probe::Pinned => self.order.push_back(key),
-                Probe::Gone => {}
-                Probe::Referenced | Probe::NotReferenced => return Some(key),
+                Probe::Gone => {
+                    self.index.dropped(&key);
+                }
+                Probe::Referenced | Probe::NotReferenced => {
+                    self.index.dropped(&key);
+                    return Some(key);
+                }
             }
         }
         None
@@ -257,6 +309,7 @@ impl ReplacementPolicy for LruPolicy {
 #[derive(Debug)]
 pub struct RandomPolicy {
     pages: Vec<Key>,
+    index: RingIndex,
     rng: Rng,
 }
 
@@ -265,6 +318,7 @@ impl RandomPolicy {
     pub fn new(seed: u64) -> Self {
         RandomPolicy {
             pages: Vec::new(),
+            index: RingIndex::default(),
             rng: Rng::seed_from(seed),
         }
     }
@@ -272,13 +326,17 @@ impl RandomPolicy {
 
 impl ReplacementPolicy for RandomPolicy {
     fn note_resident(&mut self, seg: SegmentId, page: PageNumber) {
-        if !self.pages.contains(&(seg, page)) {
+        if !self.index.contains(&(seg, page)) {
             self.pages.push((seg, page));
+            self.index.added((seg, page));
         }
     }
 
     fn note_removed(&mut self, seg: SegmentId, page: PageNumber) {
-        self.pages.retain(|&k| k != (seg, page));
+        if self.index.contains(&(seg, page)) {
+            self.pages.retain(|&k| k != (seg, page));
+            self.index.dropped(&(seg, page));
+        }
     }
 
     fn note_referenced(&mut self, _seg: SegmentId, _page: PageNumber) {}
@@ -296,9 +354,11 @@ impl ReplacementPolicy for RandomPolicy {
                 Probe::Pinned => {}
                 Probe::Gone => {
                     self.pages.swap_remove(idx);
+                    self.index.dropped(&key);
                 }
                 Probe::Referenced | Probe::NotReferenced => {
                     self.pages.swap_remove(idx);
+                    self.index.dropped(&key);
                     return Some(key);
                 }
             }

@@ -14,9 +14,15 @@ use epcm_trace::{EventKind, SharedTracer, TraceEvent, TraceSink};
 
 use crate::clock::{Micros, Timestamp};
 
-/// An entry in the event queue: ordering is by time, then insertion order
-/// (so simultaneous events dispatch FIFO and the simulation stays
-/// deterministic).
+/// An entry in the event queue.
+///
+/// Ordering is `(time, seq)` where `seq` is a monotonically increasing
+/// per-queue insertion counter: simultaneous events dispatch strictly
+/// FIFO. This tie-break is **load-bearing for determinism** — every
+/// trace and benchmark table in the repo depends on it, and
+/// `tie_break_is_insertion_order_under_interleaving` (below) plus the
+/// model-based property tests in `tests/properties.rs` pin it, so the
+/// heap representation can change but the dispatch order cannot.
 #[derive(Debug)]
 struct Scheduled<E> {
     time: Timestamp,
@@ -79,8 +85,15 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        EventQueue::with_capacity(0)
+    }
+
+    /// Creates an empty queue with pre-allocated space for `capacity`
+    /// pending events, so steady-state simulations never reallocate the
+    /// heap on the dispatch path.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
             tracer: None,
         }
@@ -277,6 +290,32 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.next().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    /// Regression pin for the deterministic tie-break: same-timestamp
+    /// events dispatch in insertion order even when pushes interleave
+    /// with pops, later times are scheduled between them, and the heap
+    /// has internally reordered its backing storage. If the queue's
+    /// representation ever changes, this test (not incidental ordering)
+    /// is the contract.
+    #[test]
+    fn tie_break_is_insertion_order_under_interleaving() {
+        let mut q = EventQueue::with_capacity(8);
+        let t5 = Timestamp::from_micros(5);
+        let t9 = Timestamp::from_micros(9);
+        q.schedule(t9, "late-a");
+        q.schedule(t5, "tie-1");
+        q.schedule(t5, "tie-2");
+        assert_eq!(q.next(), Some((t5, "tie-1")));
+        // Interleaved push at the same instant: joins the back of the
+        // t5 tie group, not the front.
+        q.schedule(t5, "tie-3");
+        q.schedule(t9, "late-b");
+        assert_eq!(q.next(), Some((t5, "tie-2")));
+        assert_eq!(q.next(), Some((t5, "tie-3")));
+        assert_eq!(q.next(), Some((t9, "late-a")));
+        assert_eq!(q.next(), Some((t9, "late-b")));
+        assert_eq!(q.next(), None);
     }
 
     #[test]

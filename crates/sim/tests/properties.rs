@@ -63,6 +63,100 @@ proptest! {
         }
     }
 
+    /// Same-timestamp events pop in insertion order regardless of how
+    /// many distinct timestamps surround them.
+    #[test]
+    fn event_queue_same_timestamp_is_fifo(
+        tie_time in 0u64..100,
+        tie_count in 1usize..50,
+        noise in proptest::collection::vec(0u64..200, 0..50),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in noise.iter().enumerate() {
+            q.schedule(Timestamp::from_micros(t), usize::MAX - i);
+        }
+        for i in 0..tie_count {
+            q.schedule(Timestamp::from_micros(tie_time), i);
+        }
+        let mut ties = Vec::new();
+        while let Some((t, e)) = q.next() {
+            if t.as_micros() == tie_time && e < tie_count {
+                ties.push(e);
+            }
+        }
+        prop_assert_eq!(ties, (0..tie_count).collect::<Vec<_>>());
+    }
+
+    /// Interleaved push/pop preserves virtual-clock monotonicity: once an
+    /// event at time `t` has dispatched, no later pop goes backwards, even
+    /// when new events keep being scheduled at the current instant.
+    #[test]
+    fn event_queue_interleaved_push_pop_is_monotonic(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..500), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let mut now = 0u64;
+        let mut id = 0usize;
+        for &(push, delay) in &ops {
+            if push || q.is_empty() {
+                // Schedule relative to the current virtual time, as a
+                // simulation dispatch loop does.
+                q.schedule(Timestamp::from_micros(now + delay), id);
+                id += 1;
+            } else {
+                let (t, _) = q.next().expect("non-empty");
+                prop_assert!(
+                    t.as_micros() >= now,
+                    "virtual clock went backwards: {} < {now}", t.as_micros()
+                );
+                now = t.as_micros();
+            }
+        }
+        while let Some((t, _)) = q.next() {
+            prop_assert!(t.as_micros() >= now);
+            now = t.as_micros();
+        }
+    }
+
+    /// An arbitrary op-sequence against the real queue matches a naive
+    /// model holding `(time, seq)` pairs in a sorted Vec — the reference
+    /// semantics the binary heap must reproduce exactly.
+    #[test]
+    fn event_queue_matches_naive_sorted_vec_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..300), 1..300),
+    ) {
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, u64)> = Vec::new(); // (time, seq)
+        let mut seq = 0u64;
+        for &(push, time) in &ops {
+            if push {
+                q.schedule(Timestamp::from_micros(time), seq);
+                model.push((time, seq));
+                seq += 1;
+            } else {
+                let popped = q.next().map(|(t, e)| (t.as_micros(), e));
+                let expect = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &entry)| entry)
+                    .map(|(i, _)| i)
+                    .map(|i| model.remove(i));
+                prop_assert_eq!(popped, expect);
+            }
+        }
+        // Drain both; the full remaining order must agree.
+        while let Some((t, e)) = q.next() {
+            let i = model
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &entry)| entry)
+                .map(|(i, _)| i)
+                .expect("model has an entry for every queue event");
+            prop_assert_eq!((t.as_micros(), e), model.remove(i));
+        }
+        prop_assert!(model.is_empty(), "queue drained before the model");
+    }
+
     /// Rng::below never exceeds its bound and Rng::range stays in range.
     #[test]
     fn rng_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX, lo in 0u64..1000, span in 1u64..1000) {

@@ -1,0 +1,74 @@
+//! Byte-identity of parallel benchmark fan-out.
+//!
+//! The `ScenarioPool` claims jobs with an atomic cursor but joins results
+//! in declared order, so every rendered table, trace, and JSON document
+//! must be byte-for-byte identical no matter how many workers ran it.
+//! These tests pin that contract across `--jobs 1`, `2`, and `8`.
+
+use epcm_bench::ablations::{self, SweepScale};
+use epcm_bench::json_report::{metrics_json, table4_json, tables23_json, traced_results_with};
+use epcm_bench::pool::ScenarioPool;
+use epcm_bench::{table23, table4};
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs `f` under pools of 1, 2, and 8 workers and asserts every output
+/// is byte-identical to the serial one.
+fn assert_byte_identical<F>(what: &str, f: F)
+where
+    F: Fn(&ScenarioPool) -> String,
+{
+    let serial = f(&ScenarioPool::new(JOB_COUNTS[0]));
+    for &jobs in &JOB_COUNTS[1..] {
+        let parallel = f(&ScenarioPool::new(jobs));
+        assert_eq!(
+            serial, parallel,
+            "{what}: --jobs {jobs} diverged from --jobs 1"
+        );
+    }
+}
+
+#[test]
+fn table4_quick_render_is_jobs_invariant() {
+    assert_byte_identical("table4 render", |pool| {
+        table4::render(&table4::quick_results_with(pool))
+    });
+}
+
+#[test]
+fn table4_quick_json_is_jobs_invariant() {
+    assert_byte_identical("table4 json", |pool| {
+        table4_json(&table4::quick_results_with(pool), true)
+    });
+}
+
+#[test]
+fn tables23_render_and_json_are_jobs_invariant() {
+    assert_byte_identical("tables 2/3", |pool| {
+        let results = table23::results_with(pool);
+        let mut out = table23::render_table2(&results);
+        out.push_str(&table23::render_table3(&results));
+        out
+    });
+}
+
+#[test]
+fn traced_results_json_is_jobs_invariant() {
+    assert_byte_identical("traced tables23 + metrics json", |pool| {
+        let traced = traced_results_with(pool);
+        let apps: Vec<_> = traced.iter().map(|t| t.result.clone()).collect();
+        let mut out = tables23_json(&traced);
+        for app in &traced {
+            out.push_str(&metrics_json(app));
+        }
+        out.push_str(&table23::render_table2(&apps));
+        out
+    });
+}
+
+#[test]
+fn ablations_render_is_jobs_invariant() {
+    assert_byte_identical("ablations render", |pool| {
+        ablations::render_with(pool, SweepScale::Quick)
+    });
+}
