@@ -10,7 +10,14 @@
 //! reproduce --ablations      # ablation sweeps only (full DBMS sweep)
 //! reproduce --jobs 8         # fan independent scenarios over 8 workers
 //! reproduce --wall-clock     # time each phase, write BENCH_timings.json
+//! reproduce --tiers dram:64,slow:256,zram:64
+//!                            # add the tiered-memory sweep
+//!                            # (BENCH_tiers.json with --json)
 //! ```
+//!
+//! `--tiers dram:ALL` runs the sweep around the single-tier degenerate
+//! layout; the tables are unaffected by `--tiers` in any form and stay
+//! byte-identical to a run without it.
 //!
 //! `--json` writes one machine-readable document per table into the
 //! current directory (`BENCH_table1.json`, `BENCH_tables23.json`,
@@ -29,8 +36,13 @@ use std::time::Instant;
 
 use epcm_bench::json_report::WallClockEntry;
 use epcm_bench::pool::ScenarioPool;
-use epcm_bench::{ablations, json_report, table1, table23, table4};
+use epcm_bench::{ablations, json_report, table1, table23, table4, tiers};
+use epcm_core::tier::{TierLayout, TierSpec};
 use epcm_dbms::config::{DbmsConfig, IndexStrategy};
+
+/// Total frame budget of the tier sweep when `--tiers dram:ALL` leaves
+/// the split unspecified — matches the issue's 64/256/64 example.
+const DEFAULT_TIER_FRAMES: u64 = 384;
 
 fn write_json(path: &str, json: &str) {
     let mut contents = json.to_string();
@@ -120,6 +132,13 @@ fn main() {
             .and_then(|i| args.get(i + 1))
     };
     let only_table: Option<u32> = arg_value("--table").and_then(|v| v.parse().ok());
+    let tiers_spec: Option<TierSpec> = arg_value("--tiers").map(|v| match TierSpec::parse(v) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: --tiers {v}: {e}");
+            std::process::exit(2);
+        }
+    });
     let jobs: usize = arg_value("--jobs")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
@@ -181,6 +200,17 @@ fn main() {
                 "BENCH_table4.json",
                 &json_report::table4_json(&results, quick),
             );
+        }
+    }
+    if let Some(spec) = tiers_spec {
+        let requested = match spec {
+            TierSpec::DramAll => TierLayout::dram_only(DEFAULT_TIER_FRAMES),
+            TierSpec::Layout(layout) => layout,
+        };
+        let points = wall.time("tiers", || tiers::results_with(&pool, requested));
+        print!("{}", tiers::render(&points));
+        if json {
+            write_json("BENCH_tiers.json", &tiers::tiers_json(requested, &points));
         }
     }
     wall.finish(pool.jobs());

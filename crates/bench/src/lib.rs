@@ -13,6 +13,8 @@
 //! * [`ablations`] — manager-mode, zeroing, transfer-unit, protection
 //!   batching, replacement policy, prefetch depth, page coloring, memory
 //!   market, and DBMS fault-latency sweeps.
+//! * [`tiers`] — the tiered-memory sweep (`--tiers`): tier-size ratio
+//!   vs. fault handling and DBMS throughput, as `BENCH_tiers.json`.
 //! * [`json_report`] — the same tables as machine-readable `BENCH_*.json`
 //!   documents (with per-run event counts) for CI archival.
 //! * [`pool`] — the deterministic worker pool that fans independent
@@ -27,6 +29,7 @@ pub mod pool;
 pub mod table1;
 pub mod table23;
 pub mod table4;
+pub mod tiers;
 
 /// Formats a `paper vs measured` row with a deviation percentage.
 pub fn fmt_row(label: &str, paper: f64, measured: f64, unit: &str) -> String {

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::fault::FaultEvent;
-use crate::types::{PageNumber, SegmentId};
+use crate::types::{FrameId, PageNumber, SegmentId};
 
 /// Errors returned by kernel operations.
 ///
@@ -71,6 +71,13 @@ pub enum KernelError {
     /// the same page — the infinite-recursion guard of §2.1 tripped,
     /// meaning a manager faulted on its own fault path.
     RecursiveFault(FaultEvent),
+    /// `MigrateFrame` destination frame cannot take part in a tier
+    /// exchange: it still sits in the boot pool (unallocated) or it
+    /// backs a compound (multi-frame) page.
+    FrameNotExchangeable {
+        /// The offending destination frame.
+        frame: FrameId,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -120,6 +127,9 @@ impl fmt::Display for KernelError {
             }
             KernelError::FramesNotContiguous => {
                 write!(f, "large page requires physically contiguous base frames")
+            }
+            KernelError::FrameNotExchangeable { frame } => {
+                write!(f, "{frame} cannot take part in a tier exchange")
             }
         }
     }

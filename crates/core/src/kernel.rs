@@ -26,6 +26,7 @@ use crate::fault::{FaultEvent, FaultKind};
 use crate::flags::PageFlags;
 use crate::frame::FrameTable;
 use crate::segment::{BoundRegion, PageEntry, Segment};
+use crate::tier::{MemTier, TierLayout};
 use crate::translate::{MappingTable, Tlb};
 use crate::types::{
     AccessKind, FrameId, ManagerId, PageNumber, SegmentId, SegmentKind, UserId, BASE_PAGE_SIZE,
@@ -104,6 +105,13 @@ pub struct KernelStats {
     pub zero_fills: u64,
     /// Copy-on-write page copies performed.
     pub cow_copies: u64,
+    /// `MigrateFrame` tier exchanges performed.
+    pub tier_migrations: u64,
+    /// Completed references that touched a [`MemTier::SlowMem`] frame.
+    pub slow_accesses: u64,
+    /// Completed references that touched a [`MemTier::CompressedRam`]
+    /// frame.
+    pub zram_accesses: u64,
 }
 
 impl KernelStats {
@@ -171,6 +179,7 @@ pub struct Kernel {
     costs: CostModel,
     stats: KernelStats,
     tracer: Option<SharedTracer>,
+    tiers: TierLayout,
 }
 
 impl Kernel {
@@ -194,6 +203,25 @@ impl Kernel {
     ///
     /// Panics if `frames` is zero.
     pub fn with_costs(frames: usize, costs: CostModel) -> Self {
+        Kernel::with_tiers(frames, costs, TierLayout::dram_only(frames as u64))
+    }
+
+    /// Creates a kernel whose frame pool is partitioned into physical
+    /// memory tiers. `Kernel::with_costs` is the degenerate
+    /// [`TierLayout::dram_only`] case; on such layouts every tier check
+    /// short-circuits, so flat machines behave byte-identically to the
+    /// pre-tier implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero or `tiers.total()` differs from
+    /// `frames`.
+    pub fn with_tiers(frames: usize, costs: CostModel, tiers: TierLayout) -> Self {
+        assert_eq!(
+            tiers.total(),
+            frames as u64,
+            "tier layout must cover the frame pool exactly"
+        );
         let table = FrameTable::new(frames);
         let mut boot = Segment::new(
             SegmentId::FRAME_POOL,
@@ -229,6 +257,32 @@ impl Kernel {
             costs,
             stats: KernelStats::default(),
             tracer: None,
+            tiers,
+        }
+    }
+
+    /// The boot-time tier partition of the frame pool.
+    pub fn tiers(&self) -> &TierLayout {
+        &self.tiers
+    }
+
+    /// Charges the destination tier's per-access latency for `frame`,
+    /// counting it in the kernel stats. Free on DRAM frames and on
+    /// single-tier machines.
+    fn charge_tier_access(&mut self, frame: FrameId) {
+        if self.tiers.is_dram_only() {
+            return;
+        }
+        match self.tiers.tier_of(frame) {
+            MemTier::Dram => {}
+            MemTier::SlowMem => {
+                self.stats.slow_accesses += 1;
+                self.clock.advance(self.costs.slowmem_access);
+            }
+            MemTier::CompressedRam => {
+                self.stats.zram_accesses += 1;
+                self.clock.advance(self.costs.zram_access);
+            }
         }
     }
 
@@ -313,6 +367,15 @@ impl Kernel {
         m.set("kernel.uio.writes", s.uio_writes);
         m.set("kernel.zero_fills", s.zero_fills);
         m.set("kernel.cow_copies", s.cow_copies);
+        m.set("tier.migrations", s.tier_migrations);
+        m.set("tier.slow_accesses", s.slow_accesses);
+        m.set("tier.zram_accesses", s.zram_accesses);
+        for tier in MemTier::all() {
+            m.set(
+                &format!("tier.{}.frames", tier.name()),
+                self.tiers.count(tier),
+            );
+        }
         let ms = self.mapping.stats();
         m.set("kernel.mapping.direct_hits", ms.direct_hits);
         m.set("kernel.mapping.overflow_hits", ms.overflow_hits);
@@ -770,6 +833,10 @@ impl Kernel {
         if access.is_write() {
             entry.flags |= PageFlags::DIRTY;
         }
+        let frame = entry.frame;
+        // Tiered machines pay the slow-tier access latency on every
+        // completed reference; DRAM (and single-tier machines) stay free.
+        self.charge_tier_access(frame);
     }
 
     fn make_fault(
@@ -959,6 +1026,117 @@ impl Kernel {
         self.segment_mut(dst_seg)?
             .insert_entry(dst_pg, PageEntry { frame, flags });
         self.mapping.install(dst_seg, dst_pg, frame);
+        // Filling or draining a slow-tier frame pays that tier's access
+        // latency on top of the migration cost.
+        self.charge_tier_access(frame);
+        Ok(())
+    }
+
+    // ----- MigrateFrame (tier exchange) -----------------------------------
+
+    /// `MigrateFrame`: moves the page at `(seg, page)` onto the physical
+    /// frame `dst`, exchanging frames with whatever slot currently holds
+    /// `dst`. This is the tier-migration primitive: a manager demotes a
+    /// cold page by exchanging its DRAM frame with a SlowMem or
+    /// CompressedRam frame from its free-page segment (and promotes by
+    /// the reverse exchange). Both slots keep their flags; the copy cost
+    /// plus the destination tier's access latency is charged to the
+    /// caller's virtual time, and a `tier_migrated` event is traced.
+    ///
+    /// The exchange never changes how many frames either segment holds,
+    /// so SPCM grant accounting and the frame-conservation invariant are
+    /// unaffected.
+    ///
+    /// Exchanging a frame with itself is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// * [`KernelError::BootSegmentImmutable`] if `seg` is the boot pool.
+    /// * [`KernelError::PageOutOfRange`] if `dst` is not a valid frame.
+    /// * [`KernelError::PageNotPresent`] if `(seg, page)` has no frame.
+    /// * [`KernelError::FrameNotExchangeable`] if `dst` still sits in the
+    ///   boot pool or backs a compound (multi-frame) page.
+    /// * [`KernelError::PageSizeMismatch`] if `seg` has compound pages.
+    pub fn migrate_frame(
+        &mut self,
+        seg: SegmentId,
+        page: PageNumber,
+        dst: FrameId,
+    ) -> Result<(), KernelError> {
+        if seg == SegmentId::FRAME_POOL {
+            return Err(KernelError::BootSegmentImmutable);
+        }
+        if !self.frames.is_valid(dst) {
+            return Err(KernelError::PageOutOfRange {
+                segment: SegmentId::FRAME_POOL,
+                page: PageNumber(dst.index() as u64),
+                size: self.frames.len() as u64,
+            });
+        }
+        let src_pf = self.segment(seg)?.page_frames();
+        if src_pf != 1 {
+            return Err(KernelError::PageSizeMismatch {
+                src_pages: src_pf,
+                dst_pages: 1,
+            });
+        }
+        let src = self
+            .segment(seg)?
+            .entry(page)
+            .ok_or(KernelError::PageNotPresent { segment: seg, page })?
+            .frame;
+        if src == dst {
+            return Ok(());
+        }
+        let (dst_seg, dst_pg) = self
+            .frames
+            .owner(dst)
+            .ok_or(KernelError::FrameNotExchangeable { frame: dst })?;
+        if dst_seg == SegmentId::FRAME_POOL || self.segment(dst_seg)?.page_frames() != 1 {
+            return Err(KernelError::FrameNotExchangeable { frame: dst });
+        }
+
+        // The page's bytes move to `dst`; the evicted bytes of `dst` are
+        // dead (its slot is a free-page pool entry by construction), so a
+        // one-way copy suffices.
+        self.frames.copy(src, dst);
+        match self.segment_mut(seg)?.entry_mut(page) {
+            Some(e) => e.frame = dst,
+            None => return Err(KernelError::PageNotPresent { segment: seg, page }),
+        }
+        match self.segment_mut(dst_seg)?.entry_mut(dst_pg) {
+            Some(e) => e.frame = src,
+            None => {
+                return Err(KernelError::PageNotPresent {
+                    segment: dst_seg,
+                    page: dst_pg,
+                })
+            }
+        }
+        self.frames.set_owner(dst, Some((seg, page)));
+        self.frames.set_owner(src, Some((dst_seg, dst_pg)));
+        // Both frames now physically hold the page owner's data: the
+        // destination by the copy, the source residually. Tracking that
+        // keeps the security-zeroing rule exact on later migrations.
+        let user = self.frames.last_user(src);
+        self.frames.set_last_user(dst, user);
+        // Lazy reinstall: both translations refill from the segment
+        // structures on the next reference.
+        self.mapping.remove(seg, page);
+        self.tlb.invalidate(seg, page);
+        self.mapping.remove(dst_seg, dst_pg);
+        self.tlb.invalidate(dst_seg, dst_pg);
+
+        self.stats.tier_migrations += 1;
+        self.clock
+            .advance(self.costs.kernel_call + self.costs.page_copy_4k);
+        self.charge_tier_access(dst);
+        self.trace(EventKind::TierMigrated {
+            segment: seg.0 as u64,
+            page: page.as_u64(),
+            from_tier: self.tiers.tier_of(src).code(),
+            to_tier: self.tiers.tier_of(dst).code(),
+        });
         Ok(())
     }
 

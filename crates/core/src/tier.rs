@@ -1,0 +1,285 @@
+//! Physical memory tiers: the frame pool as heterogeneous hardware.
+//!
+//! The paper's DECstation had one kind of physical memory, so the boot
+//! frame pool was a single flat array. Modern machines are tiered: fast
+//! DRAM, a slower CXL/NVM-like pool, and compressed RAM that trades CPU
+//! for capacity. This module makes the tier of every frame a static
+//! property of its [`FrameId`]: the pool is partitioned into contiguous
+//! index ranges, one per [`MemTier`], fixed at boot. Placement *within*
+//! the partition is entirely the managers' business — the kernel only
+//! charges the per-tier access latency (see `CostModel::slowmem_access`
+//! / `zram_access` in `epcm-sim`) and provides the `MigrateFrame`
+//! exchange primitive; which pages deserve DRAM is policy, decided
+//! above the red line exactly as the paper prescribes.
+//!
+//! The paper's original single-tier machine is the degenerate layout
+//! [`TierLayout::dram_only`], which every existing construction path
+//! uses; it is checked (`is_dram_only`) on the hot paths so the flat
+//! configuration charges nothing new and reproduces the pre-tier
+//! benchmarks byte-for-byte.
+
+use std::fmt;
+
+use crate::types::FrameId;
+
+/// One class of physical memory, ordered fastest-first.
+///
+/// The numeric codes (`code`) are stable and appear in trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemTier {
+    /// Fast, expensive main memory. All frames live here on a
+    /// single-tier machine.
+    Dram,
+    /// A slower, cheaper pool (CXL-attached or NVM-like): full load/
+    /// store access with extra per-access latency.
+    SlowMem,
+    /// Compressed RAM: the cheapest and slowest tier, modelled after
+    /// the `compress.rs` manager's RLE store.
+    CompressedRam,
+}
+
+impl MemTier {
+    /// Number of tiers.
+    pub const COUNT: usize = 3;
+
+    /// All tiers, fastest first.
+    pub fn all() -> [MemTier; MemTier::COUNT] {
+        [MemTier::Dram, MemTier::SlowMem, MemTier::CompressedRam]
+    }
+
+    /// Stable short name, as used by the `--tiers` flag and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemTier::Dram => "dram",
+            MemTier::SlowMem => "slow",
+            MemTier::CompressedRam => "zram",
+        }
+    }
+
+    /// The next rung down the demotion ladder, if any.
+    pub fn demotion_target(self) -> Option<MemTier> {
+        match self {
+            MemTier::Dram => Some(MemTier::SlowMem),
+            MemTier::SlowMem => Some(MemTier::CompressedRam),
+            MemTier::CompressedRam => None,
+        }
+    }
+
+    /// Index into per-tier arrays (`[T; MemTier::COUNT]`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable numeric code carried by `tier_migrated` trace events.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for MemTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The boot-time partition of the frame pool into tiers.
+///
+/// Frames `[0, dram)` are [`MemTier::Dram`], `[dram, dram+slow)` are
+/// [`MemTier::SlowMem`], and the remaining `zram` frames are
+/// [`MemTier::CompressedRam`]. The layout is immutable after boot;
+/// pages move between tiers, frames never do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TierLayout {
+    dram: u64,
+    slow: u64,
+    zram: u64,
+}
+
+impl TierLayout {
+    /// The single-tier layout: every frame is DRAM. This is the
+    /// paper's DECstation and the default for every machine that does
+    /// not opt into tiers.
+    pub fn dram_only(total: u64) -> TierLayout {
+        TierLayout {
+            dram: total,
+            slow: 0,
+            zram: 0,
+        }
+    }
+
+    /// A layout with the given per-tier frame counts.
+    pub fn new(dram: u64, slow: u64, zram: u64) -> TierLayout {
+        TierLayout { dram, slow, zram }
+    }
+
+    /// Total frames across all tiers.
+    pub fn total(&self) -> u64 {
+        self.dram + self.slow + self.zram
+    }
+
+    /// Frames in one tier.
+    pub fn count(&self, tier: MemTier) -> u64 {
+        match tier {
+            MemTier::Dram => self.dram,
+            MemTier::SlowMem => self.slow,
+            MemTier::CompressedRam => self.zram,
+        }
+    }
+
+    /// The contiguous frame-index range of one tier.
+    pub fn range(&self, tier: MemTier) -> std::ops::Range<u64> {
+        match tier {
+            MemTier::Dram => 0..self.dram,
+            MemTier::SlowMem => self.dram..self.dram + self.slow,
+            MemTier::CompressedRam => self.dram + self.slow..self.total(),
+        }
+    }
+
+    /// The tier a frame belongs to.
+    pub fn tier_of(&self, frame: FrameId) -> MemTier {
+        let idx = frame.index() as u64;
+        if idx < self.dram {
+            MemTier::Dram
+        } else if idx < self.dram + self.slow {
+            MemTier::SlowMem
+        } else {
+            MemTier::CompressedRam
+        }
+    }
+
+    /// True for the degenerate single-tier layout. The kernel hot
+    /// paths check this to keep flat machines byte-identical to the
+    /// pre-tier implementation.
+    pub fn is_dram_only(&self) -> bool {
+        self.slow == 0 && self.zram == 0
+    }
+}
+
+impl fmt::Display for TierLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dram:{},slow:{},zram:{}",
+            self.dram, self.slow, self.zram
+        )
+    }
+}
+
+/// A parsed `--tiers` specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierSpec {
+    /// `dram:ALL` — the single-tier degenerate configuration, sized to
+    /// whatever the machine's total is.
+    DramAll,
+    /// An explicit per-tier layout.
+    Layout(TierLayout),
+}
+
+impl TierSpec {
+    /// Parses a `--tiers` value: either `dram:ALL` or a comma list of
+    /// `dram:N`, `slow:M`, `zram:K` entries (missing tiers default to
+    /// zero; at least one frame of DRAM is required).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message describing the malformed entry.
+    pub fn parse(spec: &str) -> Result<TierSpec, String> {
+        if spec.trim() == "dram:ALL" {
+            return Ok(TierSpec::DramAll);
+        }
+        let mut counts = [None::<u64>; MemTier::COUNT];
+        for part in spec.split(',') {
+            let part = part.trim();
+            let Some((name, value)) = part.split_once(':') else {
+                return Err(format!("`{part}`: expected tier:count"));
+            };
+            let Some(tier) = MemTier::all().into_iter().find(|t| t.name() == name) else {
+                return Err(format!("`{name}`: unknown tier (dram, slow, zram)"));
+            };
+            let count: u64 = value
+                .parse()
+                .map_err(|_| format!("`{value}`: not a frame count"))?;
+            if counts[tier.index()].replace(count).is_some() {
+                return Err(format!("`{name}`: tier listed twice"));
+            }
+        }
+        let layout = TierLayout::new(
+            counts[MemTier::Dram.index()].unwrap_or(0),
+            counts[MemTier::SlowMem.index()].unwrap_or(0),
+            counts[MemTier::CompressedRam.index()].unwrap_or(0),
+        );
+        if layout.count(MemTier::Dram) == 0 {
+            return Err("at least one DRAM frame is required".to_string());
+        }
+        Ok(TierSpec::Layout(layout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_the_pool() {
+        let l = TierLayout::new(64, 256, 64);
+        assert_eq!(l.total(), 384);
+        assert_eq!(l.range(MemTier::Dram), 0..64);
+        assert_eq!(l.range(MemTier::SlowMem), 64..320);
+        assert_eq!(l.range(MemTier::CompressedRam), 320..384);
+        for tier in MemTier::all() {
+            for idx in l.range(tier) {
+                assert_eq!(l.tier_of(FrameId::from_raw(idx as u32)), tier);
+            }
+            let r = l.range(tier);
+            assert_eq!(l.count(tier), r.end - r.start);
+        }
+    }
+
+    #[test]
+    fn dram_only_is_degenerate() {
+        let l = TierLayout::dram_only(128);
+        assert!(l.is_dram_only());
+        assert_eq!(l.tier_of(FrameId::from_raw(127)), MemTier::Dram);
+        assert!(!TierLayout::new(128, 1, 0).is_dram_only());
+    }
+
+    #[test]
+    fn demotion_ladder_ends_at_zram() {
+        assert_eq!(MemTier::Dram.demotion_target(), Some(MemTier::SlowMem));
+        assert_eq!(
+            MemTier::SlowMem.demotion_target(),
+            Some(MemTier::CompressedRam)
+        );
+        assert_eq!(MemTier::CompressedRam.demotion_target(), None);
+    }
+
+    #[test]
+    fn parse_accepts_full_partial_and_all_specs() {
+        assert_eq!(TierSpec::parse("dram:ALL"), Ok(TierSpec::DramAll));
+        assert_eq!(
+            TierSpec::parse("dram:64,slow:256,zram:64"),
+            Ok(TierSpec::Layout(TierLayout::new(64, 256, 64)))
+        );
+        assert_eq!(
+            TierSpec::parse("dram:64"),
+            Ok(TierSpec::Layout(TierLayout::dram_only(64)))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(TierSpec::parse("fast:64").is_err());
+        assert!(TierSpec::parse("dram").is_err());
+        assert!(TierSpec::parse("dram:x").is_err());
+        assert!(TierSpec::parse("dram:1,dram:2").is_err());
+        assert!(TierSpec::parse("slow:64,zram:64").is_err());
+    }
+
+    #[test]
+    fn codes_and_names_are_stable() {
+        assert_eq!(MemTier::Dram.code(), 0);
+        assert_eq!(MemTier::SlowMem.code(), 1);
+        assert_eq!(MemTier::CompressedRam.code(), 2);
+        assert_eq!(TierLayout::new(1, 2, 3).to_string(), "dram:1,slow:2,zram:3");
+    }
+}

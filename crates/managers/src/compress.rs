@@ -7,6 +7,11 @@
 //! pages full of sparse or repetitive data (zeroed heaps, bitmap
 //! structures) shrink dramatically, cutting both the I/O time and the
 //! swap footprint. The compression is real: bytes round-trip exactly.
+//!
+//! The same scheme backs the `CompressedRam` memory tier: the default
+//! manager's demotion path reuses [`rle_compress`] and [`CompressStats`]
+//! to account the work a zram device would do when a page is demoted
+//! into a `MemTier::CompressedRam` frame.
 
 use std::collections::BTreeMap;
 

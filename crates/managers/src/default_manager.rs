@@ -8,18 +8,24 @@
 //! (the paper's noted difference from Ultrix), runs a clock replacement
 //! policy driven by protection-fault reference sampling with batched
 //! re-enabling, and keeps reclaimed-but-unreused frames rescuable (the
-//! paper's migrate-it-back trick).
+//! paper's migrate-it-back trick). On tiered machines the clock gains a
+//! demotion stage: dirty second-chance victims on DRAM frames trade
+//! places with spare lower-tier pool frames instead of paying writeback
+//! I/O, and a bankrupt manager demotes cold pages at tick time to cut
+//! its market bill rather than losing frames to forced seizure.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use epcm_core::fault::{FaultEvent, FaultKind};
 use epcm_core::flags::PageFlags;
 use epcm_core::kernel::Kernel;
-use epcm_core::types::{ManagerId, PageNumber, SegmentId, SegmentKind, BASE_PAGE_SIZE};
+use epcm_core::tier::MemTier;
+use epcm_core::types::{FrameId, ManagerId, PageNumber, SegmentId, SegmentKind, BASE_PAGE_SIZE};
 use epcm_sim::clock::Micros;
 use epcm_sim::disk::{FileId, FileStore, FileStoreError};
 use epcm_trace::{EventKind, MetricsRegistry, SharedTracer, TraceEvent, TraceSink};
 
+use crate::compress::{rle_compress, CompressStats};
 use crate::manager::{Env, ManagerError, ManagerMode, SegmentManager};
 use crate::policy::{ClockPolicy, Probe, ReplacementPolicy};
 use crate::spcm::PhysConstraint;
@@ -40,6 +46,17 @@ enum Backing {
 #[derive(Debug, Clone)]
 struct ManagedSegment {
     backing: Backing,
+}
+
+/// Outcome of one demotion attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Demotion {
+    /// The page now sits on a lower-tier frame.
+    Done,
+    /// The page is eligible but no lower-tier frame is pooled yet.
+    NoTarget,
+    /// The page is gone, or not on a DRAM frame.
+    Ineligible,
 }
 
 /// Counters exposed for Table 3 and the extended analyses.
@@ -68,6 +85,9 @@ pub struct DefaultManagerStats {
     /// `MigratePages` invocations made by this manager while handling
     /// faults (Table 3 column 2).
     pub migrate_calls: u64,
+    /// Pages demoted to a cheaper memory tier instead of being written
+    /// back and evicted (tier exchange via `MigrateFrame`).
+    pub demotions: u64,
 }
 
 /// Counters for the retry-with-backoff backing-store I/O path.
@@ -107,6 +127,10 @@ pub struct DefaultManagerConfig {
     pub io_retry_limit: u32,
     /// Virtual-time delay before the first retry; doubles per attempt.
     pub io_retry_backoff: Micros,
+    /// Upper bound on tier demotions per reclaim pass and per
+    /// market-driven rebalance (0 disables demotion). Only meaningful on
+    /// tiered machines; dram-only layouts never demote.
+    pub demote_batch: u64,
 }
 
 impl Default for DefaultManagerConfig {
@@ -120,6 +144,7 @@ impl Default for DefaultManagerConfig {
             sample_batch: 0,
             io_retry_limit: 4,
             io_retry_backoff: Micros::new(500),
+            demote_batch: 8,
         }
     }
 }
@@ -164,6 +189,10 @@ pub struct DefaultSegmentManager {
     quarantined: BTreeSet<(u32, u64)>,
     stats: DefaultManagerStats,
     io_stats: IoRetryStats,
+    /// Accounting for the CompressedRam tier backend (the `compress.rs`
+    /// RLE scheme refitted as a tier): pages demoted into zram frames are
+    /// compressed on the way in.
+    zram_stats: CompressStats,
     tracer: Option<SharedTracer>,
 }
 
@@ -199,6 +228,7 @@ impl DefaultSegmentManager {
             quarantined: BTreeSet::new(),
             stats: DefaultManagerStats::default(),
             io_stats: IoRetryStats::default(),
+            zram_stats: CompressStats::default(),
             tracer: None,
         }
     }
@@ -223,6 +253,11 @@ impl DefaultSegmentManager {
     /// Dirty pages currently pinned in quarantine.
     pub fn quarantined_count(&self) -> u64 {
         self.quarantined.len() as u64
+    }
+
+    /// Compression accounting for pages demoted into CompressedRam frames.
+    pub fn zram_stats(&self) -> CompressStats {
+        self.zram_stats
     }
 
     /// Runs one backing-store operation with bounded retry and exponential
@@ -418,8 +453,10 @@ impl DefaultSegmentManager {
     fn reclaim_into_pool(&mut self, env: &mut Env<'_>, count: u64) -> Result<u64, ManagerError> {
         let free_seg = self.free_seg(env)?;
         let mut reclaimed = 0;
+        let mut demoted = 0;
+        let mut deferred: VecDeque<(SegmentId, PageNumber)> = VecDeque::new();
         let mut attempts = 0;
-        while reclaimed < count && attempts < count * 2 + 8 {
+        while reclaimed < count && attempts < count * 2 + 8 + demoted {
             attempts += 1;
             let victim = {
                 let kernel = &mut *env.kernel;
@@ -448,8 +485,51 @@ impl DefaultSegmentManager {
                 })
             };
             let Some((seg, page)) = victim else { break };
+            // Demotion stage of the clock: a dirty second-chance victim
+            // sitting on a DRAM frame trades frames with a spare
+            // lower-tier pool slot instead of paying writeback I/O. Its
+            // data stays resident one rung down the ladder; the DRAM
+            // frame surfaces in the free pool for the next allocation.
+            // The clock tends to sweep DRAM-framed pages before it pools
+            // any lower-tier frame, so an eligible victim with no partner
+            // yet is deferred — it demotes as soon as a later eviction
+            // pools one — rather than evicted.
+            if demoted + (deferred.len() as u64) < self.config.demote_batch {
+                let dirty = env
+                    .kernel
+                    .get_page_attributes(seg, page, 1)
+                    .ok()
+                    .is_some_and(|a| a[0].present && a[0].flags.contains(PageFlags::DIRTY));
+                if dirty {
+                    match self.try_demote(env, free_seg, seg, page)? {
+                        Demotion::Done => {
+                            demoted += 1;
+                            continue;
+                        }
+                        Demotion::NoTarget => {
+                            deferred.push_back((seg, page));
+                            continue;
+                        }
+                        Demotion::Ineligible => {}
+                    }
+                }
+            }
             if self.evict(env, free_seg, seg, page)? {
                 reclaimed += 1;
+                // That eviction may have pooled a lower-tier frame:
+                // drain the deferred demotions while partners last.
+                while let Some(&(dseg, dpage)) = deferred.front() {
+                    match self.try_demote(env, free_seg, dseg, dpage)? {
+                        Demotion::Done => {
+                            deferred.pop_front();
+                            demoted += 1;
+                        }
+                        Demotion::Ineligible => {
+                            deferred.pop_front();
+                        }
+                        Demotion::NoTarget => break,
+                    }
+                }
             }
         }
         if reclaimed > 0 {
@@ -506,6 +586,129 @@ impl DefaultSegmentManager {
         self.laundry_insert(key, slot);
         self.stats.reclaimed += 1;
         Ok(true)
+    }
+
+    /// Picks a free-pool slot whose frame sits below DRAM as the tier
+    /// exchange partner, preferring SlowMem over CompressedRam (demotion
+    /// walks the ladder one rung at a time) and laundry-free slots over
+    /// laundered ones (the exchange clobbers the slot's bytes, so a
+    /// laundered slot costs its rescue entries). Returns the slot, its
+    /// frame, and the frame's tier.
+    fn demotion_target(
+        &self,
+        kernel: &Kernel,
+        free_seg: SegmentId,
+    ) -> Option<(PageNumber, FrameId, MemTier)> {
+        let tiers = *kernel.tiers();
+        let seg = kernel.segment(free_seg).ok()?;
+        let mut best: Option<(u32, PageNumber, FrameId, MemTier)> = None;
+        for (p, e) in seg.resident() {
+            let tier = tiers.tier_of(e.frame);
+            if tier == MemTier::Dram {
+                continue;
+            }
+            let laundered = self.laundry_slot_counts.contains_key(&p.as_u64());
+            let score = u32::from(laundered) * 2 + u32::from(tier != MemTier::SlowMem);
+            if score == 0 {
+                return Some((p, e.frame, tier));
+            }
+            if best.is_none_or(|(s, ..)| score < s) {
+                best = Some((score, p, e.frame, tier));
+            }
+        }
+        best.map(|(_, p, f, t)| (p, f, t))
+    }
+
+    /// Attempts to demote `page` — resident on a DRAM frame — into a
+    /// spare lower-tier free-pool frame via a kernel tier exchange. The
+    /// page stays resident (only its physical frame changes), so no
+    /// writeback I/O happens and the manager's DRAM bill shrinks.
+    fn try_demote(
+        &mut self,
+        env: &mut Env<'_>,
+        free_seg: SegmentId,
+        seg: SegmentId,
+        page: PageNumber,
+    ) -> Result<Demotion, ManagerError> {
+        let tiers = *env.kernel.tiers();
+        if tiers.is_dram_only() {
+            return Ok(Demotion::Ineligible);
+        }
+        let Some(entry) = env.kernel.segment(seg)?.entry(page) else {
+            return Ok(Demotion::Ineligible);
+        };
+        if tiers.tier_of(entry.frame) != MemTier::Dram {
+            return Ok(Demotion::Ineligible);
+        }
+        let Some((slot, dst, dst_tier)) = self.demotion_target(env.kernel, free_seg) else {
+            return Ok(Demotion::NoTarget);
+        };
+        // The exchange overwrites the slot's bytes: any laundry it holds
+        // must be dropped first (the same invariant take_free_slot uses —
+        // laundered data was already written back at reclaim time).
+        let stale: Vec<(u32, u64)> = self
+            .laundry
+            .iter()
+            .filter(|(_, s)| s.as_u64() == slot.as_u64())
+            .map(|(key, _)| *key)
+            .collect();
+        for key in stale {
+            self.laundry_remove(&key);
+        }
+        if dst_tier == MemTier::CompressedRam {
+            // The refitted compress.rs scheme backs this tier: account
+            // the RLE work a real zram device would do on the way in.
+            let mut buf = vec![0u8; BASE_PAGE_SIZE as usize];
+            env.kernel.manager_read_page(seg, page, &mut buf)?;
+            let stored = rle_compress(&buf).len() as u64;
+            self.zram_stats.compressed += 1;
+            self.zram_stats.raw_bytes += BASE_PAGE_SIZE;
+            self.zram_stats.stored_bytes += stored;
+        }
+        env.kernel.migrate_frame(seg, page, dst)?;
+        self.stats.demotions += 1;
+        Ok(Demotion::Done)
+    }
+
+    /// Demotes up to `budget` cold (unreferenced, unpinned) DRAM pages
+    /// into spare lower-tier pool frames. This is the bankrupt manager's
+    /// survival path: holdings shift to cheaper tiers, the tiered bill
+    /// shrinks, and no data is lost to a forced seizure.
+    fn rebalance_demote(&mut self, env: &mut Env<'_>, budget: u64) -> Result<u64, ManagerError> {
+        if budget == 0 || env.kernel.tiers().is_dram_only() {
+            return Ok(0);
+        }
+        let free_seg = self.free_seg(env)?;
+        let tiers = *env.kernel.tiers();
+        let segs: Vec<SegmentId> = env
+            .kernel
+            .segment_ids()
+            .filter(|s| self.managed.contains_key(&s.as_u32()))
+            .collect();
+        let mut demoted = 0;
+        'segments: for seg in segs {
+            let candidates: Vec<PageNumber> = match env.kernel.segment(seg) {
+                Ok(segment) => segment
+                    .resident()
+                    .filter(|(_, e)| {
+                        !e.flags.contains(PageFlags::PINNED)
+                            && !e.flags.contains(PageFlags::REFERENCED)
+                            && tiers.tier_of(e.frame) == MemTier::Dram
+                    })
+                    .map(|(p, _)| p)
+                    .collect(),
+                Err(_) => continue,
+            };
+            for page in candidates {
+                if demoted >= budget {
+                    break 'segments;
+                }
+                if self.try_demote(env, free_seg, seg, page)? == Demotion::Done {
+                    demoted += 1;
+                }
+            }
+        }
+        Ok(demoted)
     }
 
     /// Writes one dirty page to its backing store (file or swap), retrying
@@ -1036,6 +1239,17 @@ impl SegmentManager for DefaultSegmentManager {
             // Opportunistic refill; ignore refusal (we reclaim on demand).
             let _ = self.ensure_free(env, self.config.target_free);
         }
+        // In the red on a tiered machine: demote cold DRAM pages to
+        // cheaper tiers rather than waiting for the SPCM to seize them.
+        if !env.kernel.tiers().is_dram_only()
+            && env
+                .spcm
+                .market()
+                .and_then(|mk| mk.balance(self.id))
+                .is_some_and(|b| b < 0.0)
+        {
+            let _ = self.rebalance_demote(env, self.config.demote_batch);
+        }
         self.sampling_sweep(env)
     }
 
@@ -1061,6 +1275,15 @@ impl SegmentManager for DefaultSegmentManager {
         m.set(&format!("manager.{id}.cow_faults"), s.cow_faults);
         m.set(&format!("manager.{id}.append_batches"), s.append_batches);
         m.set(&format!("manager.{id}.migrate_calls"), s.migrate_calls);
+        m.set(&format!("manager.{id}.demotions"), s.demotions);
+        m.set(
+            &format!("manager.{id}.zram_compressed"),
+            self.zram_stats.compressed,
+        );
+        m.set(
+            &format!("manager.{id}.zram_stored_bytes"),
+            self.zram_stats.stored_bytes,
+        );
         let io = &self.io_stats;
         m.set(&format!("manager.{id}.io_attempts"), io.attempts);
         m.set(&format!("manager.{id}.io_retries"), io.retries);

@@ -358,10 +358,11 @@ fn find_slot(
     free_seg: SegmentId,
     constraint: PhysConstraint,
 ) -> Result<Option<PageNumber>, ManagerError> {
+    let tiers = *kernel.tiers();
     Ok(kernel
         .segment(free_seg)?
         .resident()
-        .find(|(_, e)| constraint.admits(e.frame))
+        .find(|(_, e)| constraint.admits(e.frame, &tiers))
         .map(|(p, _)| p))
 }
 

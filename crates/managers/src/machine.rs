@@ -20,6 +20,7 @@ use std::fmt;
 use epcm_core::fault::FaultEvent;
 use epcm_core::flags::PageFlags;
 use epcm_core::kernel::{AccessOutcome, Kernel, KernelStats};
+use epcm_core::tier::TierLayout;
 use epcm_core::types::{
     AccessKind, ManagerId, PageNumber, SegmentId, SegmentKind, UserId, BASE_PAGE_SIZE,
 };
@@ -151,6 +152,7 @@ pub struct MachineBuilder {
     device: Device,
     policy: AllocationPolicy,
     reserve: u64,
+    tiers: Option<TierLayout>,
 }
 
 impl MachineBuilder {
@@ -162,7 +164,16 @@ impl MachineBuilder {
             device: Device::Instant,
             policy: AllocationPolicy::FirstCome,
             reserve: 0,
+            tiers: None,
         }
+    }
+
+    /// Partitions the frame pool into physical memory tiers (default:
+    /// all DRAM). The layout's total must equal the machine's frame
+    /// count.
+    pub fn tiers(mut self, tiers: TierLayout) -> Self {
+        self.tiers = Some(tiers);
+        self
     }
 
     /// Sets the machine cost model (default: DECstation 5000/200).
@@ -193,7 +204,10 @@ impl MachineBuilder {
     /// Builds the machine.
     pub fn build(self) -> Machine {
         Machine {
-            kernel: Kernel::with_costs(self.frames, self.costs),
+            kernel: match self.tiers {
+                Some(tiers) => Kernel::with_tiers(self.frames, self.costs, tiers),
+                None => Kernel::with_costs(self.frames, self.costs),
+            },
             store: FileStore::new(self.device),
             spcm: SystemPageCacheManager::new(self.policy, self.reserve),
             managers: BTreeMap::new(),

@@ -13,6 +13,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use epcm_core::tier::MemTier;
 use epcm_core::types::{ManagerId, BASE_PAGE_SIZE};
 use epcm_sim::clock::{Micros, Timestamp};
 use epcm_trace::{EventKind, SharedTracer, TraceEvent, TraceSink};
@@ -34,6 +35,12 @@ pub struct MarketConfig {
     /// "continue to use memory at no charge when there are no outstanding
     /// memory requests").
     pub free_when_uncontended: bool,
+    /// Per-tier price multipliers applied to `charge_per_mb_sec` on
+    /// tiered machines, indexed by [`MemTier::index`]. DRAM at full
+    /// price, SlowMem at a quarter, CompressedRam at a tenth: demoting a
+    /// cold page is how a near-bankrupt manager cuts its bill without
+    /// giving pages up.
+    pub tier_multipliers: [f64; MemTier::COUNT],
 }
 
 impl Default for MarketConfig {
@@ -45,6 +52,7 @@ impl Default for MarketConfig {
             savings_tax_per_sec: 0.05,
             io_charge_per_block: 0.01,
             free_when_uncontended: true,
+            tier_multipliers: [1.0, 0.25, 0.1],
         }
     }
 }
@@ -236,6 +244,79 @@ impl MemoryMarket {
                     let charge = self.config.charge_per_mb_sec
                         * (frames as f64 * BASE_PAGE_SIZE as f64 / (1024.0 * 1024.0))
                         * secs;
+                    a.balance -= charge;
+                    self.total_charged += charge;
+                    if let Some(t) = tracer {
+                        t.record(TraceEvent::new(
+                            now.as_micros(),
+                            EventKind::MarketCharge {
+                                manager: mgr.0,
+                                charged: (charge * 1000.0).round() as u64,
+                                balance: (a.balance * 1000.0).round() as i64,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        for a in self.accounts.values_mut() {
+            if a.balance > self.config.savings_cap {
+                let tax = (a.balance - self.config.savings_cap)
+                    * (self.config.savings_tax_per_sec * secs).min(1.0);
+                a.balance -= tax;
+                self.total_tax += tax;
+            }
+        }
+        self.accounts
+            .iter()
+            .filter(|(_, a)| a.balance < 0.0)
+            .map(|(&id, _)| ManagerId(id))
+            .collect()
+    }
+
+    /// The price in drams of holding `frames[t]` frames of each tier for
+    /// `duration`: the sum over tiers of `M * D * T` scaled by that
+    /// tier's multiplier.
+    pub fn quote_tiered(&self, frames: &[u64; MemTier::COUNT], duration: Micros) -> f64 {
+        let secs = duration.as_secs_f64();
+        MemTier::all()
+            .into_iter()
+            .map(|tier| {
+                let mb = frames[tier.index()] as f64 * BASE_PAGE_SIZE as f64 / (1024.0 * 1024.0);
+                mb * self.config.charge_per_mb_sec
+                    * self.config.tier_multipliers[tier.index()]
+                    * secs
+            })
+            .sum()
+    }
+
+    /// [`MemoryMarket::bill_traced`] for tiered machines: each holding is
+    /// a per-tier frame vector priced by [`MemoryMarket::quote_tiered`].
+    /// Income, the uncontended-free rule, the savings tax and bankruptcy
+    /// reporting are identical to the flat path; only the charge
+    /// expression changes.
+    pub fn bill_tiered_traced(
+        &mut self,
+        now: Timestamp,
+        holdings: &[(ManagerId, [u64; MemTier::COUNT])],
+        contended: bool,
+        tracer: Option<&SharedTracer>,
+    ) -> Vec<ManagerId> {
+        let dt = now.saturating_duration_since(self.last_billed);
+        self.last_billed = now;
+        if dt == Micros::ZERO {
+            return Vec::new();
+        }
+        let secs = dt.as_secs_f64();
+        for a in self.accounts.values_mut() {
+            let income = a.income_per_sec * secs;
+            a.balance += income;
+            self.total_income += income;
+        }
+        if contended || !self.config.free_when_uncontended {
+            for (mgr, frames) in holdings {
+                let charge = self.quote_tiered(frames, dt);
+                if let Some(a) = self.accounts.get_mut(&mgr.0) {
                     a.balance -= charge;
                     self.total_charged += charge;
                     if let Some(t) = tracer {

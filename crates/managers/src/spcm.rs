@@ -12,6 +12,7 @@ use std::fmt;
 
 use epcm_core::flags::PageFlags;
 use epcm_core::kernel::Kernel;
+use epcm_core::tier::{MemTier, TierLayout};
 use epcm_core::types::{FrameId, ManagerId, PageNumber, SegmentId};
 use epcm_sim::clock::{Micros, Timestamp};
 
@@ -38,11 +39,16 @@ pub enum PhysConstraint {
         /// Number of colors in the cache.
         colors: u32,
     },
+    /// Frames belonging to one physical memory tier of the machine's
+    /// [`TierLayout`] — how a manager stocks its free-page segment with
+    /// cheap SlowMem/CompressedRam frames to demote cold pages into.
+    Tier(MemTier),
 }
 
 impl PhysConstraint {
-    /// Whether `frame` satisfies the constraint.
-    pub fn admits(&self, frame: FrameId) -> bool {
+    /// Whether `frame` satisfies the constraint under the machine's
+    /// boot-time tier partition.
+    pub fn admits(&self, frame: FrameId, tiers: &TierLayout) -> bool {
         match *self {
             PhysConstraint::Any => true,
             PhysConstraint::AddrRange { lo, hi } => {
@@ -50,6 +56,7 @@ impl PhysConstraint {
                 a >= lo && a < hi
             }
             PhysConstraint::Color { color, colors } => frame.color(colors) == color,
+            PhysConstraint::Tier(tier) => tiers.tier_of(frame) == tier,
         }
     }
 }
@@ -469,10 +476,11 @@ impl SystemPageCacheManager {
 
         // Select matching frames from the boot pool (ordered by physical
         // address, as the boot segment is laid out).
+        let tiers = *kernel.tiers();
         let boot = kernel.segment(SegmentId::FRAME_POOL)?;
         let picks: Vec<PageNumber> = boot
             .resident()
-            .filter(|(_, e)| constraint.admits(e.frame))
+            .filter(|(_, e)| constraint.admits(e.frame, &tiers))
             .map(|(p, _)| p)
             .take(admit as usize)
             .collect();
@@ -680,15 +688,52 @@ impl SystemPageCacheManager {
         tracer: Option<&epcm_trace::SharedTracer>,
     ) -> Vec<ManagerId> {
         let now = kernel.now();
-        let holdings = self.holdings();
         let contended = self.contended;
         self.contended = false;
+        if !matches!(self.policy, AllocationPolicy::Market { .. }) {
+            return Vec::new();
+        }
+        // On tiered machines, bill per tier (M*D*T scaled by the tier
+        // multiplier); flat machines keep the original single-rate path
+        // so their ledgers stay float-identical to pre-tier builds.
+        let tiered = if kernel.tiers().is_dram_only() {
+            None
+        } else {
+            Some(Self::tiered_holdings(kernel))
+        };
+        let holdings = self.holdings();
         match &mut self.policy {
-            AllocationPolicy::Market { market, .. } => {
-                market.bill_traced(now, &holdings, contended, tracer)
-            }
+            AllocationPolicy::Market { market, .. } => match tiered {
+                Some(by_tier) => market.bill_tiered_traced(now, &by_tier, contended, tracer),
+                None => market.bill_traced(now, &holdings, contended, tracer),
+            },
             _ => Vec::new(),
         }
+    }
+
+    /// Per-manager, per-tier frame holdings derived from the frame table:
+    /// every frame outside the boot pool is attributed to the manager of
+    /// the segment it currently sits in (free-page segments included —
+    /// stocked frames cost money, which is what makes demotion pay).
+    fn tiered_holdings(kernel: &Kernel) -> Vec<(ManagerId, [u64; MemTier::COUNT])> {
+        let mut map: BTreeMap<u32, [u64; MemTier::COUNT]> = BTreeMap::new();
+        for frame in kernel.frames().ids() {
+            let Some((seg, _)) = kernel.frames().owner(frame) else {
+                continue;
+            };
+            if seg == SegmentId::FRAME_POOL {
+                continue;
+            }
+            let Ok(segment) = kernel.segment(seg) else {
+                continue;
+            };
+            let manager = segment.manager();
+            if manager == ManagerId::SYSTEM {
+                continue;
+            }
+            map.entry(manager.0).or_default()[kernel.tiers().tier_of(frame).index()] += 1;
+        }
+        map.into_iter().map(|(m, t)| (ManagerId(m), t)).collect()
     }
 
     /// Exports the SPCM's counters (and the market ledger totals, when a

@@ -105,6 +105,12 @@ pub struct CostModel {
     /// One 4 KB fetch from a network file server (the diskless V++
     /// configuration).
     pub net_fetch_4k: Micros,
+    /// Extra latency charged per completed reference to a page resident
+    /// in the SlowMem tier (CXL/NVM-class memory).
+    pub slowmem_access: Micros,
+    /// Extra latency charged per completed reference to a page resident
+    /// in the CompressedRam tier (decompression on touch).
+    pub zram_access: Micros,
     /// Aggregate integer execution rate, million instructions per second,
     /// for converting the paper's "loop for N instructions" workloads.
     pub mips: u64,
@@ -147,6 +153,8 @@ impl CostModel {
             context_switch: Micros::new(55),
             disk_access_4k: Micros::from_millis(16),
             net_fetch_4k: Micros::new(2_800),
+            slowmem_access: Micros::new(2),
+            zram_access: Micros::new(25),
             mips: 20,
         }
     }
@@ -190,6 +198,8 @@ impl CostModel {
             context_switch: Micros::new(37),
             disk_access_4k: Micros::from_millis(15),
             net_fetch_4k: Micros::new(1_900),
+            slowmem_access: Micros::new(1),
+            zram_access: Micros::new(17),
             mips: 180, // six of the eight 30-MIPS processors
         }
     }

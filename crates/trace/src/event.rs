@@ -27,6 +27,17 @@ pub mod fault_class {
     pub const COW: u8 = 2;
 }
 
+/// Raw encodings for the tier fields of [`EventKind::TierMigrated`],
+/// mirroring the kernel's `MemTier` codes.
+pub mod tier_code {
+    /// Fast main memory.
+    pub const DRAM: u8 = 0;
+    /// The slow (CXL/NVM-like) tier.
+    pub const SLOW: u8 = 1;
+    /// The compressed-RAM tier.
+    pub const ZRAM: u8 = 2;
+}
+
 /// What happened. One variant per operation class in the kernel interface
 /// (Table: `MigratePages`, `ComposePage`, `ModifyPageFlags`, `UioRead`,
 /// `UioWrite`, fault delivery) plus the management-layer events that give
@@ -186,6 +197,18 @@ pub enum EventKind {
         /// Whether the manager itself was destroyed.
         destroyed: bool,
     },
+    /// `MigrateFrame` exchanged a page's frame across physical memory
+    /// tiers (demotion or promotion).
+    TierMigrated {
+        /// Segment of the page that moved.
+        segment: u64,
+        /// Page that moved, in `segment`'s numbering.
+        page: u64,
+        /// [`tier_code`] encoding of the tier the page left.
+        from_tier: u8,
+        /// [`tier_code`] encoding of the tier the page landed in.
+        to_tier: u8,
+    },
 }
 
 impl EventKind {
@@ -208,6 +231,7 @@ impl EventKind {
             EventKind::IoRetry { .. } => "io_retry",
             EventKind::ForcedReclaim { .. } => "forced_reclaim",
             EventKind::ManagerQuarantined { .. } => "manager_quarantined",
+            EventKind::TierMigrated { .. } => "tier_migrated",
         }
     }
 }
@@ -320,6 +344,12 @@ impl fmt::Display for TraceEvent {
                 pages,
                 destroyed,
             } => write!(f, "mgr={manager} pages={pages} destroyed={destroyed}"),
+            EventKind::TierMigrated {
+                segment,
+                page,
+                from_tier,
+                to_tier,
+            } => write!(f, "seg={segment} page={page} from={from_tier} to={to_tier}"),
         }
     }
 }
@@ -410,6 +440,12 @@ mod tests {
                 pages: 4,
                 destroyed: false,
             },
+            EventKind::TierMigrated {
+                segment: 1,
+                page: 0,
+                from_tier: tier_code::DRAM,
+                to_tier: tier_code::SLOW,
+            },
         ];
         let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(
@@ -430,6 +466,7 @@ mod tests {
                 "io_retry",
                 "forced_reclaim",
                 "manager_quarantined",
+                "tier_migrated",
             ]
         );
     }

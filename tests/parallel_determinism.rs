@@ -8,7 +8,8 @@
 use epcm_bench::ablations::{self, SweepScale};
 use epcm_bench::json_report::{metrics_json, table4_json, tables23_json, traced_results_with};
 use epcm_bench::pool::ScenarioPool;
-use epcm_bench::{table23, table4};
+use epcm_bench::{table23, table4, tiers};
+use epcm_core::tier::TierLayout;
 
 const JOB_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -70,5 +71,16 @@ fn traced_results_json_is_jobs_invariant() {
 fn ablations_render_is_jobs_invariant() {
     assert_byte_identical("ablations render", |pool| {
         ablations::render_with(pool, SweepScale::Quick)
+    });
+}
+
+#[test]
+fn tiers_sweep_render_and_json_are_jobs_invariant() {
+    let requested = TierLayout::new(16, 64, 16);
+    assert_byte_identical("tiers sweep", |pool| {
+        let points = tiers::results_with(pool, requested);
+        let mut out = tiers::render(&points);
+        out.push_str(&tiers::tiers_json(requested, &points));
+        out
     });
 }

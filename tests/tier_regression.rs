@@ -1,0 +1,110 @@
+//! The single-tier degenerate configuration is a no-op: `--tiers
+//! dram:ALL` must reproduce `BENCH_table1.json`, `BENCH_tables23.json`
+//! and `BENCH_table4.json` byte-for-byte (compared against the last
+//! `reproduce --quick --json` run's documents when present), and a
+//! machine built with a dram-only [`TierLayout`] must behave exactly
+//! like one built with no layout at all.
+
+use epcm_bench::json_report::{table1_json, table4_json, tables23_json, traced_results_with};
+use epcm_bench::pool::ScenarioPool;
+use epcm_bench::{table4, tiers};
+use epcm_core::tier::TierLayout;
+use epcm_core::{AccessKind, SegmentKind, BASE_PAGE_SIZE};
+use epcm_managers::default_manager::DefaultSegmentManager;
+use epcm_managers::Machine;
+
+/// Reads a benchmark document from the repository root, if a previous
+/// `reproduce --quick --json` run left one. The documents are build
+/// artifacts (gitignored), so a fresh checkout has none — the tests
+/// below then skip the byte comparison rather than fail; the
+/// machine-level equivalence is pinned unconditionally further down.
+fn last_written(name: &str) -> Option<String> {
+    let path = format!("{}/{}", env!("CARGO_MANIFEST_DIR"), name);
+    std::fs::read_to_string(path).ok()
+}
+
+/// Asserts `json` matches the last-written document byte-for-byte
+/// (including the trailing newline `reproduce` appends).
+fn assert_matches_last_run(name: &str, json: &str) {
+    match last_written(name) {
+        Some(on_disk) => assert_eq!(
+            format!("{json}\n"),
+            on_disk,
+            "{name} drifted from the last reproduce run"
+        ),
+        None => eprintln!("{name} not present (fresh checkout); skipping byte comparison"),
+    }
+}
+
+#[test]
+fn table1_matches_last_run_bytes() {
+    assert_matches_last_run("BENCH_table1.json", &table1_json());
+}
+
+#[test]
+fn tables23_match_last_run_bytes() {
+    let traced = traced_results_with(&ScenarioPool::serial());
+    assert_matches_last_run("BENCH_tables23.json", &tables23_json(&traced));
+}
+
+#[test]
+fn table4_quick_matches_last_run_bytes() {
+    let results = table4::quick_results_with(&ScenarioPool::serial());
+    assert_matches_last_run("BENCH_table4.json", &table4_json(&results, true));
+}
+
+/// Drives an identical workload on one machine and returns every
+/// number the tier machinery could have perturbed.
+fn run_workload(mut m: Machine) -> (u64, u64, u64, u64, u64) {
+    let id = m.register_manager(Box::new(DefaultSegmentManager::server()));
+    m.set_default_manager(id);
+    let seg = m
+        .create_segment(SegmentKind::Anonymous, 96)
+        .expect("segment");
+    for round in 0..3u64 {
+        for p in 0..96u64 {
+            if (p + round) % 3 == 0 {
+                m.store_bytes(seg, p * BASE_PAGE_SIZE, &[p as u8])
+                    .expect("store");
+            } else {
+                m.touch(seg, p, AccessKind::Read).expect("read");
+            }
+        }
+        let _ = m.tick();
+    }
+    let k = m.kernel_stats();
+    let s = m.stats();
+    (
+        k.tier_migrations,
+        k.slow_accesses + k.zram_accesses,
+        s.manager_calls,
+        s.manager_time.as_micros(),
+        m.kernel().now().as_micros(),
+    )
+}
+
+/// A dram-only tiered machine is indistinguishable from a flat one:
+/// same virtual time, same manager work, no tier activity.
+#[test]
+fn dram_only_machine_equals_flat_machine() {
+    let flat = run_workload(Machine::builder(64).build());
+    let tiered = run_workload(
+        Machine::builder(64)
+            .tiers(TierLayout::dram_only(64))
+            .build(),
+    );
+    assert_eq!(flat, tiered, "dram-only layout perturbed the machine");
+    assert_eq!(tiered.0, 0, "no migrations on a single tier");
+    assert_eq!(tiered.1, 0, "no tier latency on a single tier");
+}
+
+/// The sweep's degenerate point reports zero tier activity, so the
+/// `--tiers dram:ALL` section is pure reporting on top of the tables.
+#[test]
+fn dram_all_sweep_point_is_inert() {
+    let p = tiers::measure_point(TierLayout::dram_only(96));
+    assert_eq!(p.tier_migrations, 0);
+    assert_eq!(p.demotions, 0);
+    assert_eq!(p.slow_accesses, 0);
+    assert_eq!(p.zram_accesses, 0);
+}
