@@ -13,6 +13,9 @@
 //! reproduce --tiers dram:64,slow:256,zram:64
 //!                            # add the tiered-memory sweep
 //!                            # (BENCH_tiers.json with --json)
+//! reproduce --async-writeback
+//!                            # add the sync-vs-async laundry ablation
+//!                            # (BENCH_writeback.json with --json)
 //! ```
 //!
 //! `--tiers dram:ALL` runs the sweep around the single-tier degenerate
@@ -36,7 +39,7 @@ use std::time::Instant;
 
 use epcm_bench::json_report::WallClockEntry;
 use epcm_bench::pool::ScenarioPool;
-use epcm_bench::{ablations, json_report, table1, table23, table4, tiers};
+use epcm_bench::{ablations, json_report, table1, table23, table4, tiers, writeback};
 use epcm_core::tier::{TierLayout, TierSpec};
 use epcm_dbms::config::{DbmsConfig, IndexStrategy};
 
@@ -211,6 +214,13 @@ fn main() {
         print!("{}", tiers::render(&points));
         if json {
             write_json("BENCH_tiers.json", &tiers::tiers_json(requested, &points));
+        }
+    }
+    if args.iter().any(|a| a == "--async-writeback") {
+        let points = wall.time("writeback", || writeback::results_with(&pool));
+        print!("{}", writeback::render(&points));
+        if json {
+            write_json("BENCH_writeback.json", &writeback::writeback_json(&points));
         }
     }
     wall.finish(pool.jobs());

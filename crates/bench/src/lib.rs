@@ -15,6 +15,9 @@
 //!   market, and DBMS fault-latency sweeps.
 //! * [`tiers`] — the tiered-memory sweep (`--tiers`): tier-size ratio
 //!   vs. fault handling and DBMS throughput, as `BENCH_tiers.json`.
+//! * [`writeback`] — the sync-vs-async laundry ablation
+//!   (`--async-writeback`): fault-path dirty-victim time and total
+//!   billed I/O per application, as `BENCH_writeback.json`.
 //! * [`json_report`] — the same tables as machine-readable `BENCH_*.json`
 //!   documents (with per-run event counts) for CI archival.
 //! * [`pool`] — the deterministic worker pool that fans independent
@@ -30,6 +33,7 @@ pub mod table1;
 pub mod table23;
 pub mod table4;
 pub mod tiers;
+pub mod writeback;
 
 /// Formats a `paper vs measured` row with a deviation percentage.
 pub fn fmt_row(label: &str, paper: f64, measured: f64, unit: &str) -> String {

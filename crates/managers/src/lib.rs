@@ -63,7 +63,7 @@ pub mod replicate;
 pub mod spcm;
 
 pub use default_manager::{
-    DefaultManagerConfig, DefaultManagerStats, DefaultSegmentManager, IoRetryStats,
+    DefaultManagerConfig, DefaultManagerStats, DefaultSegmentManager, IoRetryStats, WritebackStats,
 };
 pub use machine::{Machine, MachineBuilder, MachineError, MachineStats, TraceStep};
 pub use manager::{Env, ManagerError, ManagerMode, SegmentManager};

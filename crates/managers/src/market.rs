@@ -104,6 +104,7 @@ pub struct MemoryMarket {
     total_charged: f64,
     total_income: f64,
     total_tax: f64,
+    io_charges: u64,
 }
 
 impl MemoryMarket {
@@ -116,6 +117,7 @@ impl MemoryMarket {
             total_charged: 0.0,
             total_income: 0.0,
             total_tax: 0.0,
+            io_charges: 0,
         }
     }
 
@@ -183,13 +185,23 @@ impl MemoryMarket {
         Some(Micros::from_secs_f64(needed / account.income_per_sec))
     }
 
-    /// Charges an account for `blocks` 4 KB transfers of I/O.
+    /// Charges an account for `blocks` 4 KB transfers of I/O. With the
+    /// asynchronous writeback pipeline the manager invokes this when a
+    /// writeback *completes* (its disk reservation drains), not when the
+    /// page is submitted — I/O is billed at completion.
     pub fn charge_io(&mut self, manager: ManagerId, blocks: u64) {
         if let Some(a) = self.accounts.get_mut(&manager.0) {
             let charge = blocks as f64 * self.config.io_charge_per_block;
             a.balance -= charge;
             self.total_charged += charge;
+            self.io_charges += blocks;
         }
+    }
+
+    /// Total 4 KB blocks billed through [`MemoryMarket::charge_io`] over
+    /// the ledger's lifetime.
+    pub fn io_charges(&self) -> u64 {
+        self.io_charges
     }
 
     /// Imposes a penalty charge on an account — the SPCM's fee for frames

@@ -396,6 +396,21 @@ impl SystemPageCacheManager {
         }
     }
 
+    /// Bills `manager` for `blocks` 4 KB I/O transfers on the market
+    /// ledger, if one is in force. Managers call this when a writeback's
+    /// disk reservation completes (completion-time billing); under
+    /// non-market policies it is a no-op. Returns whether a ledger was
+    /// charged.
+    pub fn charge_manager_io(&mut self, manager: ManagerId, blocks: u64) -> bool {
+        match self.market_mut() {
+            Some(market) => {
+                market.charge_io(manager, blocks);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Frames currently grantable (boot-pool residents minus the reserve).
     pub fn available(&self, kernel: &Kernel) -> u64 {
         kernel

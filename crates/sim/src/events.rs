@@ -183,6 +183,49 @@ pub struct MultiServer {
     busy: Micros,
 }
 
+/// Why [`MultiServer::extend_reservation`] refused to extend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtendError {
+    /// The reservation names a server index outside the bank.
+    UnknownServer {
+        /// The offending server index.
+        server: usize,
+    },
+    /// A later reservation was placed on the server after this one, so
+    /// extending would lengthen the wrong job.
+    NotMostRecent {
+        /// Server the reservation ran on.
+        server: usize,
+        /// The reservation's recorded completion time.
+        expected: Timestamp,
+        /// The server's actual busy horizon (the later job's completion).
+        actual: Timestamp,
+    },
+}
+
+impl std::fmt::Display for ExtendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtendError::UnknownServer { server } => {
+                write!(f, "server {server} is outside the bank")
+            }
+            ExtendError::NotMostRecent {
+                server,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "reservation completing at {}us is not server {server}'s most \
+                 recent (horizon is {}us)",
+                expected.as_micros(),
+                actual.as_micros()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExtendError {}
+
 /// The reservation handed back by [`MultiServer::reserve`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Reservation {
@@ -234,13 +277,55 @@ impl MultiServer {
         }
     }
 
-    /// Extends a server's busy period: the job on `server` (which must be
-    /// its most recent reservation) takes `extra` longer, e.g. because it
-    /// stalled on a page fault mid-execution.
+    /// Extends a server's busy period: the job on `server` takes `extra`
+    /// longer, e.g. because it stalled on a page fault mid-execution.
+    ///
+    /// # Invariant (unchecked)
+    ///
+    /// The extended job **must be the server's most recent reservation**.
+    /// `MultiServer` tracks only each server's `free_at` horizon, so
+    /// extending after a *later* reservation was placed on the same server
+    /// silently lengthens that later job instead, and the earlier job's
+    /// recorded completion time becomes non-monotonic with reality. This
+    /// method keeps the raw unchecked behaviour for callers that own the
+    /// reservation discipline themselves (the DBMS engine extends only the
+    /// in-service transaction); use [`MultiServer::extend_reservation`] to
+    /// have the invariant verified.
     pub fn extend(&mut self, server: usize, extra: Micros) -> Timestamp {
         self.free_at[server] += extra;
         self.busy += extra;
         self.free_at[server]
+    }
+
+    /// Checked variant of [`MultiServer::extend`]: extends `reservation`
+    /// by `extra` only if it is still its server's most recent reservation
+    /// (i.e. nothing was reserved on that server since), returning the
+    /// updated reservation. Returns [`ExtendError`] without mutating
+    /// anything when a later reservation has already been placed, which is
+    /// exactly the case where the unchecked `extend` would corrupt the
+    /// timeline.
+    pub fn extend_reservation(
+        &mut self,
+        reservation: &Reservation,
+        extra: Micros,
+    ) -> Result<Reservation, ExtendError> {
+        let server = reservation.server;
+        if server >= self.free_at.len() {
+            return Err(ExtendError::UnknownServer { server });
+        }
+        if self.free_at[server] != reservation.completes {
+            return Err(ExtendError::NotMostRecent {
+                server,
+                expected: reservation.completes,
+                actual: self.free_at[server],
+            });
+        }
+        let completes = self.extend(server, extra);
+        Ok(Reservation {
+            starts: reservation.starts,
+            completes,
+            server,
+        })
     }
 
     /// Total busy time accumulated across all servers.
@@ -383,6 +468,54 @@ mod tests {
         assert_eq!(new_free.as_micros(), 150);
         let next = m.reserve(Timestamp::ZERO, Micros::new(10));
         assert_eq!(next.starts.as_micros(), 150);
+    }
+
+    #[test]
+    fn extend_reservation_accepts_most_recent() {
+        let mut m = MultiServer::new(1);
+        let r = m.reserve(Timestamp::ZERO, Micros::new(100));
+        let extended = m
+            .extend_reservation(&r, Micros::new(50))
+            .expect("most recent reservation extends");
+        assert_eq!(extended.completes.as_micros(), 150);
+        assert_eq!(extended.starts, r.starts);
+        assert_eq!(m.total_busy(), Micros::new(150));
+    }
+
+    #[test]
+    fn extend_reservation_rejects_after_later_reservation() {
+        let mut m = MultiServer::new(1);
+        let first = m.reserve(Timestamp::ZERO, Micros::new(100));
+        let second = m.reserve(Timestamp::ZERO, Micros::new(100));
+        assert_eq!(first.server, second.server);
+        let err = m
+            .extend_reservation(&first, Micros::new(50))
+            .expect_err("stale reservation must be rejected");
+        assert_eq!(
+            err,
+            ExtendError::NotMostRecent {
+                server: first.server,
+                expected: first.completes,
+                actual: second.completes,
+            }
+        );
+        // Nothing mutated: the horizon and busy time are untouched.
+        assert_eq!(m.total_busy(), Micros::new(200));
+        assert_eq!(m.earliest_free(), second.completes);
+    }
+
+    #[test]
+    fn extend_reservation_rejects_unknown_server() {
+        let mut m = MultiServer::new(1);
+        let bogus = Reservation {
+            starts: Timestamp::ZERO,
+            completes: Timestamp::from_micros(10),
+            server: 7,
+        };
+        assert_eq!(
+            m.extend_reservation(&bogus, Micros::new(1)),
+            Err(ExtendError::UnknownServer { server: 7 })
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`stats`] — online statistics and histograms for response times,
 //! * [`disk`] — disk and network file-server latency models,
 //! * [`cost`] — the calibrated per-primitive cost model (trap, kernel
-//!   crossing, IPC, page copy, page zeroing, ...) for the two machines.
+//!   crossing, IPC, page copy, page zeroing, ...) for the two machines,
+//! * [`writeback`] — an asynchronous writeback pipeline that schedules
+//!   laundry completions through the event queue against disk-server
+//!   reservations instead of charging disk time inline.
 //!
 //! Everything in this crate is pure computation on a virtual timeline; no
 //! wall-clock time or OS facilities are consulted.
@@ -41,6 +44,7 @@ pub mod disk;
 pub mod events;
 pub mod rng;
 pub mod stats;
+pub mod writeback;
 
 pub use clock::{Clock, Micros, Timestamp};
 pub use cost::CostModel;

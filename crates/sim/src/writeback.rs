@@ -1,0 +1,364 @@
+//! An asynchronous writeback pipeline.
+//!
+//! The paper's default manager cleans dirty victims ("laundry") before
+//! their frames are reused. Charging that disk time inline on the fault
+//! path serializes eviction behind the disk — exactly the coupling
+//! external page-cache management was meant to break. `WritebackPipeline`
+//! instead books each writeback against a [`MultiServer`] disk bank and
+//! schedules its completion through an [`EventQueue`], so the manager
+//! keeps fielding faults while laundry drains in the background and disk
+//! time is *billed when the completion fires*, not when the page is
+//! submitted.
+//!
+//! The pipeline models **time only**. Data movement (the actual store
+//! write, including fault injection and retries) stays at the submission
+//! site so the store's operation stream — and therefore its seek-aware
+//! latencies — is identical whether writeback is synchronous or
+//! asynchronous. That identity is what makes the total billed I/O of an
+//! async run exactly equal a sync run's (pinned by property tests in the
+//! managers crate).
+//!
+//! Lifecycle of one ticket:
+//!
+//! ```text
+//! submit(now, service)      queued   (data already on the store)
+//!        │ pump: in-flight window has room
+//!        ▼
+//! reserve on the disk bank  issued   (completion event scheduled)
+//!        │ poll(now) reaches the completion time
+//!        ▼
+//! completion returned       completed (service time billed to caller)
+//! ```
+//!
+//! A bounded in-flight window limits how many disk reservations are
+//! outstanding at once; excess submissions wait in a FIFO queue. Callers
+//! that need a specific ticket finished early (a "promised-free but not
+//! yet clean" frame being reused) call
+//! [`WritebackPipeline::force_completion_time`], which issues the backlog
+//! through that ticket ignoring the window and reports when it drains —
+//! the stall the caller must charge to its own timeline.
+//!
+//! # Example
+//!
+//! ```
+//! use epcm_sim::clock::{Micros, Timestamp};
+//! use epcm_sim::writeback::WritebackPipeline;
+//!
+//! let mut wb = WritebackPipeline::new(1, 2);
+//! let t0 = Timestamp::ZERO;
+//! wb.submit(t0, Micros::new(100));
+//! wb.submit(t0, Micros::new(100));
+//! assert_eq!(wb.in_flight(), 2);
+//! let done = wb.poll(Timestamp::from_micros(200));
+//! assert_eq!(done.len(), 2);
+//! assert_eq!(wb.billed_us(), 200);
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+
+use epcm_trace::SharedTracer;
+
+use crate::clock::{Micros, Timestamp};
+use crate::events::{EventQueue, MultiServer};
+
+/// Identifies one writeback from submission to completion.
+pub type TicketId = u64;
+
+/// A drained completion returned by [`WritebackPipeline::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WritebackCompletion {
+    /// The ticket that completed.
+    pub ticket: TicketId,
+    /// When the disk reservation completed.
+    pub completes: Timestamp,
+    /// The service time billed for this writeback.
+    pub service: Micros,
+}
+
+/// Schedules writeback completions against a disk-server bank; see the
+/// [module docs](self) for the lifecycle.
+#[derive(Debug)]
+pub struct WritebackPipeline {
+    disks: MultiServer,
+    window: usize,
+    completions: EventQueue<(TicketId, Micros)>,
+    queued: VecDeque<(TicketId, Micros)>,
+    /// ticket → when its disk reservation completes (fixed at issue).
+    in_flight: BTreeMap<TicketId, Timestamp>,
+    next_ticket: TicketId,
+    billed_us: u64,
+    submitted: u64,
+    issued: u64,
+    completed: u64,
+    inflight_peak: u64,
+}
+
+impl WritebackPipeline {
+    /// Creates a pipeline over `servers` disk arms with at most `window`
+    /// reservations outstanding at once. Both are clamped to at least 1.
+    pub fn new(servers: usize, window: usize) -> Self {
+        WritebackPipeline {
+            disks: MultiServer::new(servers.max(1)),
+            window: window.max(1),
+            completions: EventQueue::new(),
+            queued: VecDeque::new(),
+            in_flight: BTreeMap::new(),
+            next_ticket: 0,
+            billed_us: 0,
+            submitted: 0,
+            issued: 0,
+            completed: 0,
+            inflight_peak: 0,
+        }
+    }
+
+    /// Mirrors completion-queue inserts into `tracer` as `scheduled`
+    /// events.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.completions.set_tracer(tracer);
+    }
+
+    /// Submits a writeback needing `service` disk time, returning its
+    /// ticket. Issues immediately if the in-flight window has room.
+    pub fn submit(&mut self, now: Timestamp, service: Micros) -> TicketId {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.submitted += 1;
+        self.queued.push_back((ticket, service));
+        self.pump(now);
+        ticket
+    }
+
+    /// Issues queued tickets while the in-flight window has room.
+    fn pump(&mut self, now: Timestamp) {
+        while self.in_flight.len() < self.window {
+            let Some((ticket, service)) = self.queued.pop_front() else {
+                break;
+            };
+            self.issue(now, ticket, service);
+        }
+    }
+
+    fn issue(&mut self, now: Timestamp, ticket: TicketId, service: Micros) {
+        let reservation = self.disks.reserve(now, service);
+        self.in_flight.insert(ticket, reservation.completes);
+        self.issued += 1;
+        self.inflight_peak = self.inflight_peak.max(self.in_flight.len() as u64);
+        self.completions
+            .schedule(reservation.completes, (ticket, service));
+    }
+
+    /// Drains every completion due at or before `now`, billing each one
+    /// and freeing its window slot (which may issue queued tickets whose
+    /// completions can in turn become due — the loop runs to fixpoint).
+    pub fn poll(&mut self, now: Timestamp) -> Vec<WritebackCompletion> {
+        let mut done = Vec::new();
+        loop {
+            match self.completions.peek_time() {
+                Some(t) if t <= now => {}
+                _ => break,
+            }
+            let (completes, (ticket, service)) =
+                self.completions.next().expect("peeked event exists");
+            self.in_flight.remove(&ticket);
+            self.completed += 1;
+            self.billed_us += service.as_micros();
+            done.push(WritebackCompletion {
+                ticket,
+                completes,
+                service,
+            });
+            // The freed window slot re-issues at the completion instant,
+            // not at `now`: the disk picks up the next queued job as soon
+            // as the slot frees, regardless of when the caller polls.
+            self.pump(completes);
+        }
+        done
+    }
+
+    /// Forces `ticket` (and everything queued ahead of it) onto the disk
+    /// bank ignoring the window, returning when its reservation
+    /// completes. Returns `None` if the ticket is unknown (already
+    /// completed or never submitted). The ticket itself is *not* retired
+    /// — a subsequent [`WritebackPipeline::poll`] at or after the
+    /// returned time bills it, so every completion is billed exactly
+    /// once, on the poll path.
+    pub fn force_completion_time(&mut self, now: Timestamp, ticket: TicketId) -> Option<Timestamp> {
+        while self
+            .queued
+            .front()
+            .is_some_and(|&(queued, _)| queued <= ticket)
+        {
+            let (t, service) = self.queued.pop_front().expect("front exists");
+            self.issue(now, t, service);
+        }
+        self.in_flight.get(&ticket).copied()
+    }
+
+    /// Issues everything still queued and returns the instant the last
+    /// in-flight reservation completes (`None` when already idle). The
+    /// caller still polls at that instant to bill the drained work — this
+    /// is the fsync-like barrier.
+    pub fn quiesce(&mut self, now: Timestamp) -> Option<Timestamp> {
+        while let Some((ticket, service)) = self.queued.pop_front() {
+            self.issue(now, ticket, service);
+        }
+        self.in_flight.values().copied().max()
+    }
+
+    /// Number of tickets issued but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Number of tickets submitted but not yet issued.
+    pub fn queued(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Total disk time billed through completions so far, µs.
+    pub fn billed_us(&self) -> u64 {
+        self.billed_us
+    }
+
+    /// Tickets submitted over the pipeline's lifetime.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Tickets issued to the disk bank over the pipeline's lifetime.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Tickets completed (billed) over the pipeline's lifetime.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// High-water mark of concurrently in-flight tickets.
+    pub fn inflight_peak(&self) -> u64 {
+        self.inflight_peak
+    }
+
+    /// Total busy time accumulated on the disk bank.
+    pub fn disk_busy(&self) -> Micros {
+        self.disks.total_busy()
+    }
+
+    /// Whether nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queued.is_empty() && self.in_flight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_bounds_in_flight_and_queues_excess() {
+        let mut wb = WritebackPipeline::new(1, 2);
+        let t0 = Timestamp::ZERO;
+        for _ in 0..5 {
+            wb.submit(t0, Micros::new(100));
+        }
+        assert_eq!(wb.in_flight(), 2);
+        assert_eq!(wb.queued(), 3);
+        assert_eq!(wb.issued(), 2);
+        assert_eq!(wb.inflight_peak(), 2);
+    }
+
+    #[test]
+    fn poll_drains_to_fixpoint_and_bills() {
+        let mut wb = WritebackPipeline::new(1, 1);
+        let t0 = Timestamp::ZERO;
+        let a = wb.submit(t0, Micros::new(100));
+        let b = wb.submit(t0, Micros::new(100));
+        // With window 1 on one server, b issues only once a completes;
+        // polling far in the future must drain both in one call.
+        let done = wb.poll(Timestamp::from_micros(1_000));
+        assert_eq!(
+            done.iter().map(|c| c.ticket).collect::<Vec<_>>(),
+            vec![a, b]
+        );
+        assert_eq!(done[0].completes.as_micros(), 100);
+        assert_eq!(done[1].completes.as_micros(), 200);
+        assert_eq!(wb.billed_us(), 200);
+        assert!(wb.is_idle());
+    }
+
+    #[test]
+    fn poll_before_due_time_returns_nothing() {
+        let mut wb = WritebackPipeline::new(1, 4);
+        wb.submit(Timestamp::ZERO, Micros::new(100));
+        assert!(wb.poll(Timestamp::from_micros(99)).is_empty());
+        assert_eq!(wb.billed_us(), 0);
+        assert_eq!(wb.poll(Timestamp::from_micros(100)).len(), 1);
+    }
+
+    #[test]
+    fn force_issues_backlog_and_reports_completion() {
+        let mut wb = WritebackPipeline::new(1, 1);
+        let t0 = Timestamp::ZERO;
+        let _a = wb.submit(t0, Micros::new(100));
+        let b = wb.submit(t0, Micros::new(100));
+        assert_eq!(wb.queued(), 1);
+        let done_at = wb
+            .force_completion_time(t0, b)
+            .expect("queued ticket forced onto the disk");
+        // b queues behind a on the single arm: completes at 200.
+        assert_eq!(done_at.as_micros(), 200);
+        assert_eq!(wb.queued(), 0);
+        // Billing still happens on the poll path, exactly once.
+        let done = wb.poll(done_at);
+        assert_eq!(done.len(), 2);
+        assert_eq!(wb.billed_us(), 200);
+    }
+
+    #[test]
+    fn force_unknown_ticket_is_none() {
+        let mut wb = WritebackPipeline::new(1, 1);
+        let a = wb.submit(Timestamp::ZERO, Micros::new(10));
+        wb.poll(Timestamp::from_micros(10));
+        assert_eq!(
+            wb.force_completion_time(Timestamp::from_micros(10), a),
+            None
+        );
+        assert_eq!(
+            wb.force_completion_time(Timestamp::from_micros(10), 999),
+            None
+        );
+    }
+
+    #[test]
+    fn quiesce_issues_everything_and_reports_last_completion() {
+        let mut wb = WritebackPipeline::new(2, 1);
+        let t0 = Timestamp::ZERO;
+        for _ in 0..4 {
+            wb.submit(t0, Micros::new(100));
+        }
+        let last = wb.quiesce(t0).expect("work was pending");
+        // Two arms, four 100µs jobs, all issued at t0: last completes at 200.
+        assert_eq!(last.as_micros(), 200);
+        assert_eq!(wb.queued(), 0);
+        let done = wb.poll(last);
+        assert_eq!(done.len(), 4);
+        assert_eq!(wb.billed_us(), 400);
+        assert!(wb.is_idle());
+        assert_eq!(wb.quiesce(last), None);
+    }
+
+    #[test]
+    fn multiple_servers_overlap_reservations() {
+        let mut wb = WritebackPipeline::new(2, 4);
+        let t0 = Timestamp::ZERO;
+        wb.submit(t0, Micros::new(100));
+        wb.submit(t0, Micros::new(100));
+        let done = wb.poll(Timestamp::from_micros(100));
+        // Both fit in parallel on the two arms.
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|c| c.completes.as_micros() == 100));
+        assert_eq!(wb.disk_busy(), Micros::new(200));
+    }
+}

@@ -1,7 +1,7 @@
 //! Property-based tests for the simulation substrate.
 
 use epcm_sim::clock::{Micros, Timestamp};
-use epcm_sim::events::EventQueue;
+use epcm_sim::events::{EventQueue, ExtendError, MultiServer};
 use epcm_sim::rng::Rng;
 use epcm_sim::stats::{Histogram, Summary};
 use proptest::prelude::*;
@@ -155,6 +155,63 @@ proptest! {
             prop_assert_eq!((t.as_micros(), e), model.remove(i));
         }
         prop_assert!(model.is_empty(), "queue drained before the model");
+    }
+
+    /// Per-server completions are monotonic under arbitrary reserve /
+    /// checked-extend sequences, and `extend_reservation` rejects exactly
+    /// the extensions that arrive after a later reservation was placed on
+    /// the same server — the non-monotonicity hazard the unchecked
+    /// `MultiServer::extend` documents.
+    #[test]
+    fn multiserver_checked_extend_keeps_completions_monotonic(
+        servers in 1usize..4,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..500, 1u64..500), 1..150),
+    ) {
+        let mut bank = MultiServer::new(servers);
+        let mut now = Timestamp::ZERO;
+        // Per server: completion time of its most recent reservation, and
+        // the full list of reservations ever placed on it.
+        let mut last_completion = vec![Timestamp::ZERO; servers];
+        let mut held: Vec<epcm_sim::events::Reservation> = Vec::new();
+        let mut expected_busy = Micros::ZERO;
+        for &(reserve, advance, amount) in &ops {
+            now = now + Micros::new(advance);
+            if reserve || held.is_empty() {
+                let service = Micros::new(amount);
+                let r = bank.reserve(now, service);
+                expected_busy += service;
+                // New reservations never start before the server's
+                // previous completion.
+                prop_assert!(r.starts >= last_completion[r.server]);
+                prop_assert!(r.completes >= r.starts);
+                last_completion[r.server] = r.completes;
+                held.push(r);
+            } else {
+                // Try to extend the oldest held reservation.
+                let r = held.remove(0);
+                let extra = Micros::new(amount);
+                match bank.extend_reservation(&r, extra) {
+                    Ok(updated) => {
+                        // Accepted only while still the most recent: the
+                        // extension moves that server's horizon forward.
+                        prop_assert_eq!(r.completes, last_completion[r.server]);
+                        prop_assert_eq!(updated.completes, r.completes + extra);
+                        expected_busy += extra;
+                        last_completion[r.server] = updated.completes;
+                        held.push(updated);
+                    }
+                    Err(ExtendError::NotMostRecent { expected, actual, .. }) => {
+                        // Rejected exactly when a later reservation
+                        // intervened; nothing mutated.
+                        prop_assert_eq!(expected, r.completes);
+                        prop_assert_eq!(actual, last_completion[r.server]);
+                        prop_assert!(actual > r.completes);
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                }
+            }
+            prop_assert_eq!(bank.total_busy(), expected_busy);
+        }
     }
 
     /// Rng::below never exceeds its bound and Rng::range stays in range.

@@ -197,6 +197,40 @@ pub enum EventKind {
         /// Whether the manager itself was destroyed.
         destroyed: bool,
     },
+    /// A manager submitted a dirty page to the asynchronous writeback
+    /// pipeline: the data has landed on the store, but the disk time is
+    /// billed when the scheduled completion fires, not now.
+    WritebackIssued {
+        /// Manager that issued the writeback.
+        manager: u32,
+        /// Segment the dirty page belonged to.
+        segment: u64,
+        /// Page written back, in `segment`'s numbering.
+        page: u64,
+        /// Pipeline ticket identifying the in-flight operation.
+        ticket: u64,
+    },
+    /// An asynchronous writeback completed: the disk reservation drained
+    /// and its service time was billed to the manager.
+    WritebackCompleted {
+        /// Manager that owns the pipeline.
+        manager: u32,
+        /// Ticket of the operation that completed.
+        ticket: u64,
+        /// Disk service time billed at completion, µs.
+        service_us: u64,
+    },
+    /// A laundry mapping was evicted to satisfy a free-slot request: the
+    /// slot's clean backing copy is already on the store, so the cached
+    /// bytes are discarded rather than written again.
+    LaundryEvicted {
+        /// Manager whose laundry was evicted.
+        manager: u32,
+        /// Segment the laundered page belonged to.
+        segment: u64,
+        /// Page whose cached copy was discarded.
+        page: u64,
+    },
     /// `MigrateFrame` exchanged a page's frame across physical memory
     /// tiers (demotion or promotion).
     TierMigrated {
@@ -231,6 +265,9 @@ impl EventKind {
             EventKind::IoRetry { .. } => "io_retry",
             EventKind::ForcedReclaim { .. } => "forced_reclaim",
             EventKind::ManagerQuarantined { .. } => "manager_quarantined",
+            EventKind::WritebackIssued { .. } => "writeback_issued",
+            EventKind::WritebackCompleted { .. } => "writeback_completed",
+            EventKind::LaundryEvicted { .. } => "laundry_evicted",
             EventKind::TierMigrated { .. } => "tier_migrated",
         }
     }
@@ -344,6 +381,22 @@ impl fmt::Display for TraceEvent {
                 pages,
                 destroyed,
             } => write!(f, "mgr={manager} pages={pages} destroyed={destroyed}"),
+            EventKind::WritebackIssued {
+                manager,
+                segment,
+                page,
+                ticket,
+            } => write!(f, "mgr={manager} seg={segment} page={page} ticket={ticket}"),
+            EventKind::WritebackCompleted {
+                manager,
+                ticket,
+                service_us,
+            } => write!(f, "mgr={manager} ticket={ticket} service={service_us}"),
+            EventKind::LaundryEvicted {
+                manager,
+                segment,
+                page,
+            } => write!(f, "mgr={manager} seg={segment} page={page}"),
             EventKind::TierMigrated {
                 segment,
                 page,
@@ -440,6 +493,22 @@ mod tests {
                 pages: 4,
                 destroyed: false,
             },
+            EventKind::WritebackIssued {
+                manager: 1,
+                segment: 2,
+                page: 3,
+                ticket: 4,
+            },
+            EventKind::WritebackCompleted {
+                manager: 1,
+                ticket: 4,
+                service_us: 1500,
+            },
+            EventKind::LaundryEvicted {
+                manager: 1,
+                segment: 2,
+                page: 3,
+            },
             EventKind::TierMigrated {
                 segment: 1,
                 page: 0,
@@ -466,6 +535,9 @@ mod tests {
                 "io_retry",
                 "forced_reclaim",
                 "manager_quarantined",
+                "writeback_issued",
+                "writeback_completed",
+                "laundry_evicted",
                 "tier_migrated",
             ]
         );

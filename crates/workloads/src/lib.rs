@@ -28,6 +28,6 @@ pub mod scan;
 pub mod trace;
 
 pub use apps::{diff_spec, latex_spec, uncompress_spec};
-pub use runner::{run_on_ultrix, run_on_vpp, RunReport};
+pub use runner::{run_on_ultrix, run_on_vpp, run_vpp_app, RunReport};
 pub use scan::{drive_pattern, AccessPattern, PatternReport, ReferenceStream};
 pub use trace::AppSpec;

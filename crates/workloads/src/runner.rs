@@ -115,6 +115,20 @@ pub fn run_on_vpp_traced(
     })
 }
 
+/// Runs the application on a caller-supplied machine — same measured
+/// window as [`run_on_vpp`], but the caller controls the frame budget,
+/// manager configuration and tier layout, and can inspect the machine
+/// (manager stats, metrics, pipeline state) afterwards. Used by the
+/// writeback ablation to run the Table 2/3 specs under a custom-tuned
+/// default manager.
+///
+/// # Errors
+///
+/// As for [`run_on_vpp`].
+pub fn run_vpp_app(spec: &AppSpec, m: &mut Machine) -> Result<RunReport, MachineError> {
+    run_vpp_on(spec, m)
+}
+
 fn run_vpp_on(spec: &AppSpec, m: &mut Machine) -> Result<RunReport, MachineError> {
     // Create backing files.
     for f in &spec.inputs {

@@ -8,7 +8,7 @@
 use epcm_bench::ablations::{self, SweepScale};
 use epcm_bench::json_report::{metrics_json, table4_json, tables23_json, traced_results_with};
 use epcm_bench::pool::ScenarioPool;
-use epcm_bench::{table23, table4, tiers};
+use epcm_bench::{table23, table4, tiers, writeback};
 use epcm_core::tier::TierLayout;
 
 const JOB_COUNTS: [usize; 3] = [1, 2, 8];
@@ -81,6 +81,16 @@ fn tiers_sweep_render_and_json_are_jobs_invariant() {
         let points = tiers::results_with(pool, requested);
         let mut out = tiers::render(&points);
         out.push_str(&tiers::tiers_json(requested, &points));
+        out
+    });
+}
+
+#[test]
+fn writeback_ablation_render_and_json_are_jobs_invariant() {
+    assert_byte_identical("writeback ablation", |pool| {
+        let points = writeback::results_with(pool);
+        let mut out = writeback::render(&points);
+        out.push_str(&writeback::writeback_json(&points));
         out
     });
 }

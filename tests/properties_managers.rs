@@ -131,6 +131,68 @@ proptest! {
         prop_assert_eq!(total, 40);
     }
 
+    /// Writeback equivalence: the asynchronous laundry pipeline at
+    /// window 1 is observationally a billing schedule, not a policy
+    /// change — any random overcommitted workload conserves frames and
+    /// bills exactly the same total disk time as the synchronous path.
+    #[test]
+    fn async_writeback_bills_like_sync_on_random_workloads(
+        accesses in proptest::collection::vec((0u64..48, any::<u8>(), any::<bool>()), 1..150),
+    ) {
+        let run = |async_writeback: bool| {
+            let mut m = Machine::new(40);
+            let id = m.register_manager(Box::new(DefaultSegmentManager::with_config(
+                ManagerMode::Server,
+                DefaultManagerConfig {
+                    target_free: 4,
+                    low_water: 1,
+                    refill_batch: 4,
+                    async_writeback,
+                    writeback_window: 1,
+                    writeback_servers: 1,
+                    ..DefaultManagerConfig::default()
+                },
+            )));
+            m.set_default_manager(id);
+            let seg = m.create_segment(SegmentKind::Anonymous, 48).expect("segment");
+            for &(page, byte, write) in &accesses {
+                if write {
+                    m.store_bytes(seg, page * BASE_PAGE_SIZE, &[byte]).expect("store");
+                } else {
+                    let mut buf = [0u8; 1];
+                    m.load(seg, page * BASE_PAGE_SIZE, &mut buf).expect("load");
+                }
+            }
+            let (stats, in_flight) = m
+                .with_manager(id, |mgr, env| {
+                    let d = mgr
+                        .as_any_mut()
+                        .downcast_mut::<DefaultSegmentManager>()
+                        .expect("default manager");
+                    d.flush_writebacks(env);
+                    Ok((d.writeback_stats(), d.writebacks_in_flight()))
+                })
+                .expect("flush");
+            let kernel = m.kernel();
+            let resident: u64 = kernel
+                .segment_ids()
+                .map(|s| kernel.resident_pages(s).expect("resident"))
+                .sum();
+            (stats, in_flight, resident)
+        };
+        let (sync, _, sync_frames) = run(false);
+        let (asy, asy_in_flight, asy_frames) = run(true);
+        prop_assert_eq!(sync_frames, 40, "sync run lost frames");
+        prop_assert_eq!(asy_frames, 40, "async run lost frames");
+        prop_assert_eq!(asy_in_flight, 0, "pipeline not drained by flush");
+        prop_assert_eq!(sync.billed_us, asy.billed_us,
+            "total billed I/O diverged at window 1");
+        prop_assert_eq!(sync.completed, asy.completed,
+            "writeback counts diverged");
+        prop_assert_eq!(asy.dirty_victim_us, 0,
+            "async fault path charged writeback time inline");
+    }
+
     /// Invariant 6: the clock policy never evicts a page referenced since
     /// the last sweep while an unreferenced candidate exists.
     #[test]
