@@ -16,6 +16,10 @@
 //! reproduce --async-writeback
 //!                            # add the sync-vs-async laundry ablation
 //!                            # (BENCH_writeback.json with --json)
+//! reproduce --shards 4       # add the sharded multi-tenant run on 4
+//!                            # worker threads (BENCH_shards.json with
+//!                            # --json); output is byte-identical for
+//!                            # every shard count
 //! ```
 //!
 //! `--tiers dram:ALL` runs the sweep around the single-tier degenerate
@@ -39,7 +43,8 @@ use std::time::Instant;
 
 use epcm_bench::json_report::WallClockEntry;
 use epcm_bench::pool::ScenarioPool;
-use epcm_bench::{ablations, json_report, table1, table23, table4, tiers, writeback};
+use epcm_bench::{ablations, json_report, shards, table1, table23, table4, tiers, writeback};
+use epcm_core::shard::ShardSpec;
 use epcm_core::tier::{TierLayout, TierSpec};
 use epcm_dbms::config::{DbmsConfig, IndexStrategy};
 
@@ -142,6 +147,13 @@ fn main() {
             std::process::exit(2);
         }
     });
+    let shard_spec: Option<ShardSpec> = arg_value("--shards").map(|v| match ShardSpec::parse(v) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: --shards {v}: {e}");
+            std::process::exit(2);
+        }
+    });
     let jobs: usize = arg_value("--jobs")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
@@ -221,6 +233,13 @@ fn main() {
         print!("{}", writeback::render(&points));
         if json {
             write_json("BENCH_writeback.json", &writeback::writeback_json(&points));
+        }
+    }
+    if let Some(spec) = shard_spec {
+        let report = wall.time("shards", || shards::run_report(spec.count()));
+        print!("{}", shards::render(&report));
+        if json {
+            write_json("BENCH_shards.json", &shards::shards_json(&report));
         }
     }
     wall.finish(pool.jobs());

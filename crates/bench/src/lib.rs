@@ -18,6 +18,10 @@
 //! * [`writeback`] — the sync-vs-async laundry ablation
 //!   (`--async-writeback`): fault-path dirty-victim time and total
 //!   billed I/O per application, as `BENCH_writeback.json`.
+//! * [`shards`] — the sharded multi-tenant scenario (`--shards N`): one
+//!   worker thread per shard of tenant lanes, cross-shard leases and
+//!   market billing merged deterministically, as `BENCH_shards.json` —
+//!   byte-identical for every worker count.
 //! * [`json_report`] — the same tables as machine-readable `BENCH_*.json`
 //!   documents (with per-run event counts) for CI archival.
 //! * [`pool`] — the deterministic worker pool that fans independent
@@ -29,6 +33,7 @@
 pub mod ablations;
 pub mod json_report;
 pub mod pool;
+pub mod shards;
 pub mod table1;
 pub mod table23;
 pub mod table4;

@@ -70,6 +70,7 @@ pub mod flags;
 pub mod frame;
 pub mod kernel;
 pub mod segment;
+pub mod shard;
 pub mod tier;
 pub mod translate;
 pub mod types;
@@ -79,6 +80,7 @@ pub use fault::{FaultEvent, FaultKind};
 pub use flags::PageFlags;
 pub use kernel::{AccessOutcome, Kernel, KernelStats, PageAttributes};
 pub use segment::{BoundRegion, PageEntry, Segment};
+pub use shard::{ShardId, ShardLayout, ShardSpec};
 pub use tier::{MemTier, TierLayout, TierSpec};
 pub use types::{
     AccessKind, FrameId, ManagerId, PageNumber, SegmentId, SegmentKind, UserId, BASE_PAGE_SIZE,

@@ -1,0 +1,282 @@
+//! Shard identity for intra-run concurrency.
+//!
+//! The paper's kernel ran on one CPU; every structure in this repo was
+//! therefore single-threaded by construction. To let hundreds of
+//! managers fault concurrently (the ROADMAP's multi-tenant north star)
+//! the kernel state is *sharded*, not locked: the frame pool is divided
+//! into contiguous positional **lanes** (fixed-size `FrameId` ranges,
+//! exactly like the [`crate::tier`] partition gives frames a tier), and
+//! a [`ShardLayout`] groups contiguous lanes into **shards**, one
+//! worker thread each. Everything inside a lane — frame table slice,
+//! segment table, event dispatch, fault handling — is owned by exactly
+//! one shard and needs no synchronisation; cross-shard effects travel
+//! as explicit messages and are merged deterministically on the
+//! `(time, seq)` tie-break (see `epcm_sim::events::ShardedEventQueue`
+//! and `epcm_managers::shard`).
+//!
+//! The layout is pure arithmetic over positions, so the mapping from a
+//! frame to its lane and shard is a static boot-time property: frames
+//! never change shard, only messages cross the boundary. Crucially the
+//! *lane* is the unit of work and the *shard* is only a grouping of
+//! lanes onto threads — every per-lane computation is independent of
+//! the grouping, which is what makes `--shards 1` and `--shards N`
+//! byte-identical.
+
+use std::fmt;
+
+use crate::types::FrameId;
+
+/// Identifies one shard: a group of contiguous lanes run by one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// Index into per-shard arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// The boot-time partition of the frame pool into lanes and shards.
+///
+/// Frames `[lane * frames_per_lane, (lane + 1) * frames_per_lane)` form
+/// lane `lane`; lanes are distributed over shards in contiguous
+/// balanced runs (the first `lanes % shards` shards hold one extra
+/// lane). Frames at or beyond `lanes * frames_per_lane` belong to no
+/// lane — they are coordinator-owned (e.g. the cross-shard spill pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardLayout {
+    shards: u32,
+    lanes: u64,
+    frames_per_lane: u64,
+}
+
+impl ShardLayout {
+    /// A layout of `lanes` lanes of `frames_per_lane` frames each,
+    /// grouped onto `shards` worker shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(shards: u32, lanes: u64, frames_per_lane: u64) -> ShardLayout {
+        assert!(shards > 0, "a layout needs at least one shard");
+        assert!(lanes > 0, "a layout needs at least one lane");
+        assert!(frames_per_lane > 0, "a lane needs at least one frame");
+        ShardLayout {
+            shards,
+            lanes,
+            frames_per_lane,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> u64 {
+        self.lanes
+    }
+
+    /// Frames in each lane.
+    pub fn frames_per_lane(&self) -> u64 {
+        self.frames_per_lane
+    }
+
+    /// Total frames across all lanes (coordinator-owned frames beyond
+    /// the lanes are not counted).
+    pub fn total_frames(&self) -> u64 {
+        self.lanes * self.frames_per_lane
+    }
+
+    /// The contiguous run of lane indices owned by `shard`. Empty when
+    /// there are more shards than lanes and `shard` drew no lane.
+    pub fn lane_range(&self, shard: ShardId) -> std::ops::Range<u64> {
+        let s = u64::from(shard.0.min(self.shards));
+        let shards = u64::from(self.shards);
+        let base = self.lanes / shards;
+        let rem = self.lanes % shards;
+        let start = s * base + s.min(rem);
+        let len = base + u64::from(s < rem);
+        start..(start + len).min(self.lanes)
+    }
+
+    /// The shard owning `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn shard_of_lane(&self, lane: u64) -> ShardId {
+        assert!(lane < self.lanes, "lane {lane} outside layout");
+        let shards = u64::from(self.shards);
+        let base = self.lanes / shards;
+        let rem = self.lanes % shards;
+        let wide = rem * (base + 1);
+        let s = if lane < wide {
+            lane / (base + 1)
+        } else {
+            rem + (lane - wide) / base
+        };
+        ShardId(s as u32)
+    }
+
+    /// The global positional frame range of `lane`.
+    pub fn frame_range(&self, lane: u64) -> std::ops::Range<u64> {
+        let start = lane * self.frames_per_lane;
+        start..start + self.frames_per_lane
+    }
+
+    /// The lane a frame belongs to, or `None` for coordinator-owned
+    /// frames beyond the laned pool.
+    pub fn lane_of(&self, frame: FrameId) -> Option<u64> {
+        let idx = frame.index() as u64;
+        if idx < self.total_frames() {
+            Some(idx / self.frames_per_lane)
+        } else {
+            None
+        }
+    }
+
+    /// The shard a frame belongs to, or `None` for coordinator-owned
+    /// frames.
+    pub fn shard_of(&self, frame: FrameId) -> Option<ShardId> {
+        self.lane_of(frame).map(|lane| self.shard_of_lane(lane))
+    }
+}
+
+impl fmt::Display for ShardLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shards:{},lanes:{},frames/lane:{}",
+            self.shards, self.lanes, self.frames_per_lane
+        )
+    }
+}
+
+/// A parsed `--shards` specification: the worker shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec(u32);
+
+impl ShardSpec {
+    /// Upper bound on the worker count a flag may request.
+    pub const MAX: u32 = 64;
+
+    /// Parses a `--shards` value: an integer in `1..=MAX`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message describing the malformed value.
+    pub fn parse(spec: &str) -> Result<ShardSpec, String> {
+        let count: u32 = spec
+            .trim()
+            .parse()
+            .map_err(|_| format!("`{spec}`: not a shard count"))?;
+        if count == 0 {
+            return Err("at least one shard is required".to_string());
+        }
+        if count > ShardSpec::MAX {
+            return Err(format!(
+                "`{count}`: more than {} shards is unsupported",
+                ShardSpec::MAX
+            ));
+        }
+        Ok(ShardSpec(count))
+    }
+
+    /// The requested worker shard count.
+    pub fn count(self) -> u32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_ranges_partition_the_lanes() {
+        for shards in 1..=9u32 {
+            for lanes in 1..=20u64 {
+                let l = ShardLayout::new(shards, lanes, 8);
+                let mut covered = Vec::new();
+                for s in 0..shards {
+                    let r = l.lane_range(ShardId(s));
+                    covered.extend(r.clone());
+                    for lane in r {
+                        assert_eq!(
+                            l.shard_of_lane(lane),
+                            ShardId(s),
+                            "shard_of_lane inverts lane_range ({shards} shards, {lanes} lanes)"
+                        );
+                    }
+                }
+                assert_eq!(
+                    covered,
+                    (0..lanes).collect::<Vec<_>>(),
+                    "every lane owned exactly once ({shards} shards, {lanes} lanes)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_runs_are_contiguous_and_balanced() {
+        let l = ShardLayout::new(3, 8, 4);
+        assert_eq!(l.lane_range(ShardId(0)), 0..3);
+        assert_eq!(l.lane_range(ShardId(1)), 3..6);
+        assert_eq!(l.lane_range(ShardId(2)), 6..8);
+    }
+
+    #[test]
+    fn more_shards_than_lanes_leaves_empty_shards() {
+        let l = ShardLayout::new(6, 4, 2);
+        let sizes: Vec<u64> = (0..6)
+            .map(|s| {
+                let r = l.lane_range(ShardId(s));
+                r.end - r.start
+            })
+            .collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 4);
+        assert!(sizes.iter().all(|&n| n <= 1));
+    }
+
+    #[test]
+    fn frames_map_to_lanes_positionally() {
+        let l = ShardLayout::new(2, 4, 16);
+        assert_eq!(l.total_frames(), 64);
+        assert_eq!(l.frame_range(2), 32..48);
+        assert_eq!(l.lane_of(FrameId::from_raw(0)), Some(0));
+        assert_eq!(l.lane_of(FrameId::from_raw(47)), Some(2));
+        assert_eq!(l.shard_of(FrameId::from_raw(47)), Some(ShardId(1)));
+        // Beyond the laned pool: coordinator-owned (spill frames).
+        assert_eq!(l.lane_of(FrameId::from_raw(64)), None);
+        assert_eq!(l.shard_of(FrameId::from_raw(64)), None);
+    }
+
+    #[test]
+    fn parse_accepts_counts_and_rejects_junk() {
+        assert_eq!(ShardSpec::parse("1").map(ShardSpec::count), Ok(1));
+        assert_eq!(ShardSpec::parse(" 8 ").map(ShardSpec::count), Ok(8));
+        assert!(ShardSpec::parse("0").is_err());
+        assert!(ShardSpec::parse("65").is_err());
+        assert!(ShardSpec::parse("four").is_err());
+        assert!(ShardSpec::parse("").is_err());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            ShardLayout::new(2, 16, 48).to_string(),
+            "shards:2,lanes:16,frames/lane:48"
+        );
+        assert_eq!(ShardId(3).to_string(), "shard3");
+    }
+}

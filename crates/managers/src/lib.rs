@@ -14,6 +14,9 @@
 //! * [`spcm::SystemPageCacheManager`] — global frame allocation with
 //!   physical-placement and color constraints (§2.4).
 //! * [`market::MemoryMarket`] — the dram economy (§2.4).
+//! * [`shard`] — the sharded multi-tenant engine: one worker thread per
+//!   shard of tenant lanes, cross-shard effects merged deterministically
+//!   through explicit messages (`reproduce --shards N`).
 //! * [`policy`] — clock/FIFO/LRU/random replacement, as manager code.
 //! * [`generic`] — the specialisable generic manager (§2.2's
 //!   "inheritance" base).
@@ -60,6 +63,7 @@ pub mod pinning;
 pub mod policy;
 pub mod prefetch;
 pub mod replicate;
+pub mod shard;
 pub mod spcm;
 
 pub use default_manager::{
@@ -68,6 +72,10 @@ pub use default_manager::{
 pub use machine::{Machine, MachineBuilder, MachineError, MachineStats, TraceStep};
 pub use manager::{Env, ManagerError, ManagerMode, SegmentManager};
 pub use market::{MarketConfig, MemoryMarket};
+pub use shard::{
+    CrossShardMsg, EpochPlan, EpochSummary, LaneReport, LaneResult, ShardEngineConfig,
+    ShardRunReport, SpillPool, TenantWorkload,
+};
 pub use spcm::{
     AllocationPolicy, Grant, PhysConstraint, Revocation, RevocationConfig, SpcmError,
     SystemPageCacheManager,

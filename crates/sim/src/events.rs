@@ -154,6 +154,114 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// A bank of shard-local event queues with a deterministic global merge.
+///
+/// The sharded kernel (DESIGN.md §12) partitions work into lanes run by
+/// worker shards, but cross-shard effects — frame exchanges, market
+/// billing, merged traces — must still dispatch in **one** global order
+/// that does not depend on how lanes were grouped onto shards. This
+/// queue provides that order: every insert draws a `seq` from a single
+/// queue-wide counter (exactly like [`EventQueue`]) and is then routed
+/// to its shard's local heap; [`ShardedEventQueue::next_merged`] pops
+/// the globally earliest `(time, seq)` entry across all shards.
+///
+/// Because `seq` is assigned at insertion — before any routing — the
+/// merged drain of a `ShardedEventQueue` is byte-for-byte the drain of
+/// a flat [`EventQueue`] fed the same insertion sequence, for *any*
+/// shard assignment. The property test
+/// `sharded_merge_matches_flat_queue` in `tests/properties.rs` pins
+/// this for arbitrary interleavings of inserts and pops.
+///
+/// # Example
+///
+/// ```
+/// use epcm_sim::clock::Timestamp;
+/// use epcm_sim::events::ShardedEventQueue;
+///
+/// let mut q = ShardedEventQueue::new(2);
+/// let t = Timestamp::from_micros(5);
+/// q.schedule(1, t, "first");          // same instant, different shards:
+/// q.schedule(0, t, "second");         // insertion order wins
+/// assert_eq!(q.next_merged(), Some((1, t, "first")));
+/// assert_eq!(q.next_merged(), Some((0, t, "second")));
+/// assert_eq!(q.next_merged(), None);
+/// ```
+#[derive(Debug)]
+pub struct ShardedEventQueue<E> {
+    shards: Vec<BinaryHeap<Scheduled<E>>>,
+    next_seq: u64,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// Creates a bank of `shards` empty queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "ShardedEventQueue requires at least one shard");
+        ShardedEventQueue {
+            shards: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of shard-local queues in the bank.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Schedules `event` on `shard` at absolute time `time`. The global
+    /// sequence number is drawn *here*, so the eventual merged order
+    /// depends only on the insertion sequence, never on the routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn schedule(&mut self, shard: usize, time: Timestamp, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.shards[shard].push(Scheduled { time, seq, event });
+    }
+
+    /// Pending events on one shard.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].len()
+    }
+
+    /// Pending events across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(BinaryHeap::len).sum()
+    }
+
+    /// Whether no events are pending anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(BinaryHeap::is_empty)
+    }
+
+    /// Removes and returns the globally earliest `(shard, time, event)`
+    /// across every shard-local queue — the deterministic k-way merge
+    /// on the `(time, seq)` tie-break. Sequence numbers are unique, so
+    /// there is never an ambiguous tie.
+    pub fn next_merged(&mut self) -> Option<(usize, Timestamp, E)> {
+        let (_, _, shard) = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, heap)| heap.peek().map(|s| (s.time, s.seq, i)))
+            .min()?;
+        let s = self.shards[shard]
+            .pop()
+            .expect("peeked shard head cannot vanish");
+        Some((shard, s.time, s.event))
+    }
+
+    /// Drains the whole bank in merged global order.
+    pub fn drain_merged(&mut self) -> Vec<(usize, Timestamp, E)> {
+        std::iter::from_fn(|| self.next_merged()).collect()
+    }
+}
+
 /// A bank of `k` identical FIFO servers (processors, disk arms).
 ///
 /// `MultiServer` does not hold the work itself; callers ask "if a job
@@ -533,5 +641,57 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn multiserver_zero_servers_panics() {
         MultiServer::new(0);
+    }
+
+    #[test]
+    fn sharded_merge_equals_flat_drain_round_robin() {
+        let times = [30u64, 10, 10, 50, 10, 30, 20];
+        let mut flat = EventQueue::new();
+        let mut sharded = ShardedEventQueue::new(3);
+        for (i, &t) in times.iter().enumerate() {
+            flat.schedule(Timestamp::from_micros(t), i);
+            sharded.schedule(i % 3, Timestamp::from_micros(t), i);
+        }
+        let flat_order: Vec<(Timestamp, usize)> = std::iter::from_fn(|| flat.next()).collect();
+        let merged: Vec<(Timestamp, usize)> = sharded
+            .drain_merged()
+            .into_iter()
+            .map(|(_, t, e)| (t, e))
+            .collect();
+        assert_eq!(flat_order, merged);
+    }
+
+    #[test]
+    fn sharded_merge_reports_source_shard() {
+        let mut q = ShardedEventQueue::new(2);
+        q.schedule(1, Timestamp::from_micros(2), "b");
+        q.schedule(0, Timestamp::from_micros(1), "a");
+        assert_eq!(q.shard_len(0), 1);
+        assert_eq!(q.shard_len(1), 1);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert_eq!(q.next_merged(), Some((0, Timestamp::from_micros(1), "a")));
+        assert_eq!(q.next_merged(), Some((1, Timestamp::from_micros(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sharded_single_shard_is_a_flat_queue() {
+        let mut flat = EventQueue::new();
+        let mut one = ShardedEventQueue::new(1);
+        for (i, t) in [7u64, 3, 3, 9, 1].into_iter().enumerate() {
+            flat.schedule(Timestamp::from_micros(t), i);
+            one.schedule(0, Timestamp::from_micros(t), i);
+        }
+        while let Some((time, event)) = flat.next() {
+            assert_eq!(one.next_merged(), Some((0, time, event)));
+        }
+        assert_eq!(one.next_merged(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn sharded_zero_shards_panics() {
+        ShardedEventQueue::<u32>::new(0);
     }
 }

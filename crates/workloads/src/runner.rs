@@ -9,8 +9,9 @@
 
 use epcm_baseline::UltrixVm;
 use epcm_core::types::{AccessKind, SegmentKind, BASE_PAGE_SIZE};
-use epcm_managers::{DefaultSegmentManager, Machine, MachineError};
+use epcm_managers::{DefaultSegmentManager, Machine, MachineError, TenantWorkload};
 use epcm_sim::clock::Micros;
+use epcm_sim::rng::Rng;
 use epcm_trace::{MetricsSnapshot, TraceEvent};
 
 use crate::trace::AppSpec;
@@ -281,6 +282,65 @@ pub fn run_on_ultrix(spec: &AppSpec, frames: usize) -> RunReport {
     }
 }
 
+/// The tenant workload the sharded engine (`epcm_managers::shard`) runs
+/// in `reproduce --shards`: each lane behaves like a scaled-down paper
+/// application — a sequential read scan of its "input" third, a sliding
+/// write burst into its "output" window, and seeded random heap touches
+/// in the rest. A spill lease (extra cross-shard frames) shortens the
+/// heap walk, the way more memory shortens a real application's fault
+/// tail. The plan is a pure function of `(seed, lane, epoch, round,
+/// pages, leased)`, so the run is shard-count invariant by construction.
+#[derive(Debug, Clone, Default)]
+pub struct VppTenantWorkload {
+    /// Mixed into each lane's access-pattern generator seed.
+    pub seed: u64,
+}
+
+impl TenantWorkload for VppTenantWorkload {
+    fn round(
+        &self,
+        lane: u64,
+        epoch: u32,
+        round: u32,
+        pages: u64,
+        leased: u64,
+    ) -> Vec<(u64, AccessKind)> {
+        let mut rng = Rng::seed_from(
+            self.seed
+                ^ lane.wrapping_mul(0x2545_f491_4f6c_dd1d)
+                ^ (u64::from(epoch) << 24)
+                ^ u64::from(round),
+        );
+        let third = (pages / 3).max(1);
+        let mut plan = Vec::new();
+        // Input scan: sequential reads, like diff reading its files.
+        for p in 0..third {
+            plan.push((p, AccessKind::Read));
+        }
+        // Output burst: a write window sliding with the epoch/round.
+        let window = (third / 2).max(1);
+        let slide = (u64::from(epoch) * 2 + u64::from(round)) % third.max(1);
+        for i in 0..window {
+            plan.push((third + (slide + i) % third, AccessKind::Write));
+        }
+        // Heap: random touches over the final third, shortened by the
+        // lane's spill lease (extra frames absorb the fault tail).
+        let heap_base = 2 * third;
+        let heap_span = pages - heap_base;
+        let touches = heap_span.saturating_sub(leased * 2);
+        for _ in 0..touches {
+            let p = heap_base + rng.below(heap_span.max(1));
+            let kind = if rng.chance(0.5) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            plan.push((p, kind));
+        }
+        plan
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +531,34 @@ mod table_tests {
             );
             // "a small percentage of program execution time" (<= 2%).
             assert!(overhead_ms / v.elapsed.as_millis_f64() < 0.02);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tenant_tests {
+    use super::*;
+
+    #[test]
+    fn tenant_plan_is_deterministic_and_lease_sensitive() {
+        let w = VppTenantWorkload { seed: 42 };
+        assert_eq!(w.round(5, 2, 1, 48, 3), w.round(5, 2, 1, 48, 3));
+        let unleased = w.round(0, 0, 0, 48, 0).len();
+        let leased = w.round(0, 0, 0, 48, 8).len();
+        assert!(leased < unleased, "spill lease must shorten the heap walk");
+        // Lanes differ: the heap walk is lane-seeded.
+        assert_ne!(w.round(0, 0, 0, 48, 0), w.round(1, 0, 0, 48, 0));
+    }
+
+    #[test]
+    fn tenant_plan_stays_in_bounds() {
+        let w = VppTenantWorkload { seed: 9 };
+        for lane in 0..4 {
+            for epoch in 0..3 {
+                for (page, _) in w.round(lane, epoch, 0, 24, 1) {
+                    assert!(page < 24, "page {page} outside the segment");
+                }
+            }
         }
     }
 }
