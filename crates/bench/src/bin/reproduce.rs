@@ -20,6 +20,11 @@
 //!                            # worker threads (BENCH_shards.json with
 //!                            # --json); output is byte-identical for
 //!                            # every shard count
+//! reproduce --chaos 7:0.5    # add the chaos-injection run: seeded
+//!                            # manager crash/hang/byzantine events at
+//!                            # the given per-epoch rate, plus tenant
+//!                            # churn (BENCH_chaos.json with --json);
+//!                            # byte-identical across --shards/--jobs
 //! ```
 //!
 //! `--tiers dram:ALL` runs the sweep around the single-tier degenerate
@@ -43,10 +48,13 @@ use std::time::Instant;
 
 use epcm_bench::json_report::WallClockEntry;
 use epcm_bench::pool::ScenarioPool;
-use epcm_bench::{ablations, json_report, shards, table1, table23, table4, tiers, writeback};
+use epcm_bench::{
+    ablations, chaos, json_report, shards, table1, table23, table4, tiers, writeback,
+};
 use epcm_core::shard::ShardSpec;
 use epcm_core::tier::{TierLayout, TierSpec};
 use epcm_dbms::config::{DbmsConfig, IndexStrategy};
+use epcm_sim::chaos::ChaosPlan;
 
 /// Total frame budget of the tier sweep when `--tiers dram:ALL` leaves
 /// the split unspecified — matches the issue's 64/256/64 example.
@@ -154,6 +162,13 @@ fn main() {
             std::process::exit(2);
         }
     });
+    let chaos_plan: Option<ChaosPlan> = arg_value("--chaos").map(|v| match ChaosPlan::parse(v) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: --chaos {v}: {e}");
+            std::process::exit(2);
+        }
+    });
     let jobs: usize = arg_value("--jobs")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
@@ -235,11 +250,22 @@ fn main() {
             write_json("BENCH_writeback.json", &writeback::writeback_json(&points));
         }
     }
-    if let Some(spec) = shard_spec {
+    if let Some(spec) = &shard_spec {
         let report = wall.time("shards", || shards::run_report(spec.count()));
         print!("{}", shards::render(&report));
         if json {
             write_json("BENCH_shards.json", &shards::shards_json(&report));
+        }
+    }
+    if let Some(plan) = chaos_plan {
+        // The worker count is presentation-free: any --shards value
+        // produces the identical report (pinned by the chaos-smoke CI
+        // job, which cmp's the JSON across shard counts).
+        let workers = shard_spec.as_ref().map_or(1, |s| s.count());
+        let report = wall.time("chaos", || chaos::run_report(plan.clone(), workers));
+        print!("{}", chaos::render(&plan, &report));
+        if json {
+            write_json("BENCH_chaos.json", &chaos::chaos_json(&plan, &report));
         }
     }
     wall.finish(pool.jobs());

@@ -22,6 +22,10 @@
 //!   worker thread per shard of tenant lanes, cross-shard leases and
 //!   market billing merged deterministically, as `BENCH_shards.json` —
 //!   byte-identical for every worker count.
+//! * [`chaos`] — the chaos-injection scenario (`--chaos seed:rate`):
+//!   the sharded engine under seeded manager crash/hang/byzantine
+//!   injection and tenant churn, as `BENCH_chaos.json` — byte-identical
+//!   for every worker count.
 //! * [`json_report`] — the same tables as machine-readable `BENCH_*.json`
 //!   documents (with per-run event counts) for CI archival.
 //! * [`pool`] — the deterministic worker pool that fans independent
@@ -29,8 +33,10 @@
 //!   to the serial run (`reproduce --jobs N`).
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod ablations;
+pub mod chaos;
 pub mod json_report;
 pub mod pool;
 pub mod shards;

@@ -135,6 +135,8 @@ mod tests {
             rounds_per_epoch: 1,
             spill_frames: 8,
             seed: 11,
+            chaos: None,
+            churn: false,
         };
         run_report_with(&cfg, 2)
     }

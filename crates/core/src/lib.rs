@@ -74,6 +74,7 @@ pub mod shard;
 pub mod tier;
 pub mod translate;
 pub mod types;
+pub mod watchdog;
 
 pub use error::KernelError;
 pub use fault::{FaultEvent, FaultKind};
@@ -85,3 +86,4 @@ pub use tier::{MemTier, TierLayout, TierSpec};
 pub use types::{
     AccessKind, FrameId, ManagerId, PageNumber, SegmentId, SegmentKind, UserId, BASE_PAGE_SIZE,
 };
+pub use watchdog::{UpcallKind, UpcallVerdict, Watchdog, WatchdogConfig};

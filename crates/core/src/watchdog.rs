@@ -1,0 +1,333 @@
+//! Kernel-side deadlines on manager upcalls.
+//!
+//! The paper's trust argument (§2.1, §4) is that the kernel never
+//! *depends* on a manager's cooperation: a manager that answers late,
+//! wrongly, or not at all must cost only itself. The [`Watchdog`] is the
+//! mechanism half of that claim. Every upcall into a manager — fault
+//! handling, polite-reclaim replies, periodic maintenance — carries a
+//! deadline derived from the calibrated [`CostModel`]; the host times
+//! the reply on the virtual clock and reports it via
+//! [`Watchdog::observe`]. A miss is a strike, strikes accumulate, and a
+//! manager that exhausts [`WatchdogConfig::max_misses`] is handed to the
+//! failover path (segments reassigned to the default manager, account
+//! settled). Byzantine replies — claiming frames the manager does not
+//! hold — are recorded with [`Watchdog::penalize`] and count like
+//! misses.
+//!
+//! The watchdog is *opt-in*: hosts enable it explicitly, so the ledgers
+//! of chaos-free deterministic runs are byte-identical with and without
+//! this module compiled in.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use epcm_sim::clock::Micros;
+use epcm_sim::cost::CostModel;
+
+/// Which class of upcall a deadline applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpcallKind {
+    /// Fault handling (`handle_fault`).
+    Fault,
+    /// A polite-reclaim reply.
+    Reclaim,
+    /// Periodic maintenance: ticks and migration acks.
+    Tick,
+}
+
+impl UpcallKind {
+    /// The stable raw encoding used in trace events
+    /// (`epcm_trace::event::upcall_code`).
+    pub fn code(self) -> u8 {
+        match self {
+            UpcallKind::Fault => 0,
+            UpcallKind::Reclaim => 1,
+            UpcallKind::Tick => 2,
+        }
+    }
+}
+
+impl fmt::Display for UpcallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpcallKind::Fault => write!(f, "fault"),
+            UpcallKind::Reclaim => write!(f, "reclaim"),
+            UpcallKind::Tick => write!(f, "tick"),
+        }
+    }
+}
+
+/// Deadlines and escalation thresholds for the watchdog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogConfig {
+    /// Budget for a fault-handling upcall.
+    pub fault_deadline: Micros,
+    /// Budget for a polite-reclaim reply.
+    pub reclaim_deadline: Micros,
+    /// Budget for a maintenance upcall.
+    pub tick_deadline: Micros,
+    /// Strikes before the manager is failed over.
+    pub max_misses: u32,
+    /// Fine (drams) debited from the manager's account per miss.
+    pub miss_fine: f64,
+}
+
+impl WatchdogConfig {
+    /// Derives deadlines from a calibrated cost model: 32× the
+    /// server-managed minimal fault (Table 1's 379 µs on the
+    /// DECstation, so ≈12 ms). Generous enough that slow-but-honest
+    /// replies (retries, writeback stalls) fit comfortably, tight
+    /// enough that a wedged manager busts it on the first hang.
+    pub fn from_costs(costs: &CostModel) -> WatchdogConfig {
+        let unit = costs.vpp_minimal_fault_server() * 32;
+        WatchdogConfig {
+            fault_deadline: unit,
+            reclaim_deadline: unit,
+            tick_deadline: unit,
+            max_misses: 3,
+            miss_fine: 2.0,
+        }
+    }
+
+    /// The deadline for a given upcall class.
+    pub fn deadline(&self, kind: UpcallKind) -> Micros {
+        match kind {
+            UpcallKind::Fault => self.fault_deadline,
+            UpcallKind::Reclaim => self.reclaim_deadline,
+            UpcallKind::Tick => self.tick_deadline,
+        }
+    }
+}
+
+/// The verdict [`Watchdog::observe`] returns for one timed upcall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpcallVerdict {
+    /// The reply arrived inside the deadline.
+    Met,
+    /// The reply overran its deadline; `misses` is the manager's strike
+    /// count including this one.
+    Missed {
+        /// Accumulated strikes for the manager.
+        misses: u32,
+    },
+}
+
+/// Tracks per-manager deadline compliance and escalation state.
+///
+/// # Example
+///
+/// ```
+/// use epcm_core::watchdog::{UpcallKind, UpcallVerdict, Watchdog, WatchdogConfig};
+/// use epcm_sim::clock::Micros;
+/// use epcm_sim::cost::CostModel;
+///
+/// let cfg = WatchdogConfig::from_costs(&CostModel::decstation_5000_200());
+/// let mut dog = Watchdog::new(cfg);
+/// assert_eq!(
+///     dog.observe(7, UpcallKind::Fault, Micros::new(379)),
+///     UpcallVerdict::Met
+/// );
+/// assert_eq!(
+///     dog.observe(7, UpcallKind::Fault, Micros::from_secs(1)),
+///     UpcallVerdict::Missed { misses: 1 }
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    config: WatchdogConfig,
+    misses: BTreeMap<u32, u32>,
+    upcalls_timed: u64,
+    deadlines_met: u64,
+    deadlines_missed: u64,
+    byzantine_replies: u64,
+    failovers: u64,
+}
+
+impl Watchdog {
+    /// Creates a watchdog with the given configuration.
+    pub fn new(config: WatchdogConfig) -> Watchdog {
+        Watchdog {
+            config,
+            misses: BTreeMap::new(),
+            upcalls_timed: 0,
+            deadlines_met: 0,
+            deadlines_missed: 0,
+            byzantine_replies: 0,
+            failovers: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.config
+    }
+
+    /// Times one completed upcall against its deadline and updates the
+    /// manager's strike count.
+    pub fn observe(&mut self, manager: u32, kind: UpcallKind, elapsed: Micros) -> UpcallVerdict {
+        self.upcalls_timed += 1;
+        if elapsed <= self.config.deadline(kind) {
+            self.deadlines_met += 1;
+            UpcallVerdict::Met
+        } else {
+            self.deadlines_missed += 1;
+            let misses = self.misses.entry(manager).or_insert(0);
+            *misses += 1;
+            UpcallVerdict::Missed { misses: *misses }
+        }
+    }
+
+    /// Records a byzantine reply (wrong frames, phantom compliance) as a
+    /// strike. Returns the manager's strike count including this one.
+    pub fn penalize(&mut self, manager: u32) -> u32 {
+        self.byzantine_replies += 1;
+        let misses = self.misses.entry(manager).or_insert(0);
+        *misses += 1;
+        *misses
+    }
+
+    /// Whether the manager has exhausted its strike budget and must be
+    /// failed over.
+    pub fn exhausted(&self, manager: u32) -> bool {
+        self.misses.get(&manager).copied().unwrap_or(0) >= self.config.max_misses
+    }
+
+    /// The manager's current strike count.
+    pub fn strikes(&self, manager: u32) -> u32 {
+        self.misses.get(&manager).copied().unwrap_or(0)
+    }
+
+    /// Forgets a manager that was failed over (its strikes die with it)
+    /// and counts the failover.
+    pub fn note_failed_over(&mut self, manager: u32) {
+        self.misses.remove(&manager);
+        self.failovers += 1;
+    }
+
+    /// Upcalls timed so far.
+    pub fn upcalls_timed(&self) -> u64 {
+        self.upcalls_timed
+    }
+
+    /// Deadline misses so far.
+    pub fn deadlines_missed(&self) -> u64 {
+        self.deadlines_missed
+    }
+
+    /// Byzantine replies recorded so far.
+    pub fn byzantine_replies(&self) -> u64 {
+        self.byzantine_replies
+    }
+
+    /// Failovers recorded so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Exports the watchdog counters under `spcm.watchdog.*`.
+    pub fn export_metrics(&self, m: &mut epcm_trace::MetricsRegistry) {
+        m.set("spcm.watchdog.upcalls_timed", self.upcalls_timed);
+        m.set("spcm.watchdog.deadlines_met", self.deadlines_met);
+        m.set("spcm.watchdog.deadlines_missed", self.deadlines_missed);
+        m.set("spcm.watchdog.byzantine_replies", self.byzantine_replies);
+        m.set("spcm.watchdog.failovers", self.failovers);
+        m.set("spcm.watchdog.managers_on_notice", self.misses.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dog() -> Watchdog {
+        Watchdog::new(WatchdogConfig::from_costs(&CostModel::decstation_5000_200()))
+    }
+
+    #[test]
+    fn deadlines_scale_from_table1_costs() {
+        let cfg = WatchdogConfig::from_costs(&CostModel::decstation_5000_200());
+        assert_eq!(cfg.fault_deadline, Micros::new(379 * 32));
+        assert_eq!(cfg.deadline(UpcallKind::Reclaim), cfg.reclaim_deadline);
+        assert_eq!(cfg.max_misses, 3);
+    }
+
+    #[test]
+    fn misses_accumulate_to_exhaustion() {
+        let mut dog = dog();
+        let slow = Micros::from_secs(1);
+        assert!(!dog.exhausted(4));
+        assert_eq!(
+            dog.observe(4, UpcallKind::Fault, slow),
+            UpcallVerdict::Missed { misses: 1 }
+        );
+        assert_eq!(
+            dog.observe(4, UpcallKind::Tick, slow),
+            UpcallVerdict::Missed { misses: 2 }
+        );
+        assert!(!dog.exhausted(4));
+        assert_eq!(
+            dog.observe(4, UpcallKind::Reclaim, slow),
+            UpcallVerdict::Missed { misses: 3 }
+        );
+        assert!(dog.exhausted(4));
+        assert_eq!(dog.deadlines_missed(), 3);
+    }
+
+    #[test]
+    fn met_deadlines_do_not_strike() {
+        let mut dog = dog();
+        for _ in 0..10 {
+            assert_eq!(
+                dog.observe(1, UpcallKind::Fault, Micros::new(500)),
+                UpcallVerdict::Met
+            );
+        }
+        assert_eq!(dog.strikes(1), 0);
+        assert!(!dog.exhausted(1));
+        assert_eq!(dog.upcalls_timed(), 10);
+    }
+
+    #[test]
+    fn byzantine_counts_as_strike() {
+        let mut dog = dog();
+        assert_eq!(dog.penalize(9), 1);
+        assert_eq!(dog.penalize(9), 2);
+        assert_eq!(dog.penalize(9), 3);
+        assert!(dog.exhausted(9));
+        assert_eq!(dog.byzantine_replies(), 3);
+    }
+
+    #[test]
+    fn failover_forgets_strikes() {
+        let mut dog = dog();
+        dog.penalize(2);
+        dog.penalize(2);
+        dog.penalize(2);
+        assert!(dog.exhausted(2));
+        dog.note_failed_over(2);
+        assert!(!dog.exhausted(2));
+        assert_eq!(dog.strikes(2), 0);
+        assert_eq!(dog.failovers(), 1);
+    }
+
+    #[test]
+    fn metrics_export_under_watchdog_prefix() {
+        let mut dog = dog();
+        dog.observe(1, UpcallKind::Fault, Micros::from_secs(1));
+        dog.penalize(1);
+        let mut m = epcm_trace::MetricsRegistry::new();
+        dog.export_metrics(&mut m);
+        assert_eq!(m.get("spcm.watchdog.upcalls_timed"), 1);
+        assert_eq!(m.get("spcm.watchdog.deadlines_missed"), 1);
+        assert_eq!(m.get("spcm.watchdog.byzantine_replies"), 1);
+        assert_eq!(m.get("spcm.watchdog.managers_on_notice"), 1);
+    }
+
+    #[test]
+    fn upcall_codes_are_stable() {
+        assert_eq!(UpcallKind::Fault.code(), 0);
+        assert_eq!(UpcallKind::Reclaim.code(), 1);
+        assert_eq!(UpcallKind::Tick.code(), 2);
+        assert_eq!(UpcallKind::Reclaim.to_string(), "reclaim");
+    }
+}

@@ -51,6 +51,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod batch;
+pub mod chaotic;
 pub mod coloring;
 pub mod compress;
 pub mod default_manager;
@@ -66,6 +67,7 @@ pub mod replicate;
 pub mod shard;
 pub mod spcm;
 
+pub use chaotic::ChaoticManager;
 pub use default_manager::{
     DefaultManagerConfig, DefaultManagerStats, DefaultSegmentManager, IoRetryStats, WritebackStats,
 };
@@ -73,8 +75,8 @@ pub use machine::{Machine, MachineBuilder, MachineError, MachineStats, TraceStep
 pub use manager::{Env, ManagerError, ManagerMode, SegmentManager};
 pub use market::{MarketConfig, MemoryMarket};
 pub use shard::{
-    CrossShardMsg, EpochPlan, EpochSummary, LaneReport, LaneResult, ShardEngineConfig,
-    ShardRunReport, SpillPool, TenantWorkload,
+    CrossShardMsg, EpochPlan, EpochSummary, LaneFate, LaneReport, LaneResult, LaneStatus,
+    ShardEngineConfig, ShardEngineError, ShardRunReport, SpillPool, TenantWorkload,
 };
 pub use spcm::{
     AllocationPolicy, Grant, PhysConstraint, Revocation, RevocationConfig, SpcmError,

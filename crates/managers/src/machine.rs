@@ -24,13 +24,14 @@ use epcm_core::tier::TierLayout;
 use epcm_core::types::{
     AccessKind, ManagerId, PageNumber, SegmentId, SegmentKind, UserId, BASE_PAGE_SIZE,
 };
+use epcm_core::watchdog::{UpcallKind, UpcallVerdict, Watchdog, WatchdogConfig};
 use epcm_sim::clock::{Micros, Timestamp};
 use epcm_sim::cost::CostModel;
 use epcm_sim::disk::{Device, FileId, FileStore, FileStoreError};
 use epcm_trace::{EventKind, MetricsRegistry, SharedTracer, TraceEvent, TraceSink};
 
 use crate::manager::{Env, ManagerError, ManagerMode, SegmentManager};
-use crate::spcm::{AllocationPolicy, SystemPageCacheManager};
+use crate::spcm::{AllocationPolicy, SpcmError, SystemPageCacheManager};
 
 /// How many times an access is retried through fault handling before the
 /// machine declares a livelock. Each retry means the manager claimed to
@@ -64,6 +65,9 @@ pub enum MachineError {
     FaultLivelock(FaultEvent),
     /// `open_file` was given a name the store does not know.
     UnknownFile(String),
+    /// The SPCM rejected a frame-ledger operation (failover returning a
+    /// dead manager's pool frames, or a byzantine over-return).
+    Spcm(SpcmError),
 }
 
 impl fmt::Display for MachineError {
@@ -81,6 +85,7 @@ impl fmt::Display for MachineError {
                 write!(f, "fault not making progress after retries: {fault}")
             }
             MachineError::UnknownFile(name) => write!(f, "no such file {name:?}"),
+            MachineError::Spcm(e) => write!(f, "spcm: {e}"),
         }
     }
 }
@@ -91,6 +96,7 @@ impl std::error::Error for MachineError {
             MachineError::Kernel(e) => Some(e),
             MachineError::Manager { source, .. } => Some(source),
             MachineError::ManagerOp { source, .. } => Some(source),
+            MachineError::Spcm(e) => Some(e),
             _ => None,
         }
     }
@@ -99,6 +105,12 @@ impl std::error::Error for MachineError {
 impl From<epcm_core::KernelError> for MachineError {
     fn from(e: epcm_core::KernelError) -> Self {
         MachineError::Kernel(e)
+    }
+}
+
+impl From<SpcmError> for MachineError {
+    fn from(e: SpcmError) -> Self {
+        MachineError::Spcm(e)
     }
 }
 
@@ -153,6 +165,7 @@ pub struct MachineBuilder {
     policy: AllocationPolicy,
     reserve: u64,
     tiers: Option<TierLayout>,
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl MachineBuilder {
@@ -165,6 +178,7 @@ impl MachineBuilder {
             policy: AllocationPolicy::FirstCome,
             reserve: 0,
             tiers: None,
+            watchdog: None,
         }
     }
 
@@ -201,6 +215,14 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables the upcall watchdog (default: off). Off by default so
+    /// that chaos-free runs carry no watchdog state and their ledgers
+    /// stay byte-identical with pre-watchdog builds.
+    pub fn watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.watchdog = Some(config);
+        self
+    }
+
     /// Builds the machine.
     pub fn build(self) -> Machine {
         Machine {
@@ -217,6 +239,7 @@ impl MachineBuilder {
             trace: None,
             event_tracer: None,
             quarantine_seg: None,
+            watchdog: self.watchdog.map(Watchdog::new),
         }
     }
 }
@@ -252,6 +275,9 @@ pub struct Machine {
     /// System-owned segment where seized dirty pages that could not be
     /// written back are impounded; created on first use.
     quarantine_seg: Option<SegmentId>,
+    /// Deadline enforcement on manager upcalls; `None` (the default)
+    /// keeps chaos-free runs byte-identical with pre-watchdog builds.
+    watchdog: Option<Watchdog>,
 }
 
 /// Write-back attempts the machine itself makes while seizing a dirty
@@ -333,6 +359,17 @@ impl Machine {
         self.kernel.stats()
     }
 
+    /// Turns on the upcall watchdog after construction (equivalent to
+    /// [`MachineBuilder::watchdog`]).
+    pub fn enable_watchdog(&mut self, config: WatchdogConfig) {
+        self.watchdog = Some(Watchdog::new(config));
+    }
+
+    /// The upcall watchdog, if enabled.
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.watchdog.as_ref()
+    }
+
     /// Starts recording [`TraceStep`]s (the Figure 2 walkthrough).
     pub fn enable_trace(&mut self) {
         self.trace = Some(Vec::new());
@@ -374,6 +411,9 @@ impl Machine {
         let mut m = MetricsRegistry::new();
         self.kernel.export_metrics(&mut m);
         self.spcm.export_metrics(&mut m);
+        if let Some(dog) = &self.watchdog {
+            dog.export_metrics(&mut m);
+        }
         m.set("machine.manager_calls", self.stats.manager_calls);
         m.set(
             "machine.manager_time_us",
@@ -622,7 +662,25 @@ impl Machine {
         let shortfall = demand.shortfall(self.spcm.granted_to(manager));
         if shortfall > 0 && self.managers.contains_key(&manager.0) {
             self.stats.manager_calls += 1;
-            let _ = self.with_manager(manager, |m, env| m.reclaim(env, shortfall));
+            let started = self.kernel.now();
+            let before = self.spcm.granted_to(manager);
+            let claimed = self
+                .with_manager(manager, |m, env| m.reclaim(env, shortfall))
+                .unwrap_or(0);
+            let elapsed = self.kernel.now().duration_since(started);
+            // The grant ledger is the ground truth; a reply claiming more
+            // compliance than the ledger saw is byzantine and is rejected,
+            // fined, and escalated — the demand itself stands regardless.
+            let actual = before.saturating_sub(self.spcm.granted_to(manager));
+            if claimed > actual {
+                self.note_byzantine(manager, claimed - actual)?;
+            }
+            self.observe_upcall(manager, UpcallKind::Reclaim, elapsed)?;
+            if !self.managers.contains_key(&manager.0) {
+                // Escalation already failed the manager over (or destroyed
+                // it); nothing is left to demand frames from.
+                return Ok(());
+            }
         }
         if self.spcm.revocation_satisfied(manager) {
             self.spcm.clear_revocation(manager);
@@ -899,6 +957,149 @@ impl Machine {
         Ok(())
     }
 
+    // ----- the watchdog and failover ---------------------------------------------
+
+    /// Times one completed upcall against the watchdog (when enabled): a
+    /// miss is traced and fined, and a manager that exhausts its strikes
+    /// is failed over on the spot. No-op without a watchdog.
+    ///
+    /// # Errors
+    ///
+    /// Kernel failures during a triggered failover.
+    fn observe_upcall(
+        &mut self,
+        manager: ManagerId,
+        kind: UpcallKind,
+        elapsed: Micros,
+    ) -> Result<(), MachineError> {
+        let Some(dog) = self.watchdog.as_mut() else {
+            return Ok(());
+        };
+        let deadline = dog.config().deadline(kind);
+        let fine = dog.config().miss_fine;
+        let UpcallVerdict::Missed { .. } = dog.observe(manager.0, kind, elapsed) else {
+            return Ok(());
+        };
+        let exhausted = dog.exhausted(manager.0);
+        self.emit(EventKind::DeadlineMissed {
+            manager: manager.0,
+            upcall: kind.code(),
+            deadline_us: deadline.as_micros(),
+            elapsed_us: elapsed.as_micros(),
+        });
+        if let Some(market) = self.spcm.market_mut() {
+            market.debit(manager, fine);
+        }
+        if exhausted {
+            self.fail_over(manager)?;
+        }
+        Ok(())
+    }
+
+    /// Records a byzantine reclaim reply — the manager claimed `frames`
+    /// more compliance than the grant ledger saw. The lie is traced and
+    /// fined; under a watchdog it also counts as a strike, escalating to
+    /// failover like a deadline miss.
+    ///
+    /// # Errors
+    ///
+    /// Kernel failures during a triggered failover.
+    fn note_byzantine(&mut self, manager: ManagerId, frames: u64) -> Result<(), MachineError> {
+        self.emit(EventKind::ByzantineReply {
+            manager: manager.0,
+            frames,
+        });
+        let fine = self
+            .watchdog
+            .as_ref()
+            .map(|dog| dog.config().miss_fine)
+            .unwrap_or(0.0);
+        if fine > 0.0 {
+            if let Some(market) = self.spcm.market_mut() {
+                market.debit(manager, fine);
+            }
+        }
+        let exhausted = match self.watchdog.as_mut() {
+            Some(dog) => {
+                dog.penalize(manager.0);
+                dog.exhausted(manager.0)
+            }
+            None => false,
+        };
+        if exhausted {
+            self.fail_over(manager)?;
+        }
+        Ok(())
+    }
+
+    /// Fails a manager over to the default manager: its data segments are
+    /// atomically reassigned with a warm handoff (resident pages stay
+    /// resident, dirty pages keep their DIRTY flag and flow through the
+    /// heir's laundry), its free-pool frames go straight back to the boot
+    /// pool, and its market account is settled. Falls back to
+    /// [`Machine::destroy_manager`] when no distinct default manager
+    /// exists. Returns the heir, or `None` if the manager was destroyed
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Kernel failures, or the heir failing to adopt a segment.
+    pub fn fail_over(&mut self, manager: ManagerId) -> Result<Option<ManagerId>, MachineError> {
+        let heir = self
+            .default_manager
+            .filter(|&d| d != manager && self.managers.contains_key(&d.0));
+        let Some(heir) = heir else {
+            self.destroy_manager(manager)?;
+            return Ok(None);
+        };
+        let segs: Vec<SegmentId> = self
+            .kernel
+            .segment_ids()
+            .filter(|&s| s != SegmentId::FRAME_POOL && self.quarantine_seg != Some(s))
+            .filter(|&s| {
+                self.kernel
+                    .segment(s)
+                    .map(|seg| seg.manager() == manager)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let mut moved_segments = 0u64;
+        let mut moved_frames = 0u64;
+        for s in segs {
+            let is_pool = matches!(self.kernel.segment(s)?.kind(), SegmentKind::FramePool);
+            if is_pool {
+                // The dead manager's free pool: frames go straight home,
+                // shrinking its grant in the same motion.
+                let pages: Vec<PageNumber> =
+                    self.kernel.segment(s)?.resident().map(|(p, _)| p).collect();
+                self.spcm
+                    .return_frames(&mut self.kernel, manager, s, &pages)?;
+                self.kernel.destroy_segment(s)?;
+            } else {
+                // Warm handoff: the heir attaches without touching the
+                // resident set, and the grant ledger follows the frames.
+                let resident = self.kernel.resident_pages(s)?;
+                self.stats.manager_calls += 1;
+                self.with_manager(heir, |m, env| m.attach(env, s))?;
+                self.spcm.transfer_grant(manager, heir, resident);
+                moved_segments += 1;
+                moved_frames += resident;
+            }
+        }
+        self.managers.remove(&manager.0);
+        self.spcm.note_failed_over(manager);
+        if let Some(dog) = self.watchdog.as_mut() {
+            dog.note_failed_over(manager.0);
+        }
+        self.emit(EventKind::ManagerFailedOver {
+            manager: manager.0,
+            heir: heir.0,
+            segments: moved_segments,
+            frames: moved_frames,
+        });
+        Ok(Some(heir))
+    }
+
     // ----- the fault loop -------------------------------------------------------
 
     fn run_to_completion(
@@ -969,6 +1170,7 @@ impl Machine {
         if let Some(t) = &mut self.trace {
             t.push(TraceStep::Resumed { elapsed });
         }
+        self.observe_upcall(fault.manager, UpcallKind::Fault, elapsed)?;
         result.map_err(|source| MachineError::Manager { fault, source })
     }
 
@@ -1078,7 +1280,10 @@ impl Machine {
         for id in ids {
             // A manager may have been destroyed by enforcement this tick.
             if self.managers.contains_key(&id) {
+                let started = self.kernel.now();
                 self.with_manager(ManagerId(id), |m, env| m.tick(env))?;
+                let elapsed = self.kernel.now().duration_since(started);
+                self.observe_upcall(ManagerId(id), UpcallKind::Tick, elapsed)?;
             }
         }
         Ok(())

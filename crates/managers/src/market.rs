@@ -214,6 +214,22 @@ impl MemoryMarket {
         }
     }
 
+    /// Settles and closes out a manager's account at failover or
+    /// destruction: the remaining balance (positive or negative) is
+    /// forfeited to the system and the income stream stops, so a dead
+    /// manager neither accrues drams nor carries debt forward. The
+    /// forfeit counts toward `total_charged`, keeping
+    /// [`MemoryMarket::ledger_residual`] conserved. Returns the settled
+    /// balance, or `None` if the account does not exist.
+    pub fn settle_account(&mut self, manager: ManagerId) -> Option<f64> {
+        let a = self.accounts.get_mut(&manager.0)?;
+        let balance = a.balance;
+        a.balance = 0.0;
+        a.income_per_sec = 0.0;
+        self.total_charged += balance;
+        Some(balance)
+    }
+
     /// Advances the ledger to `now`: pays income, charges `M*D*T` for the
     /// supplied holdings (unless the market is uncontended and configured
     /// free), and applies the savings tax. Returns the managers whose

@@ -37,19 +37,26 @@
 //! and is only ever invoked by that lane's worker thread.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread;
 
 use epcm_core::shard::{ShardId, ShardLayout};
-use epcm_core::types::{AccessKind, ManagerId, SegmentKind};
-use epcm_sim::clock::Timestamp;
+use epcm_core::types::{AccessKind, ManagerId, SegmentKind, UserId};
+use epcm_core::watchdog::WatchdogConfig;
+use epcm_sim::chaos::{ChaosEvent, ChaosPlan};
+use epcm_sim::clock::{Micros, Timestamp};
+use epcm_sim::cost::CostModel;
 use epcm_sim::events::ShardedEventQueue;
 use epcm_sim::rng::Rng;
 
+use crate::chaotic::ChaoticManager;
 use crate::default_manager::DefaultSegmentManager;
 use crate::machine::Machine;
 use crate::market::{MarketConfig, MemoryMarket};
+use crate::spcm::RevocationConfig;
 
 /// Configures one sharded multi-tenant run. The *logical* workload —
 /// lanes, frames, pages, epochs — is fixed here; the worker shard count
@@ -71,6 +78,15 @@ pub struct ShardEngineConfig {
     pub spill_frames: u64,
     /// Seed mixed into every tenant's access-pattern generator.
     pub seed: u64,
+    /// Chaos-injection schedule. `None` (the default constructions)
+    /// leaves every path byte-identical to a chaos-free build: no
+    /// watchdog is armed, no [`ChaoticManager`] is registered, and the
+    /// coordinator emits no incident lines.
+    pub chaos: Option<ChaosPlan>,
+    /// Tenant churn: when set, each lane arrives and departs at epochs
+    /// drawn deterministically from the seed, exercising mid-run
+    /// account settlement and lease reclamation.
+    pub churn: bool,
 }
 
 impl ShardEngineConfig {
@@ -86,6 +102,8 @@ impl ShardEngineConfig {
             rounds_per_epoch: 2,
             spill_frames: 24,
             seed: 0x5eed_cafe,
+            chaos: None,
+            churn: false,
         }
     }
 
@@ -100,7 +118,26 @@ impl ShardEngineConfig {
             rounds_per_epoch: 2,
             spill_frames: 40,
             seed: 0x57e5_5eed,
+            chaos: None,
+            churn: false,
         }
+    }
+
+    /// The epoch window `[arrive, depart)` in which `lane` is active.
+    /// A pure function of `(seed, lane)` — never of the worker grouping
+    /// — so churn decisions are shard-count invariant. Without churn
+    /// every lane runs the whole span.
+    pub fn churn_window(&self, lane: u64) -> (u32, u32) {
+        if !self.churn {
+            return (0, self.epochs);
+        }
+        let mut rng = Rng::seed_from(
+            self.seed ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xc4_0a05_a7c4_0a05,
+        );
+        let third = self.epochs / 3;
+        let arrive = rng.below(u64::from(third) + 1) as u32;
+        let depart = self.epochs - third + rng.below(u64::from(third) + 1) as u32;
+        (arrive, depart.max(arrive + 1).min(self.epochs))
     }
 
     /// The [`ShardLayout`] of this configuration under `shards` workers
@@ -136,6 +173,28 @@ pub enum CrossShardMsg {
     },
 }
 
+/// A lane's liveness at an epoch barrier, as reported to the
+/// coordinator. Chaos-free, churn-free runs only ever report
+/// [`LaneStatus::Active`], which the coordinator treats exactly as the
+/// pre-chaos engine did — no extra trace bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneStatus {
+    /// The lane ran its epoch normally (possibly after containing a
+    /// chaos event — see [`LaneReport::incidents`]).
+    Active,
+    /// The lane has not arrived yet, or already departed.
+    Idle,
+    /// The lane is departing this epoch: the coordinator must reclaim
+    /// its spill leases and settle its market account.
+    Departing,
+    /// The lane died and could not be failed over; the coordinator
+    /// reclaims its leases and settles its account.
+    Dead {
+        /// Human-readable cause, folded into the trace.
+        reason: String,
+    },
+}
+
 /// One lane's epoch-barrier report to the coordinator.
 #[derive(Debug, Clone)]
 pub struct LaneReport {
@@ -149,6 +208,11 @@ pub struct LaneReport {
     pub faults: u64,
     /// Cross-shard requests, stamped with the lane time they were made.
     pub msgs: Vec<(Timestamp, CrossShardMsg)>,
+    /// The lane's liveness this epoch.
+    pub status: LaneStatus,
+    /// Contained chaos events and churn transitions this epoch, in
+    /// occurrence order; empty on every chaos-free run.
+    pub incidents: Vec<String>,
 }
 
 /// The coordinator's broadcast after an epoch barrier: the merged,
@@ -180,6 +244,28 @@ pub struct EpochSummary {
     pub leased: u64,
 }
 
+/// How a lane's run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneFate {
+    /// Ran every epoch of its window to completion.
+    Completed,
+    /// Departed mid-run under churn; results are a departure snapshot.
+    Departed,
+    /// Its manager crashed at least once; the lane was failed over to
+    /// the default manager and kept running.
+    Crashed,
+}
+
+impl fmt::Display for LaneFate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LaneFate::Completed => "completed",
+            LaneFate::Departed => "departed",
+            LaneFate::Crashed => "crashed",
+        })
+    }
+}
+
 /// Final per-lane results.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaneResult {
@@ -197,6 +283,10 @@ pub struct LaneResult {
     pub final_time_us: u64,
     /// The lane's final market balance (drams).
     pub balance: f64,
+    /// How the lane's run ended.
+    pub fate: LaneFate,
+    /// Watchdog-driven manager failovers the lane's machine performed.
+    pub failovers: u64,
 }
 
 /// Everything one sharded run produced. Contains no trace of the worker
@@ -217,7 +307,41 @@ pub struct ShardRunReport {
     pub conserved: bool,
     /// The market ledger residual (expected ~0; conservation check).
     pub ledger_residual: f64,
+    /// Manager failovers across all lanes (watchdog escalations plus
+    /// crash containments).
+    pub failovers: u64,
+    /// Lanes whose manager crashed at least once.
+    pub crashes: u64,
+    /// Lanes that departed mid-run under churn.
+    pub departures: u64,
+    /// Release messages asking back more frames than the lane held;
+    /// the pool clamps them, the coordinator counts and traces them.
+    pub spill_over_releases: u64,
 }
+
+/// Why a sharded run could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardEngineError {
+    /// A worker thread panicked outside per-lane containment.
+    WorkerPanicked {
+        /// The shard whose worker died.
+        shard: u32,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for ShardEngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardEngineError::WorkerPanicked { shard, message } => {
+                write!(f, "shard {shard} worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardEngineError {}
 
 /// The spill-frame ledger: the coordinator-owned frame range leased out
 /// across shard boundaries. Every frame is either free or leased to
@@ -375,16 +499,30 @@ impl TenantWorkload for DefaultTenantWorkload {
 }
 
 /// One worker's epoch-barrier submission: its lanes' reports, in lane
-/// order.
-struct FromWorker {
-    shard: ShardId,
-    reports: Vec<LaneReport>,
+/// order — or a structured failure with shard context, so an engine
+/// bug aborts the run with a [`ShardEngineError`] instead of a bare
+/// thread panic.
+enum FromWorker {
+    Reports {
+        shard: ShardId,
+        reports: Vec<LaneReport>,
+    },
+    Failed {
+        shard: ShardId,
+        message: String,
+    },
 }
 
 /// One worker's final submission after the last epoch.
-struct WorkerDone {
-    shard: ShardId,
-    results: Vec<LaneResult>,
+enum WorkerDone {
+    Results {
+        shard: ShardId,
+        results: Vec<LaneResult>,
+    },
+    Failed {
+        shard: ShardId,
+        message: String,
+    },
 }
 
 /// A tenant lane owned by a worker: a whole machine plus lane state.
@@ -392,10 +530,26 @@ struct Tenant {
     lane: u64,
     machine: Machine,
     seg: epcm_core::types::SegmentId,
+    /// The lane's [`ChaoticManager`], when chaos is armed; cleared once
+    /// the manager is failed over so later injections are skipped.
+    chaos_id: Option<ManagerId>,
     leased: u64,
     lease_peak: u64,
     faults: u64,
     base_faults: u64,
+    crashed: bool,
+    failovers_seen: u64,
+}
+
+/// A lane slot as the worker sees it across churn: the tenant machine
+/// exists only inside the lane's `[arrive, depart)` window; a departed
+/// lane keeps its snapshot result.
+struct LaneSlot {
+    lane: u64,
+    arrive: u32,
+    depart: u32,
+    tenant: Option<Tenant>,
+    done: Option<LaneResult>,
 }
 
 fn total_faults(m: &Machine) -> u64 {
@@ -407,9 +561,34 @@ fn build_tenant(cfg: &ShardEngineConfig, lane: u64) -> Tenant {
     let mut machine = Machine::builder(cfg.frames_per_lane as usize).build();
     let id = machine.register_manager(Box::new(DefaultSegmentManager::server()));
     machine.set_default_manager(id);
-    let seg = machine
-        .create_segment(SegmentKind::Anonymous, cfg.pages_per_lane)
-        .expect("tenant segment");
+    // Under chaos the tenant's segment is owned by a ChaoticManager and
+    // the kernel arms the upcall watchdog, with a short revocation
+    // grace so byzantine replies escalate within the epoch. The default
+    // manager above stays clean: it is the failover heir.
+    let chaos_id = if cfg.chaos.is_some() {
+        let costs = CostModel::decstation_5000_200();
+        machine.enable_watchdog(WatchdogConfig::from_costs(&costs));
+        machine.spcm_mut().set_revocation_config(RevocationConfig {
+            grace: Micros::from_millis(2),
+            ..RevocationConfig::default()
+        });
+        Some(machine.register_manager(Box::new(ChaoticManager::server(lane))))
+    } else {
+        None
+    };
+    let seg = match chaos_id {
+        Some(cid) => machine
+            .create_segment_with(
+                SegmentKind::Anonymous,
+                cfg.pages_per_lane,
+                cid,
+                UserId::SYSTEM,
+            )
+            .expect("tenant segment"),
+        None => machine
+            .create_segment(SegmentKind::Anonymous, cfg.pages_per_lane)
+            .expect("tenant segment"),
+    };
     for p in 0..cfg.pages_per_lane {
         machine
             .touch(seg, p, AccessKind::Write)
@@ -421,15 +600,179 @@ fn build_tenant(cfg: &ShardEngineConfig, lane: u64) -> Tenant {
         lane,
         machine,
         seg,
+        chaos_id,
         leased: 0,
         lease_peak: 0,
         faults: 0,
         base_faults,
+        crashed: false,
+        failovers_seen: 0,
+    }
+}
+
+fn lane_result(t: &Tenant, fate: LaneFate) -> LaneResult {
+    LaneResult {
+        lane: t.lane,
+        faults: t.faults,
+        manager_calls: t.machine.stats().manager_calls,
+        pages_migrated: t.machine.kernel_stats().pages_migrated,
+        lease_peak: t.lease_peak,
+        final_time_us: t.machine.now().as_micros(),
+        // The market lives on the coordinator; filled in there.
+        balance: 0.0,
+        fate,
+        failovers: t.failovers_seen,
+    }
+}
+
+/// Renders a caught panic payload (strings only; anything else is
+/// summarized).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one tenant through one epoch: inject any scheduled chaos,
+/// contain an injected crash (failing the lane over to its default
+/// manager), and audit a byzantine epoch with an explicit revocation.
+/// Returns the lane's barrier report.
+fn run_tenant_epoch(
+    cfg: &ShardEngineConfig,
+    workload: &dyn TenantWorkload,
+    t: &mut Tenant,
+    epoch: u32,
+    mut incidents: Vec<String>,
+) -> LaneReport {
+    let before = total_faults(&t.machine);
+    let mut byzantine = false;
+    if let Some(plan) = &cfg.chaos {
+        if let Some(event) = plan.roll(t.lane, epoch) {
+            if let Some(cid) = t.chaos_id {
+                let injected = t
+                    .machine
+                    .with_manager(cid, |m, _| {
+                        if let Some(c) = m.as_any_mut().downcast_mut::<ChaoticManager>() {
+                            c.inject(event);
+                        }
+                        Ok(())
+                    })
+                    .is_ok();
+                if injected {
+                    byzantine = matches!(event, ChaosEvent::Byzantine);
+                    incidents.push(format!("chaos injected: {event}"));
+                }
+            }
+        }
+    }
+    let contained = catch_unwind(AssertUnwindSafe(|| {
+        for round in 0..cfg.rounds_per_epoch {
+            for (page, kind) in workload.round(t.lane, epoch, round, cfg.pages_per_lane, t.leased) {
+                t.machine
+                    .touch(t.seg, page, kind)
+                    .expect("tenant epoch access");
+            }
+            let _ = t.machine.tick();
+        }
+    }));
+    if let Err(payload) = contained {
+        if cfg.chaos.is_none() {
+            // Without injected chaos a panic here is an engine bug;
+            // surface it to the worker frame (and try_run's error path)
+            // instead of silently swallowing it.
+            std::panic::resume_unwind(payload);
+        }
+        t.crashed = true;
+        incidents.push(format!(
+            "crash contained: {}",
+            panic_message(payload.as_ref())
+        ));
+        if let Some(cid) = t.chaos_id.take() {
+            match t.machine.fail_over(cid) {
+                Ok(Some(heir)) => incidents.push(format!("failed over to manager {}", heir.0)),
+                Ok(None) => incidents.push("no heir; manager destroyed".to_string()),
+                Err(e) => incidents.push(format!("failover failed: {e}")),
+            }
+            t.failovers_seen = t.machine.watchdog().map_or(0, |d| d.failovers());
+        }
+    } else if byzantine {
+        if let Some(cid) = t.chaos_id {
+            // Audit the lying manager: a polite revocation whose reply
+            // the kernel checks against the grant ledger.
+            let _ = t.machine.revoke(cid, 1 + t.lane % 2);
+            incidents.push("byzantine reclaim audited".to_string());
+        }
+    }
+    // Deadline misses escalate inside the machine; notice when the
+    // ladder failed the chaotic manager over so we stop injecting.
+    let failovers = t.machine.watchdog().map_or(0, |d| d.failovers());
+    if failovers > t.failovers_seen {
+        incidents.push(format!("watchdog failover #{failovers}"));
+        t.failovers_seen = failovers;
+        t.chaos_id = None;
+    }
+    let faults = total_faults(&t.machine) - before;
+    t.faults = total_faults(&t.machine) - t.base_faults;
+    let resident: u64 = t
+        .machine
+        .spcm()
+        .holdings()
+        .iter()
+        .map(|&(_, frames)| frames)
+        .sum();
+    let now = t.machine.now();
+    // Cross-shard policy: under fault pressure ask the coordinator for
+    // spill frames; once pressure subsides, return half the lease per
+    // epoch.
+    let mut msgs = Vec::new();
+    if faults > cfg.frames_per_lane / 2 {
+        msgs.push((
+            now,
+            CrossShardMsg::Lease {
+                lane: t.lane,
+                frames: 1 + t.lane % 3,
+            },
+        ));
+    } else if t.leased > 0 {
+        msgs.push((
+            now,
+            CrossShardMsg::Release {
+                lane: t.lane,
+                frames: t.leased.div_ceil(2),
+            },
+        ));
+    }
+    if byzantine {
+        // A byzantine epoch also over-releases: asks the pool for more
+        // frames back than the lane holds, pinning the clamped
+        // `spill_over_release` path on the coordinator.
+        msgs.push((
+            now,
+            CrossShardMsg::Release {
+                lane: t.lane,
+                frames: t.leased + 2,
+            },
+        ));
+    }
+    LaneReport {
+        lane: t.lane,
+        now,
+        resident,
+        faults,
+        msgs,
+        status: LaneStatus::Active,
+        incidents,
     }
 }
 
 /// The per-shard worker body: advance each owned lane through one epoch,
-/// report at the barrier, apply the coordinator's plan, repeat.
+/// report at the barrier, apply the coordinator's plan, repeat. Channel
+/// failures mean the coordinator is gone (another worker failed); the
+/// worker just unwinds its lanes and returns.
 fn worker_loop(
     cfg: &ShardEngineConfig,
     layout: ShardLayout,
@@ -439,90 +782,110 @@ fn worker_loop(
     reports: &mpsc::Sender<FromWorker>,
     done: &mpsc::Sender<WorkerDone>,
 ) {
-    let mut tenants: Vec<Tenant> = layout
+    let mut slots: Vec<LaneSlot> = layout
         .lane_range(shard)
-        .map(|lane| build_tenant(cfg, lane))
+        .map(|lane| {
+            let (arrive, depart) = cfg.churn_window(lane);
+            LaneSlot {
+                lane,
+                arrive,
+                depart,
+                tenant: None,
+                done: None,
+            }
+        })
         .collect();
     for epoch in 0..cfg.epochs {
-        let mut epoch_reports = Vec::with_capacity(tenants.len());
-        for t in &mut tenants {
-            let before = total_faults(&t.machine);
-            for round in 0..cfg.rounds_per_epoch {
-                for (page, kind) in
-                    workload.round(t.lane, epoch, round, cfg.pages_per_lane, t.leased)
-                {
-                    t.machine
-                        .touch(t.seg, page, kind)
-                        .expect("tenant epoch access");
+        let mut epoch_reports = Vec::with_capacity(slots.len());
+        for slot in &mut slots {
+            let mut incidents = Vec::new();
+            if epoch == slot.arrive && slot.tenant.is_none() && slot.done.is_none() {
+                slot.tenant = Some(build_tenant(cfg, slot.lane));
+                if cfg.churn {
+                    incidents.push(format!("arrived (window {}..{})", slot.arrive, slot.depart));
                 }
-                let _ = t.machine.tick();
             }
-            let faults = total_faults(&t.machine) - before;
-            t.faults = total_faults(&t.machine) - t.base_faults;
-            let resident: u64 = t
-                .machine
-                .spcm()
-                .holdings()
-                .iter()
-                .map(|&(_, frames)| frames)
-                .sum();
-            let now = t.machine.now();
-            // Cross-shard policy: under fault pressure ask the
-            // coordinator for spill frames; once pressure subsides,
-            // return half the lease per epoch.
-            let mut msgs = Vec::new();
-            if faults > cfg.frames_per_lane / 2 {
-                msgs.push((
-                    now,
-                    CrossShardMsg::Lease {
-                        lane: t.lane,
-                        frames: 1 + t.lane % 3,
-                    },
-                ));
-            } else if t.leased > 0 {
-                msgs.push((
-                    now,
-                    CrossShardMsg::Release {
-                        lane: t.lane,
-                        frames: t.leased.div_ceil(2),
-                    },
-                ));
+            if epoch >= slot.depart {
+                if let Some(t) = slot.tenant.take() {
+                    let fate = if t.crashed {
+                        LaneFate::Crashed
+                    } else {
+                        LaneFate::Departed
+                    };
+                    slot.done = Some(lane_result(&t, fate));
+                    incidents.push("departed".to_string());
+                    epoch_reports.push(LaneReport {
+                        lane: slot.lane,
+                        now: t.machine.now(),
+                        resident: 0,
+                        faults: 0,
+                        msgs: Vec::new(),
+                        status: LaneStatus::Departing,
+                        incidents,
+                    });
+                    continue;
+                }
             }
-            epoch_reports.push(LaneReport {
-                lane: t.lane,
-                now,
-                resident,
-                faults,
-                msgs,
-            });
+            match slot.tenant.as_mut() {
+                Some(t) => {
+                    epoch_reports.push(run_tenant_epoch(cfg, workload, t, epoch, incidents));
+                }
+                None => epoch_reports.push(LaneReport {
+                    lane: slot.lane,
+                    now: Timestamp::ZERO,
+                    resident: 0,
+                    faults: 0,
+                    msgs: Vec::new(),
+                    status: LaneStatus::Idle,
+                    incidents,
+                }),
+            }
         }
-        reports
-            .send(FromWorker {
+        if reports
+            .send(FromWorker::Reports {
                 shard,
                 reports: epoch_reports,
             })
-            .expect("coordinator is receiving");
-        let plan = plans.recv().expect("coordinator broadcasts a plan");
-        for t in &mut tenants {
-            t.leased = plan.leases[t.lane as usize];
-            t.lease_peak = t.lease_peak.max(t.leased);
+            .is_err()
+        {
+            return;
+        }
+        let Ok(plan) = plans.recv() else {
+            return;
+        };
+        for slot in &mut slots {
+            if let Some(t) = slot.tenant.as_mut() {
+                t.leased = plan.leases[t.lane as usize];
+                t.lease_peak = t.lease_peak.max(t.leased);
+            }
         }
     }
-    let results = tenants
+    let results = slots
         .iter()
-        .map(|t| LaneResult {
-            lane: t.lane,
-            faults: t.faults,
-            manager_calls: t.machine.stats().manager_calls,
-            pages_migrated: t.machine.kernel_stats().pages_migrated,
-            lease_peak: t.lease_peak,
-            final_time_us: t.machine.now().as_micros(),
-            // The market lives on the coordinator; filled in there.
-            balance: 0.0,
+        .map(|slot| match (&slot.tenant, &slot.done) {
+            (Some(t), _) => {
+                let fate = if t.crashed {
+                    LaneFate::Crashed
+                } else {
+                    LaneFate::Completed
+                };
+                lane_result(t, fate)
+            }
+            (None, Some(r)) => r.clone(),
+            (None, None) => LaneResult {
+                lane: slot.lane,
+                faults: 0,
+                manager_calls: 0,
+                pages_migrated: 0,
+                lease_peak: 0,
+                final_time_us: 0,
+                balance: 0.0,
+                fate: LaneFate::Departed,
+                failovers: 0,
+            },
         })
         .collect();
-    done.send(WorkerDone { shard, results })
-        .expect("coordinator collects results");
+    let _ = done.send(WorkerDone::Results { shard, results });
 }
 
 /// Market configuration of the shard economy: charges high enough that
@@ -546,14 +909,48 @@ pub fn run(cfg: &ShardEngineConfig, shards: u32) -> ShardRunReport {
     run_with(cfg, shards, &DefaultTenantWorkload { seed: cfg.seed })
 }
 
+/// Fallible variant of [`run`].
+///
+/// # Errors
+///
+/// [`ShardEngineError::WorkerPanicked`] when a worker dies outside
+/// per-lane containment.
+pub fn try_run(cfg: &ShardEngineConfig, shards: u32) -> Result<ShardRunReport, ShardEngineError> {
+    try_run_with(cfg, shards, &DefaultTenantWorkload { seed: cfg.seed })
+}
+
 /// Runs the sharded engine: one worker thread per (non-empty) shard,
 /// bulk-synchronous epochs, deterministic cross-shard merge. The report
 /// is byte-identical for every `shards` value.
+///
+/// # Panics
+///
+/// Panics (with shard context) if a worker dies outside per-lane
+/// containment; use [`try_run_with`] to handle that as an error.
 pub fn run_with(
     cfg: &ShardEngineConfig,
     shards: u32,
     workload: &dyn TenantWorkload,
 ) -> ShardRunReport {
+    match try_run_with(cfg, shards, workload) {
+        Ok(report) => report,
+        Err(e) => panic!("sharded run failed: {e}"),
+    }
+}
+
+/// The fallible engine entry point: like [`run_with`], but a worker
+/// panic outside per-lane containment surfaces as a structured
+/// [`ShardEngineError`] carrying the shard and panic message instead of
+/// aborting the caller through a bare `join` panic.
+///
+/// # Errors
+///
+/// [`ShardEngineError::WorkerPanicked`] when a worker dies.
+pub fn try_run_with(
+    cfg: &ShardEngineConfig,
+    shards: u32,
+    workload: &dyn TenantWorkload,
+) -> Result<ShardRunReport, ShardEngineError> {
     assert!(cfg.lanes > 0, "the engine needs at least one lane");
     let layout = cfg.layout(shards);
     let shard_count = layout.shards();
@@ -565,8 +962,10 @@ pub fn run_with(
     let mut epochs: Vec<EpochSummary> = Vec::new();
     let mut results: Vec<Option<LaneResult>> = vec![None; lanes];
     let mut leases = vec![0u64; lanes];
+    let mut departures = 0u64;
+    let mut spill_over_releases = 0u64;
 
-    thread::scope(|scope| {
+    thread::scope(|scope| -> Result<(), ShardEngineError> {
         let (report_tx, report_rx) = mpsc::channel::<FromWorker>();
         let (done_tx, done_rx) = mpsc::channel::<WorkerDone>();
         let mut plan_txs = Vec::with_capacity(shard_count as usize);
@@ -576,15 +975,31 @@ pub fn run_with(
             let report_tx = report_tx.clone();
             let done_tx = done_tx.clone();
             scope.spawn(move || {
-                worker_loop(
-                    cfg,
-                    layout,
-                    ShardId(s),
-                    workload,
-                    &plan_rx,
-                    &report_tx,
-                    &done_tx,
-                );
+                // Contain the whole worker: anything that escapes the
+                // per-lane containment is reported as a structured
+                // failure with shard context, never a bare join abort.
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    worker_loop(
+                        cfg,
+                        layout,
+                        ShardId(s),
+                        workload,
+                        &plan_rx,
+                        &report_tx,
+                        &done_tx,
+                    );
+                }));
+                if let Err(payload) = caught {
+                    let message = panic_message(payload.as_ref());
+                    let _ = report_tx.send(FromWorker::Failed {
+                        shard: ShardId(s),
+                        message: message.clone(),
+                    });
+                    let _ = done_tx.send(WorkerDone::Failed {
+                        shard: ShardId(s),
+                        message,
+                    });
+                }
             });
         }
         drop(report_tx);
@@ -595,8 +1010,23 @@ pub fn run_with(
             // order is scheduling noise and must not matter).
             let mut per_shard: Vec<Option<Vec<LaneReport>>> = vec![None; shard_count as usize];
             for _ in 0..shard_count {
-                let fw = report_rx.recv().expect("every worker reports each epoch");
-                per_shard[fw.shard.index()] = Some(fw.reports);
+                match report_rx.recv() {
+                    Ok(FromWorker::Reports { shard, reports }) => {
+                        per_shard[shard.index()] = Some(reports);
+                    }
+                    Ok(FromWorker::Failed { shard, message }) => {
+                        return Err(ShardEngineError::WorkerPanicked {
+                            shard: shard.0,
+                            message,
+                        });
+                    }
+                    Err(_) => {
+                        return Err(ShardEngineError::WorkerPanicked {
+                            shard: u32::MAX,
+                            message: "a worker exited without reporting".to_string(),
+                        });
+                    }
+                }
             }
             // Shards hold contiguous ascending lane runs, so shard-order
             // concatenation is lane-ascending — the grouping-invariant
@@ -642,6 +1072,50 @@ pub fn run_with(
                             time.as_micros(),
                             lane,
                             pool.free_frames()
+                        ));
+                        if returned < frames {
+                            // The pool clamped an over-release: the lane
+                            // offered back frames it never held. Count
+                            // and trace it; conservation is untouched.
+                            spill_over_releases += 1;
+                            trace.push(format!(
+                                "[{:>8}us] lane {:>2} spill_over_release want={frames} held={returned}",
+                                time.as_micros(),
+                                lane
+                            ));
+                        }
+                    }
+                }
+            }
+
+            // Lane incidents and liveness transitions, in lane order.
+            // Chaos-free, churn-free runs report only Active statuses
+            // with empty incident lists, so this adds no trace bytes.
+            for r in &reports {
+                for incident in &r.incidents {
+                    trace.push(format!(
+                        "[{:>8}us] lane {:>2} {incident}",
+                        r.now.as_micros(),
+                        r.lane
+                    ));
+                }
+                match &r.status {
+                    LaneStatus::Active | LaneStatus::Idle => {}
+                    LaneStatus::Departing | LaneStatus::Dead { .. } => {
+                        let seized = pool.release_all(r.lane);
+                        leases[r.lane as usize] = 0;
+                        let settled = market
+                            .settle_account(ManagerId(r.lane as u32))
+                            .unwrap_or(0.0);
+                        departures += 1;
+                        let cause = match &r.status {
+                            LaneStatus::Dead { reason } => format!("dead ({reason})"),
+                            _ => "departed".to_string(),
+                        };
+                        trace.push(format!(
+                            "[{:>8}us] lane {:>2} {cause}: leases -{seized} settled {settled:.2} drams",
+                            r.now.as_micros(),
+                            r.lane
                         ));
                     }
                 }
@@ -700,26 +1174,44 @@ pub fn run_with(
                 leases: leases.clone(),
             };
             for plan_tx in &plan_txs {
-                plan_tx
-                    .send(plan.clone())
-                    .expect("every worker awaits the plan");
+                // A send to a failed worker's closed channel is fine:
+                // its Failed report surfaces on the next barrier.
+                let _ = plan_tx.send(plan.clone());
             }
         }
 
         let mut finished = vec![false; shard_count as usize];
         for _ in 0..shard_count {
-            let d = done_rx.recv().expect("every worker finishes");
-            assert!(
-                !std::mem::replace(&mut finished[d.shard.index()], true),
-                "{} finished twice",
-                d.shard
-            );
-            for r in d.results {
-                let lane = r.lane as usize;
-                results[lane] = Some(r);
+            match done_rx.recv() {
+                Ok(WorkerDone::Results {
+                    shard,
+                    results: lane_results,
+                }) => {
+                    assert!(
+                        !std::mem::replace(&mut finished[shard.index()], true),
+                        "{shard} finished twice"
+                    );
+                    for r in lane_results {
+                        let lane = r.lane as usize;
+                        results[lane] = Some(r);
+                    }
+                }
+                Ok(WorkerDone::Failed { shard, message }) => {
+                    return Err(ShardEngineError::WorkerPanicked {
+                        shard: shard.0,
+                        message,
+                    });
+                }
+                Err(_) => {
+                    return Err(ShardEngineError::WorkerPanicked {
+                        shard: u32::MAX,
+                        message: "a worker exited without finishing".to_string(),
+                    });
+                }
             }
         }
-    });
+        Ok(())
+    })?;
 
     let lanes: Vec<LaneResult> = results
         .into_iter()
@@ -731,14 +1223,20 @@ pub fn run_with(
             r
         })
         .collect();
-    ShardRunReport {
+    let failovers = lanes.iter().map(|l| l.failovers).sum();
+    let crashes = lanes.iter().filter(|l| l.fate == LaneFate::Crashed).count() as u64;
+    Ok(ShardRunReport {
         lanes,
         epochs,
         trace,
         pool_free: pool.free_frames(),
         conserved: pool.conserved(),
         ledger_residual: market.ledger_residual(),
-    }
+        failovers,
+        crashes,
+        departures,
+        spill_over_releases,
+    })
 }
 
 #[cfg(test)]
@@ -754,6 +1252,8 @@ mod tests {
             rounds_per_epoch: 1,
             spill_frames: 8,
             seed: 7,
+            chaos: None,
+            churn: false,
         }
     }
 
@@ -825,6 +1325,95 @@ mod tests {
             report.trace.join("\n")
         );
         assert!(report.epochs.iter().any(|e| e.contended));
+    }
+
+    fn chaotic_tiny() -> ShardEngineConfig {
+        ShardEngineConfig {
+            epochs: 3,
+            chaos: Some(ChaosPlan::new(0xC0FF_EE00).with_rate(1.0)),
+            churn: true,
+            ..tiny()
+        }
+    }
+
+    #[test]
+    fn churn_windows_are_deterministic_and_in_range() {
+        let cfg = ShardEngineConfig {
+            churn: true,
+            ..ShardEngineConfig::quick()
+        };
+        for lane in 0..u64::from(cfg.lanes) {
+            let (arrive, depart) = cfg.churn_window(lane);
+            assert_eq!((arrive, depart), cfg.churn_window(lane));
+            assert!(arrive < depart, "lane {lane}: empty window");
+            assert!(depart <= cfg.epochs);
+            assert!(arrive <= cfg.epochs / 3);
+        }
+        let plain = ShardEngineConfig::quick();
+        assert_eq!(plain.churn_window(3), (0, plain.epochs));
+    }
+
+    #[test]
+    fn chaos_run_is_shard_count_invariant() {
+        let cfg = chaotic_tiny();
+        let serial = run(&cfg, 1);
+        for shards in [2u32, 3, 4, 8] {
+            assert_eq!(
+                serial,
+                run(&cfg, shards),
+                "--shards {shards} diverged from --shards 1 under chaos"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_run_conserves_and_reports_incidents() {
+        let report = run(&chaotic_tiny(), 2);
+        assert!(report.conserved, "spill ledger lost a frame under chaos");
+        assert!(
+            report.ledger_residual.abs() < 1e-6,
+            "market residual {}",
+            report.ledger_residual
+        );
+        // Every epoch of every live lane injects at rate 1.0, so the
+        // merged trace must carry incident lines.
+        assert!(
+            report.trace.iter().any(|l| l.contains("chaos injected")),
+            "no chaos incident ever traced:\n{}",
+            report.trace.join("\n")
+        );
+        // Churn over 3 epochs with third=1 must retire at least one lane.
+        assert!(
+            report.departures > 0,
+            "churn never departed a lane:\n{}",
+            report.trace.join("\n")
+        );
+        assert_eq!(report.lanes.len(), 4);
+        assert_eq!(
+            report.crashes,
+            report
+                .lanes
+                .iter()
+                .filter(|l| l.fate == LaneFate::Crashed)
+                .count() as u64
+        );
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_structured_error() {
+        struct PanickyWorkload;
+        impl TenantWorkload for PanickyWorkload {
+            fn round(&self, lane: u64, _: u32, _: u32, _: u64, _: u64) -> Vec<(u64, AccessKind)> {
+                panic!("synthetic workload failure in lane {lane}");
+            }
+        }
+        let err = try_run_with(&tiny(), 2, &PanickyWorkload)
+            .expect_err("a panicking workload must not produce a report");
+        let ShardEngineError::WorkerPanicked { message, .. } = err;
+        assert!(
+            message.contains("synthetic workload failure"),
+            "panic context lost: {message}"
+        );
     }
 
     #[test]

@@ -345,6 +345,21 @@ impl SystemPageCacheManager {
         self.managers_destroyed += 1;
     }
 
+    /// Forgets a manager that was failed over to an heir. Unlike
+    /// [`SystemPageCacheManager::note_destroyed`] this does not count as
+    /// a destruction — the tenant's segments live on under the heir —
+    /// but the dead manager's residual grant, demand and strikes are
+    /// dropped and its market account is settled (balance forfeited,
+    /// income stopped). Returns the settled balance when a market is in
+    /// force.
+    pub fn note_failed_over(&mut self, manager: ManagerId) -> Option<f64> {
+        self.granted.remove(&manager.0);
+        self.revocations.remove(&manager.0);
+        self.strikes.remove(&manager.0);
+        self.market_mut()
+            .and_then(|market| market.settle_account(manager))
+    }
+
     /// Forced-seizure strikes currently held against `manager`.
     pub fn strikes(&self, manager: ManagerId) -> u32 {
         self.strikes.get(&manager.0).copied().unwrap_or(0)

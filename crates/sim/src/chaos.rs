@@ -1,0 +1,241 @@
+//! Seeded chaos injection for manager-failure experiments.
+//!
+//! The sibling of [`crate::disk::FaultPlan`]: where a `FaultPlan`
+//! schedules *disk* failures, a [`ChaosPlan`] schedules *manager*
+//! failures — crash, hang-for-N-ticks, slow replies and byzantine
+//! reclaim responses — at deterministic event times. The plan is a pure
+//! function: [`ChaosPlan::roll`] derives every decision from
+//! `(seed, lane, epoch)` alone, never from a consumed RNG stream, so
+//! any number of worker threads can evaluate it in any order and agree
+//! on every injection. That purity is what keeps `reproduce --chaos`
+//! byte-identical across `--shards N` and `--jobs M`.
+
+use std::fmt;
+
+use crate::clock::Micros;
+use crate::rng::Rng;
+
+/// One injected manager failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// The manager dies mid-upcall (modelled as a panic the host must
+    /// contain with `catch_unwind`).
+    Crash,
+    /// The manager wedges for `ticks` scheduling quanta before replying
+    /// — long enough to bust any reasonable upcall deadline.
+    Hang {
+        /// Quanta of stall charged to the upcall.
+        ticks: u32,
+    },
+    /// The manager replies late by `extra` — slow, but possibly still
+    /// inside the deadline (the watchdog decides).
+    SlowReply {
+        /// Extra virtual time charged to the upcall.
+        extra: Micros,
+    },
+    /// The manager answers a reclaim demand wrongly: it offers frames it
+    /// was never granted and then claims compliance. The kernel side
+    /// must reject the bogus return, fine the liar and proceed to
+    /// forced seizure.
+    Byzantine,
+}
+
+impl ChaosEvent {
+    /// Stable short name used in rendered traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosEvent::Crash => "crash",
+            ChaosEvent::Hang { .. } => "hang",
+            ChaosEvent::SlowReply { .. } => "slow_reply",
+            ChaosEvent::Byzantine => "byzantine",
+        }
+    }
+}
+
+impl fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosEvent::Crash => write!(f, "crash"),
+            ChaosEvent::Hang { ticks } => write!(f, "hang({ticks})"),
+            ChaosEvent::SlowReply { extra } => write!(f, "slow_reply(+{extra})"),
+            ChaosEvent::Byzantine => write!(f, "byzantine"),
+        }
+    }
+}
+
+/// A deterministic schedule of per-manager failure injections.
+///
+/// # Example
+///
+/// ```
+/// use epcm_sim::chaos::ChaosPlan;
+///
+/// let plan = ChaosPlan::parse("7:0.25").unwrap();
+/// // Pure: the same (lane, epoch) always rolls the same outcome.
+/// assert_eq!(plan.roll(3, 1), plan.roll(3, 1));
+/// // Rate 0 never injects.
+/// assert_eq!(ChaosPlan::new(7).roll(3, 1), None);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    seed: u64,
+    rate: f64,
+}
+
+/// Stall charged per [`ChaosEvent::Hang`] tick: far beyond any sane
+/// upcall deadline, so a hang always registers as a watchdog miss.
+pub const HANG_TICK: Micros = Micros::from_millis(24);
+
+/// Base lateness of a [`ChaosEvent::SlowReply`]; the roll scales it
+/// 1–4×. Small enough that a single slow reply stays inside a
+/// generously drawn deadline.
+pub const SLOW_REPLY_UNIT: Micros = Micros::new(400);
+
+impl ChaosPlan {
+    /// A plan with the given seed and zero injection rate (inject
+    /// nothing until [`ChaosPlan::with_rate`] raises it).
+    pub fn new(seed: u64) -> ChaosPlan {
+        ChaosPlan { seed, rate: 0.0 }
+    }
+
+    /// Sets the per-(lane, epoch) injection probability, clamped to
+    /// `[0, 1]`.
+    pub fn with_rate(mut self, rate: f64) -> ChaosPlan {
+        self.rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-(lane, epoch) injection probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Parses the `seed:rate` CLI form (`reproduce --chaos 7:0.25`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the spec is not
+    /// `<u64 seed>:<probability in [0,1]>`.
+    pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
+        let (seed, rate) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("expected seed:rate, got {spec:?}"))?;
+        let seed: u64 = seed
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad chaos seed {seed:?}: {e}"))?;
+        let rate: f64 = rate
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad chaos rate {rate:?}: {e}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("chaos rate {rate} outside [0, 1]"));
+        }
+        Ok(ChaosPlan::new(seed).with_rate(rate))
+    }
+
+    /// Rolls the injection decision for `(lane, epoch)`. Pure: the
+    /// outcome depends only on the plan and the arguments, so every
+    /// shard grouping and worker count evaluates the same schedule.
+    pub fn roll(&self, lane: u64, epoch: u32) -> Option<ChaosEvent> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let mut rng = Rng::seed_from(
+            self.seed
+                ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ (u64::from(epoch) << 40)
+                ^ 0xc44a_05a7,
+        );
+        if !rng.chance(self.rate) {
+            return None;
+        }
+        Some(match rng.below(4) {
+            0 => ChaosEvent::Crash,
+            1 => ChaosEvent::Hang {
+                ticks: 1 + rng.below(3) as u32,
+            },
+            2 => ChaosEvent::SlowReply {
+                extra: SLOW_REPLY_UNIT * (1 + rng.below(4)),
+            },
+            _ => ChaosEvent::Byzantine,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roll_is_pure_and_seed_sensitive() {
+        let plan = ChaosPlan::new(42).with_rate(0.5);
+        for lane in 0..16 {
+            for epoch in 0..8 {
+                assert_eq!(plan.roll(lane, epoch), plan.roll(lane, epoch));
+            }
+        }
+        let other = ChaosPlan::new(43).with_rate(0.5);
+        let a: Vec<_> = (0..64).map(|l| plan.roll(l, 0)).collect();
+        let b: Vec<_> = (0..64).map(|l| other.roll(l, 0)).collect();
+        assert_ne!(a, b, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn rate_bounds_inject_never_and_always() {
+        let never = ChaosPlan::new(1).with_rate(0.0);
+        let always = ChaosPlan::new(1).with_rate(1.0);
+        for lane in 0..32 {
+            assert_eq!(never.roll(lane, 0), None);
+            assert!(always.roll(lane, 0).is_some());
+        }
+    }
+
+    #[test]
+    fn all_variants_reachable() {
+        let plan = ChaosPlan::new(0xfeed).with_rate(1.0);
+        let mut names = std::collections::BTreeSet::new();
+        for lane in 0..64 {
+            for epoch in 0..8 {
+                if let Some(ev) = plan.roll(lane, epoch) {
+                    names.insert(ev.name());
+                }
+            }
+        }
+        assert_eq!(
+            names.into_iter().collect::<Vec<_>>(),
+            ["byzantine", "crash", "hang", "slow_reply"]
+        );
+    }
+
+    #[test]
+    fn parse_accepts_seed_rate_and_rejects_junk() {
+        let plan = ChaosPlan::parse("7:0.25").unwrap();
+        assert_eq!(plan.seed(), 7);
+        assert!((plan.rate() - 0.25).abs() < 1e-12);
+        assert!(ChaosPlan::parse("7").is_err());
+        assert!(ChaosPlan::parse("x:0.5").is_err());
+        assert!(ChaosPlan::parse("7:nope").is_err());
+        assert!(ChaosPlan::parse("7:1.5").is_err());
+        assert!(ChaosPlan::parse("7:-0.1").is_err());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(ChaosEvent::Crash.to_string(), "crash");
+        assert_eq!(ChaosEvent::Hang { ticks: 2 }.to_string(), "hang(2)");
+        assert_eq!(ChaosEvent::Byzantine.to_string(), "byzantine");
+        assert_eq!(
+            ChaosEvent::SlowReply {
+                extra: Micros::new(800)
+            }
+            .to_string(),
+            "slow_reply(+800us)"
+        );
+    }
+}

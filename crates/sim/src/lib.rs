@@ -17,7 +17,9 @@
 //!   crossing, IPC, page copy, page zeroing, ...) for the two machines,
 //! * [`writeback`] — an asynchronous writeback pipeline that schedules
 //!   laundry completions through the event queue against disk-server
-//!   reservations instead of charging disk time inline.
+//!   reservations instead of charging disk time inline,
+//! * [`chaos`] — a seeded schedule of manager failures (crash, hang,
+//!   slow reply, byzantine reclaim) for robustness experiments.
 //!
 //! Everything in this crate is pure computation on a virtual timeline; no
 //! wall-clock time or OS facilities are consulted.
@@ -37,7 +39,9 @@
 //! [Harty & Cheriton, ASPLOS 1992]: https://dl.acm.org/doi/10.1145/143365.143511
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod chaos;
 pub mod clock;
 pub mod cost;
 pub mod disk;
@@ -46,6 +50,7 @@ pub mod rng;
 pub mod stats;
 pub mod writeback;
 
+pub use chaos::{ChaosEvent, ChaosPlan};
 pub use clock::{Clock, Micros, Timestamp};
 pub use cost::CostModel;
 pub use rng::Rng;

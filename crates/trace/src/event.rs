@@ -27,6 +27,17 @@ pub mod fault_class {
     pub const COW: u8 = 2;
 }
 
+/// Raw encodings for [`EventKind::DeadlineMissed::upcall`], mirroring the
+/// kernel watchdog's upcall classification.
+pub mod upcall_code {
+    /// A fault-handling upcall.
+    pub const FAULT: u8 = 0;
+    /// A polite-reclaim reply.
+    pub const RECLAIM: u8 = 1;
+    /// A periodic maintenance (tick / migration-ack) upcall.
+    pub const TICK: u8 = 2;
+}
+
 /// Raw encodings for the tier fields of [`EventKind::TierMigrated`],
 /// mirroring the kernel's `MemTier` codes.
 pub mod tier_code {
@@ -231,6 +242,41 @@ pub enum EventKind {
         /// Page whose cached copy was discarded.
         page: u64,
     },
+    /// A manager upcall overran its watchdog deadline: the kernel
+    /// observed the reply arriving after the cost-model-derived budget
+    /// and recorded a strike against the manager.
+    DeadlineMissed {
+        /// Manager whose upcall ran late.
+        manager: u32,
+        /// [`upcall_code`] encoding of the upcall class.
+        upcall: u8,
+        /// The deadline the upcall carried, µs.
+        deadline_us: u64,
+        /// How long the upcall actually took, µs.
+        elapsed_us: u64,
+    },
+    /// A manager replied to a reclaim demand with frames it does not
+    /// hold, or claimed compliance it did not deliver; the kernel
+    /// rejected the reply, fined the manager and proceeded unilaterally.
+    ByzantineReply {
+        /// The lying manager.
+        manager: u32,
+        /// Frames of phantom compliance the reply claimed.
+        frames: u64,
+    },
+    /// A failed manager's segments were atomically reassigned to an heir
+    /// (normally the default manager) with a warm handoff: resident
+    /// pages stayed resident and the market account was settled.
+    ManagerFailedOver {
+        /// The manager that failed.
+        manager: u32,
+        /// The manager that inherited its segments.
+        heir: u32,
+        /// Data segments reassigned.
+        segments: u64,
+        /// Resident frames that moved with the segments.
+        frames: u64,
+    },
     /// `MigrateFrame` exchanged a page's frame across physical memory
     /// tiers (demotion or promotion).
     TierMigrated {
@@ -268,6 +314,9 @@ impl EventKind {
             EventKind::WritebackIssued { .. } => "writeback_issued",
             EventKind::WritebackCompleted { .. } => "writeback_completed",
             EventKind::LaundryEvicted { .. } => "laundry_evicted",
+            EventKind::DeadlineMissed { .. } => "deadline_missed",
+            EventKind::ByzantineReply { .. } => "byzantine_reply",
+            EventKind::ManagerFailedOver { .. } => "manager_failed_over",
             EventKind::TierMigrated { .. } => "tier_migrated",
         }
     }
@@ -397,6 +446,27 @@ impl fmt::Display for TraceEvent {
                 segment,
                 page,
             } => write!(f, "mgr={manager} seg={segment} page={page}"),
+            EventKind::DeadlineMissed {
+                manager,
+                upcall,
+                deadline_us,
+                elapsed_us,
+            } => write!(
+                f,
+                "mgr={manager} upcall={upcall} deadline={deadline_us} elapsed={elapsed_us}"
+            ),
+            EventKind::ByzantineReply { manager, frames } => {
+                write!(f, "mgr={manager} frames={frames}")
+            }
+            EventKind::ManagerFailedOver {
+                manager,
+                heir,
+                segments,
+                frames,
+            } => write!(
+                f,
+                "mgr={manager} heir={heir} segments={segments} frames={frames}"
+            ),
             EventKind::TierMigrated {
                 segment,
                 page,
@@ -509,6 +579,22 @@ mod tests {
                 segment: 2,
                 page: 3,
             },
+            EventKind::DeadlineMissed {
+                manager: 1,
+                upcall: upcall_code::FAULT,
+                deadline_us: 12_128,
+                elapsed_us: 24_000,
+            },
+            EventKind::ByzantineReply {
+                manager: 1,
+                frames: 3,
+            },
+            EventKind::ManagerFailedOver {
+                manager: 1,
+                heir: 0,
+                segments: 2,
+                frames: 16,
+            },
             EventKind::TierMigrated {
                 segment: 1,
                 page: 0,
@@ -538,6 +624,9 @@ mod tests {
                 "writeback_issued",
                 "writeback_completed",
                 "laundry_evicted",
+                "deadline_missed",
+                "byzantine_reply",
+                "manager_failed_over",
                 "tier_migrated",
             ]
         );

@@ -21,6 +21,7 @@
 //! [`Machine`]: epcm_managers::Machine
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod apps;
 pub mod runner;

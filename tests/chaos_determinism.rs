@@ -1,0 +1,136 @@
+//! Byte-identity and conservation of the chaos-injection scenario.
+//!
+//! The robustness contract (DESIGN.md §13): under seeded manager
+//! crash/hang/slow/byzantine injection plus tenant churn, the sharded
+//! engine still produces byte-for-byte identical reports, rendered
+//! tables, merged traces and `BENCH_chaos.json` documents for every
+//! worker count — chaos decisions are pure functions of
+//! `(seed, lane, epoch)`, never of the worker grouping — and **no
+//! injected failure strands a frame or a dram**: the spill ledger stays
+//! conserved, departed and failed-over lanes hold zero leases, and the
+//! market ledger residual stays ~0 after every mid-run settlement.
+
+use epcm::managers::shard::{self, LaneFate, ShardEngineConfig};
+use epcm::sim::chaos::ChaosPlan;
+use epcm_bench::chaos;
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+fn plan() -> ChaosPlan {
+    ChaosPlan::new(0xBAD5_EED5).with_rate(0.7)
+}
+
+/// One full fingerprint of a chaos run: rendered tables + JSON document
+/// + the raw merged trace.
+fn fingerprint(report: &shard::ShardRunReport) -> String {
+    let mut out = chaos::render(&plan(), report);
+    out.push_str(&chaos::chaos_json(&plan(), report));
+    for line in &report.trace {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn chaos_run_is_shard_count_invariant() {
+    let flat = chaos::run_report(plan(), SHARD_COUNTS[0]);
+    let baseline = fingerprint(&flat);
+    for &n in &SHARD_COUNTS[1..] {
+        let sharded = chaos::run_report(plan(), n);
+        assert_eq!(
+            flat, sharded,
+            "--shards {n} chaos report diverged from --shards 1"
+        );
+        assert_eq!(
+            baseline,
+            fingerprint(&sharded),
+            "--shards {n} chaos bytes diverged from --shards 1"
+        );
+    }
+}
+
+#[test]
+fn chaos_quick_run_contains_failures_without_losing_frames() {
+    let report = chaos::run_report(plan(), 4);
+    assert!(report.conserved, "spill pool lost a frame under chaos");
+    assert!(
+        report.ledger_residual.abs() < 1e-6,
+        "market ledger out of balance under chaos: residual {}",
+        report.ledger_residual
+    );
+    // Rate 0.7 over 12 lanes must actually inject; the trace carries
+    // the containment story.
+    assert!(
+        report.trace.iter().any(|l| l.contains("chaos injected")),
+        "no chaos event ever injected:\n{}",
+        report.trace.join("\n")
+    );
+    // Churn must retire lanes mid-run and settle their accounts.
+    assert!(report.departures > 0, "churn never departed a lane");
+    // Every lane whose fate says "departed" went through a Departing
+    // barrier; lanes that crashed first and then departed are counted
+    // under the crash fate, so the counter can only exceed the fates.
+    let departed_fates = report
+        .lanes
+        .iter()
+        .filter(|l| l.fate == LaneFate::Departed)
+        .count() as u64;
+    assert!(
+        report.departures >= departed_fates,
+        "departure counter {} below departed fates {departed_fates}",
+        report.departures
+    );
+    // A departed lane's account was settled to zero at the barrier.
+    for l in &report.lanes {
+        if l.fate == LaneFate::Departed {
+            assert_eq!(
+                l.balance, 0.0,
+                "lane {} departed with drams stranded",
+                l.lane
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Frame and dram conservation under arbitrary chaos schedules
+    /// interleaved with churn, at every rate, on arbitrary small
+    /// engines — and shard-count invariance of the whole report.
+    #[test]
+    fn arbitrary_chaos_schedules_conserve_frames_and_drams(
+        chaos_seed in any::<u64>(),
+        rate in 0.0f64..1.0,
+        lanes in 2u32..6,
+        epochs in 1u32..4,
+        churn in any::<bool>(),
+        shards_tried in 2u32..7,
+    ) {
+        let cfg = ShardEngineConfig {
+            lanes,
+            frames_per_lane: 12,
+            pages_per_lane: 18,
+            epochs,
+            rounds_per_epoch: 1,
+            spill_frames: 8,
+            seed: chaos_seed ^ 0x5eed,
+            chaos: Some(ChaosPlan::new(chaos_seed).with_rate(rate)),
+            churn,
+        };
+        let flat = shard::run(&cfg, 1);
+        let sharded = shard::run(&cfg, shards_tried);
+        prop_assert_eq!(&flat, &sharded);
+        // No stranded frames after any injected failure: the spill
+        // ledger partition holds and every departed lane's lease is
+        // back in the pool (conserved() checks the full partition).
+        prop_assert!(flat.conserved, "spill ledger violated under chaos");
+        prop_assert!(
+            flat.ledger_residual.abs() < 1e-6,
+            "ledger residual {} under chaos", flat.ledger_residual
+        );
+        prop_assert_eq!(flat.lanes.len(), lanes as usize);
+    }
+}

@@ -74,6 +74,8 @@ fn oversubscribed_shard_count_clamps_to_lanes() {
         rounds_per_epoch: 1,
         spill_frames: 8,
         seed: 7,
+        chaos: None,
+        churn: false,
     };
     let flat = shards::run_report_with(&cfg, 1);
     let wide = shards::run_report_with(&cfg, 64);
@@ -175,6 +177,8 @@ proptest! {
             rounds_per_epoch: 1,
             spill_frames: spill,
             seed,
+            chaos: None,
+            churn: false,
         };
         let flat = shard::run(&cfg, 1);
         let sharded = shard::run(&cfg, shards_tried);
