@@ -16,6 +16,10 @@
 //! reproduce --async-writeback
 //!                            # add the sync-vs-async laundry ablation
 //!                            # (BENCH_writeback.json with --json)
+//! reproduce --batched-abi    # add the batched-ABI crossing-collapse
+//!                            # row and rerun Tables 2-4 on the
+//!                            # submission/completion rings
+//!                            # (BENCH_ring.json with --json)
 //! reproduce --shards 4       # add the sharded multi-tenant run on 4
 //!                            # worker threads (BENCH_shards.json with
 //!                            # --json); output is byte-identical for
@@ -49,7 +53,7 @@ use std::time::Instant;
 use epcm_bench::json_report::WallClockEntry;
 use epcm_bench::pool::ScenarioPool;
 use epcm_bench::{
-    ablations, chaos, json_report, shards, table1, table23, table4, tiers, writeback,
+    ablations, chaos, json_report, ring, shards, table1, table23, table4, tiers, writeback,
 };
 use epcm_core::shard::ShardSpec;
 use epcm_core::tier::{TierLayout, TierSpec};
@@ -248,6 +252,13 @@ fn main() {
         print!("{}", writeback::render(&points));
         if json {
             write_json("BENCH_writeback.json", &writeback::writeback_json(&points));
+        }
+    }
+    if args.iter().any(|a| a == "--batched-abi") {
+        let report = wall.time("ring", || ring::results_with(&pool));
+        print!("{}", ring::render(&report));
+        if json {
+            write_json("BENCH_ring.json", &ring::ring_json(&report));
         }
     }
     if let Some(spec) = &shard_spec {

@@ -18,6 +18,9 @@
 //! * [`writeback`] — the sync-vs-async laundry ablation
 //!   (`--async-writeback`): fault-path dirty-victim time and total
 //!   billed I/O per application, as `BENCH_writeback.json`.
+//! * [`ring`] — the batched-ABI crossing-collapse row plus Tables 2–4
+//!   rerun on the submission/completion rings (`--batched-abi`), as
+//!   `BENCH_ring.json`.
 //! * [`shards`] — the sharded multi-tenant scenario (`--shards N`): one
 //!   worker thread per shard of tenant lanes, cross-shard leases and
 //!   market billing merged deterministically, as `BENCH_shards.json` —
@@ -39,6 +42,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod json_report;
 pub mod pool;
+pub mod ring;
 pub mod shards;
 pub mod table1;
 pub mod table23;

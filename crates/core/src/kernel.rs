@@ -25,6 +25,7 @@ use crate::error::KernelError;
 use crate::fault::{FaultEvent, FaultKind};
 use crate::flags::PageFlags;
 use crate::frame::FrameTable;
+use crate::ring::{CompletionEntry, CompletionRing, RingOp, RingOutput, SubmissionRing};
 use crate::segment::{BoundRegion, PageEntry, Segment};
 use crate::tier::{MemTier, TierLayout};
 use crate::translate::{MappingTable, Tlb};
@@ -112,6 +113,17 @@ pub struct KernelStats {
     /// Completed references that touched a [`MemTier::CompressedRam`]
     /// frame.
     pub zram_accesses: u64,
+    /// Modeled protection-boundary crossings: one per manager-ABI kernel
+    /// call, one per non-empty [`Kernel::drain_ring`] doorbell, plus the
+    /// dispatch legs the machine layer reports via
+    /// [`Kernel::note_crossings`]. This is the quantity the batched ABI
+    /// collapses.
+    pub crossings: u64,
+    /// Non-empty batches consumed by [`Kernel::drain_ring`].
+    pub ring_batches: u64,
+    /// Ring operations executed by [`Kernel::drain_ring`] (cancelled
+    /// entries are not counted — they never ran).
+    pub ring_ops: u64,
 }
 
 impl KernelStats {
@@ -309,6 +321,14 @@ impl Kernel {
         self.stats
     }
 
+    /// Records `n` protection-boundary crossings that happened outside a
+    /// kernel call — the machine layer reports the fault-dispatch and
+    /// reply legs of a server-mode upcall here so
+    /// [`KernelStats::crossings`] counts the full manager-fault path.
+    pub fn note_crossings(&mut self, n: u64) {
+        self.stats.crossings += n;
+    }
+
     /// Mapping-table statistics (hash-table hits/misses/displacements).
     pub fn mapping_stats(&self) -> crate::translate::MappingStats {
         self.mapping.stats()
@@ -370,6 +390,14 @@ impl Kernel {
         m.set("tier.migrations", s.tier_migrations);
         m.set("tier.slow_accesses", s.slow_accesses);
         m.set("tier.zram_accesses", s.zram_accesses);
+        // Ring metrics appear only once a batch has actually been drained,
+        // so flat (batched-off) runs export byte-identical documents to
+        // pre-ring builds — same discipline as the opt-in watchdog.
+        if s.ring_batches > 0 {
+            m.set("kernel.crossings", s.crossings);
+            m.set("kernel.ring.batches", s.ring_batches);
+            m.set("kernel.ring.ops", s.ring_ops);
+        }
         for tier in MemTier::all() {
             m.set(
                 &format!("tier.{}.frames", tier.name()),
@@ -913,9 +941,28 @@ impl Kernel {
         set: PageFlags,
         clear: PageFlags,
     ) -> Result<(), KernelError> {
+        self.stats.crossings += 1;
+        let call = self.costs.kernel_call;
+        self.migrate_pages_at(src, dst, src_page, dst_page, count, set, clear, call)
+    }
+
+    /// [`Kernel::migrate_pages`] with the call-entry cost supplied by the
+    /// caller: the full `kernel_call` for a synchronous call, zero for a
+    /// ring op (the batch's single doorbell already paid the crossing).
+    #[allow(clippy::too_many_arguments)]
+    fn migrate_pages_at(
+        &mut self,
+        src: SegmentId,
+        dst: SegmentId,
+        src_page: PageNumber,
+        dst_page: PageNumber,
+        count: u64,
+        set: PageFlags,
+        clear: PageFlags,
+        call_cost: Micros,
+    ) -> Result<(), KernelError> {
         self.stats.migrate_calls += 1;
-        self.clock
-            .advance(self.costs.kernel_call + self.costs.migrate_base);
+        self.clock.advance(call_cost + self.costs.migrate_base);
         for i in 0..count {
             self.migrate_one(src, dst, src_page.offset(i), dst_page.offset(i), set, clear)?;
             self.stats.pages_migrated += 1;
@@ -1063,6 +1110,20 @@ impl Kernel {
         page: PageNumber,
         dst: FrameId,
     ) -> Result<(), KernelError> {
+        self.stats.crossings += 1;
+        let call = self.costs.kernel_call;
+        self.migrate_frame_at(seg, page, dst, call)
+    }
+
+    /// [`Kernel::migrate_frame`] with a caller-supplied call-entry cost
+    /// (see [`Kernel::migrate_pages`]'s `_at` variant).
+    fn migrate_frame_at(
+        &mut self,
+        seg: SegmentId,
+        page: PageNumber,
+        dst: FrameId,
+        call_cost: Micros,
+    ) -> Result<(), KernelError> {
         if seg == SegmentId::FRAME_POOL {
             return Err(KernelError::BootSegmentImmutable);
         }
@@ -1128,8 +1189,7 @@ impl Kernel {
         self.tlb.invalidate(dst_seg, dst_pg);
 
         self.stats.tier_migrations += 1;
-        self.clock
-            .advance(self.costs.kernel_call + self.costs.page_copy_4k);
+        self.clock.advance(call_cost + self.costs.page_copy_4k);
         self.charge_tier_access(dst);
         self.trace(EventKind::TierMigrated {
             segment: seg.0 as u64,
@@ -1165,6 +1225,7 @@ impl Kernel {
         set: PageFlags,
         clear: PageFlags,
     ) -> Result<(), KernelError> {
+        self.stats.crossings += 1;
         let src_pf = self.segment(src)?.page_frames();
         let k = self.segment(dst)?.page_frames();
         if src_pf != 1 || k < 2 {
@@ -1232,8 +1293,11 @@ impl Kernel {
         self.mapping.install(dst, dst_page, first);
         self.stats.migrate_calls += 1;
         self.stats.pages_migrated += 1;
-        self.clock
-            .advance(self.costs.migrate_pages(k) - self.costs.kernel_call + self.costs.kernel_call);
+        // One kernel call total: `CostModel::migrate_pages` already folds
+        // the `kernel_call` entry cost in, so nothing else is added here
+        // (pinned by `single_kernel_call_charged_per_compose` in
+        // tests/properties_ring.rs).
+        self.clock.advance(self.costs.migrate_pages(k));
         self.trace(EventKind::Compose {
             segment: dst.0 as u64,
             page: dst_page.as_u64(),
@@ -1258,6 +1322,7 @@ impl Kernel {
         set: PageFlags,
         clear: PageFlags,
     ) -> Result<(), KernelError> {
+        self.stats.crossings += 1;
         let k = self.segment(src)?.page_frames();
         let dst_pf = self.segment(dst)?.page_frames();
         if dst_pf != 1 || k < 2 {
@@ -1337,9 +1402,29 @@ impl Kernel {
         set: PageFlags,
         clear: PageFlags,
     ) -> Result<(), KernelError> {
+        self.stats.crossings += 1;
+        let call = self.costs.kernel_call;
+        self.modify_page_flags_at(seg, page, count, set, clear, call)
+    }
+
+    /// [`Kernel::modify_page_flags`] with a caller-supplied call-entry
+    /// cost (see [`Kernel::migrate_pages`]'s `_at` variant). One kernel
+    /// call total: the base + per-page service cost is charged here, the
+    /// entry cost exactly once by the caller (pinned by
+    /// `single_kernel_call_charged_per_modify` in
+    /// tests/properties_ring.rs).
+    fn modify_page_flags_at(
+        &mut self,
+        seg: SegmentId,
+        page: PageNumber,
+        count: u64,
+        set: PageFlags,
+        clear: PageFlags,
+        call_cost: Micros,
+    ) -> Result<(), KernelError> {
         self.stats.modify_calls += 1;
         self.clock.advance(
-            self.costs.modify_page_flags(count) - self.costs.kernel_call + self.costs.kernel_call,
+            call_cost + self.costs.modify_flags_base + self.costs.modify_flags_per_page * count,
         );
         for i in 0..count {
             let p = page.offset(i);
@@ -1385,6 +1470,7 @@ impl Kernel {
         page: PageNumber,
         count: u64,
     ) -> Result<Vec<PageAttributes>, KernelError> {
+        self.stats.crossings += 1;
         self.stats.get_attr_calls += 1;
         self.clock.advance(self.costs.get_page_attributes(count));
         let mut out = Vec::with_capacity(count as usize);
@@ -1692,6 +1778,20 @@ impl Kernel {
         offset: u64,
         buf: &mut [u8],
     ) -> Result<AccessOutcome, KernelError> {
+        self.stats.crossings += 1;
+        let call = self.costs.kernel_call;
+        self.uio_read_at(seg, offset, buf, call)
+    }
+
+    /// [`Kernel::uio_read`] with a caller-supplied call-entry cost (see
+    /// [`Kernel::migrate_pages`]'s `_at` variant).
+    fn uio_read_at(
+        &mut self,
+        seg: SegmentId,
+        offset: u64,
+        buf: &mut [u8],
+        call_cost: Micros,
+    ) -> Result<AccessOutcome, KernelError> {
         self.require_file(seg)?;
         let blocks = block_count(buf.len() as u64);
         match self.access_bytes(seg, offset, buf.len() as u64, AccessKind::Read)? {
@@ -1700,8 +1800,7 @@ impl Kernel {
                 self.copy_bytes_out(seg, offset, buf)?;
                 self.stats.uio_reads += blocks;
                 self.clock.advance(
-                    self.costs.kernel_call
-                        + (self.costs.uio_lookup_read + self.costs.page_copy_4k) * blocks,
+                    call_cost + (self.costs.uio_lookup_read + self.costs.page_copy_4k) * blocks,
                 );
                 self.trace(EventKind::UioRead {
                     segment: seg.0 as u64,
@@ -1726,6 +1825,20 @@ impl Kernel {
         offset: u64,
         buf: &[u8],
     ) -> Result<AccessOutcome, KernelError> {
+        self.stats.crossings += 1;
+        let call = self.costs.kernel_call;
+        self.uio_write_at(seg, offset, buf, call)
+    }
+
+    /// [`Kernel::uio_write`] with a caller-supplied call-entry cost (see
+    /// [`Kernel::migrate_pages`]'s `_at` variant).
+    fn uio_write_at(
+        &mut self,
+        seg: SegmentId,
+        offset: u64,
+        buf: &[u8],
+        call_cost: Micros,
+    ) -> Result<AccessOutcome, KernelError> {
         self.require_file(seg)?;
         let blocks = block_count(buf.len() as u64);
         match self.access_bytes(seg, offset, buf.len() as u64, AccessKind::Write)? {
@@ -1734,8 +1847,7 @@ impl Kernel {
                 self.copy_bytes_in(seg, offset, buf)?;
                 self.stats.uio_writes += blocks;
                 self.clock.advance(
-                    self.costs.kernel_call
-                        + (self.costs.uio_lookup_write + self.costs.page_copy_4k) * blocks,
+                    call_cost + (self.costs.uio_lookup_write + self.costs.page_copy_4k) * blocks,
                 );
                 self.trace(EventKind::UioWrite {
                     segment: seg.0 as u64,
@@ -1751,6 +1863,117 @@ impl Kernel {
         match self.segment(seg)?.kind() {
             SegmentKind::CachedFile(_) => Ok(()),
             _ => Err(KernelError::NotAFile(seg)),
+        }
+    }
+
+    // ----- batched ABI (submission/completion rings) -----------------------
+
+    /// Consumes queued submissions from `sq` and posts one completion per
+    /// consumed entry to `cq` — the kernel side of the batched manager
+    /// ABI (see [`crate::ring`]).
+    ///
+    /// Cost model: the whole batch crosses the protection boundary once.
+    /// One `kernel_call` is charged for the doorbell, then every executed
+    /// operation is charged its service cost *without* its own
+    /// `kernel_call` entry — so relative to the equivalent sequence of
+    /// synchronous calls, a batch of `n` operations saves exactly
+    /// `kernel_call × (n - 1)` of virtual time and `n - 1` crossings
+    /// (pinned by the billing property in tests/properties_ring.rs). The
+    /// fault-path IPC legs (`fault_dispatch_ipc` + `ipc_reply`) are
+    /// charged once per upcall by the machine layer in both modes.
+    ///
+    /// Execution is strict FIFO and stops at the first failing
+    /// operation: its error is posted, every remaining consumed entry is
+    /// posted as [`CompletionEntry::Cancelled`] without executing — the
+    /// same prefix of operations takes effect as when a synchronous
+    /// caller stops at the first error. A UIO fault outcome is a
+    /// *successful* completion carrying [`RingOutput::Fault`], not a
+    /// failure: it does not cancel the rest of the batch.
+    ///
+    /// At most [`CompletionRing::free`] entries are consumed, so every
+    /// consumed submission is guaranteed its completion slot; excess
+    /// submissions stay queued for a later drain (backpressure, never
+    /// loss). An empty drain — nothing queued or no completion space —
+    /// charges nothing and counts nothing.
+    ///
+    /// Returns the number of submissions consumed.
+    pub fn drain_ring(&mut self, sq: &mut SubmissionRing, cq: &mut CompletionRing) -> usize {
+        let budget = sq.len().min(cq.free());
+        if budget == 0 {
+            return 0;
+        }
+        self.stats.ring_batches += 1;
+        self.stats.crossings += 1;
+        self.clock.advance(self.costs.kernel_call);
+        let mut failed = false;
+        for _ in 0..budget {
+            let entry = sq.pop().expect("budget bounded by sq.len()");
+            if failed {
+                cq.push(CompletionEntry::Cancelled { token: entry.token })
+                    .expect("budget bounded by cq.free()");
+                continue;
+            }
+            let result = self.execute_ring_op(entry.op);
+            self.stats.ring_ops += 1;
+            failed = result.is_err();
+            cq.push(CompletionEntry::Op {
+                token: entry.token,
+                result,
+            })
+            .expect("budget bounded by cq.free()");
+        }
+        budget
+    }
+
+    /// Executes one ring operation at its service cost (no `kernel_call`
+    /// entry charge — the batch's doorbell already paid it).
+    fn execute_ring_op(&mut self, op: RingOp) -> Result<RingOutput, KernelError> {
+        match op {
+            RingOp::MigratePages {
+                src,
+                dst,
+                src_page,
+                dst_page,
+                count,
+                set,
+                clear,
+            } => self
+                .migrate_pages_at(
+                    src,
+                    dst,
+                    src_page,
+                    dst_page,
+                    count,
+                    set,
+                    clear,
+                    Micros::ZERO,
+                )
+                .map(|()| RingOutput::Done),
+            RingOp::ModifyPageFlags {
+                seg,
+                page,
+                count,
+                set,
+                clear,
+            } => self
+                .modify_page_flags_at(seg, page, count, set, clear, Micros::ZERO)
+                .map(|()| RingOutput::Done),
+            RingOp::MigrateFrame { seg, page, dst } => self
+                .migrate_frame_at(seg, page, dst, Micros::ZERO)
+                .map(|()| RingOutput::Done),
+            RingOp::UioRead { seg, offset, len } => {
+                let mut buf = vec![0u8; len as usize];
+                match self.uio_read_at(seg, offset, &mut buf, Micros::ZERO)? {
+                    AccessOutcome::Completed => Ok(RingOutput::Data(buf)),
+                    AccessOutcome::Fault(f) => Ok(RingOutput::Fault(f)),
+                }
+            }
+            RingOp::UioWrite { seg, offset, data } => {
+                match self.uio_write_at(seg, offset, &data, Micros::ZERO)? {
+                    AccessOutcome::Completed => Ok(RingOutput::Done),
+                    AccessOutcome::Fault(f) => Ok(RingOutput::Fault(f)),
+                }
+            }
         }
     }
 }

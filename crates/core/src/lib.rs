@@ -69,6 +69,7 @@ pub mod fault;
 pub mod flags;
 pub mod frame;
 pub mod kernel;
+pub mod ring;
 pub mod segment;
 pub mod shard;
 pub mod tier;
@@ -80,6 +81,10 @@ pub use error::KernelError;
 pub use fault::{FaultEvent, FaultKind};
 pub use flags::PageFlags;
 pub use kernel::{AccessOutcome, Kernel, KernelStats, PageAttributes};
+pub use ring::{
+    CompletionEntry, CompletionRing, Ring, RingFull, RingOp, RingOutput, SubmissionEntry,
+    SubmissionRing,
+};
 pub use segment::{BoundRegion, PageEntry, Segment};
 pub use shard::{ShardId, ShardLayout, ShardSpec};
 pub use tier::{MemTier, TierLayout, TierSpec};

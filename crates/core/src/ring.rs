@@ -1,0 +1,365 @@
+//! Shared-memory submission/completion rings for the batched manager ABI.
+//!
+//! Table 1 shows the 379 µs manager fault dominated by its two IPC legs
+//! (120 µs each). Both Douglas papers (user-mode page management /
+//! allocation) argue the remedy: batch page-management operations across
+//! a shared-memory boundary so the per-crossing cost is paid once per
+//! batch, not once per operation. This module is that boundary, shaped
+//! like io_uring: a manager fills a [`SubmissionRing`] with [`RingOp`]s
+//! (pure data — no kernel entry), rings the doorbell once via
+//! [`Kernel::drain_ring`](crate::kernel::Kernel::drain_ring), and reaps
+//! [`CompletionEntry`]s from the [`CompletionRing`]. The writeback
+//! pipeline's completion events ride the same completion ring
+//! ([`CompletionEntry::Writeback`]), so a manager has one place to poll.
+//!
+//! The rings are fixed-capacity single-producer/single-consumer queues
+//! with monotonic head/tail counters (indices wrap modulo capacity, the
+//! counters never wrap in practice — they are `u64`). Enqueue on a full
+//! ring is rejected with the typed [`RingFull`] error; it never
+//! overwrites or drops an entry. FIFO order, loss-freedom and
+//! wraparound behavior are pinned by the property models in
+//! `tests/properties_ring.rs`.
+
+use epcm_sim::clock::Micros;
+
+use crate::error::KernelError;
+use crate::fault::FaultEvent;
+use crate::flags::PageFlags;
+use crate::types::{FrameId, PageNumber, SegmentId};
+
+/// Default capacity of a submission or completion ring, in entries.
+///
+/// Large enough that the default manager's biggest batch site (the
+/// 16-entry protection-restore loop) plus a sweep's worth of deferred
+/// flag changes fit without a mid-batch flush.
+pub const DEFAULT_RING_CAPACITY: usize = 64;
+
+/// Typed rejection for an enqueue onto a full ring.
+///
+/// The producer must drain (submission side: kick the kernel; completion
+/// side: reap) before retrying — entries are never overwritten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingFull {
+    /// The fixed capacity of the ring that rejected the entry.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for RingFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ring full at capacity {}", self.capacity)
+    }
+}
+
+impl std::error::Error for RingFull {}
+
+/// A fixed-capacity FIFO ring buffer with monotonic head/tail counters.
+///
+/// `head` is the counter of the next entry to pop, `tail` of the next
+/// slot to fill; `tail - head` is the current occupancy and the slot
+/// index of counter `c` is `c % capacity` — the classic io_uring shape,
+/// minus the atomics (the simulation is single-threaded per machine).
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    slots: Vec<Option<T>>,
+    head: u64,
+    tail: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates an empty ring of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be at least 1");
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        Ring {
+            slots,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Whether the ring is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity()
+    }
+
+    /// Free slots remaining.
+    pub fn free(&self) -> usize {
+        self.capacity() - self.len()
+    }
+
+    /// The monotonic counter of the next entry to pop.
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// The monotonic counter of the next slot to fill.
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Enqueues `value` at the tail.
+    ///
+    /// # Errors
+    ///
+    /// [`RingFull`] if the ring is at capacity; the ring is unchanged.
+    pub fn push(&mut self, value: T) -> Result<(), RingFull> {
+        if self.is_full() {
+            return Err(RingFull {
+                capacity: self.capacity(),
+            });
+        }
+        let idx = (self.tail % self.capacity() as u64) as usize;
+        debug_assert!(self.slots[idx].is_none(), "occupied slot at tail");
+        self.slots[idx] = Some(value);
+        self.tail += 1;
+        Ok(())
+    }
+
+    /// Dequeues the entry at the head, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.is_empty() {
+            return None;
+        }
+        let idx = (self.head % self.capacity() as u64) as usize;
+        let value = self.slots[idx].take();
+        debug_assert!(value.is_some(), "empty slot at head");
+        self.head += 1;
+        value
+    }
+
+    /// Borrows the entry at the head without dequeuing it.
+    pub fn peek(&self) -> Option<&T> {
+        if self.is_empty() {
+            return None;
+        }
+        let idx = (self.head % self.capacity() as u64) as usize;
+        self.slots[idx].as_ref()
+    }
+
+    /// Drains every queued entry into a `Vec`, head first.
+    pub fn drain_all(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// One batched kernel operation, as carried by a [`SubmissionEntry`].
+///
+/// These are exactly the manager-ABI calls a segment manager issues on
+/// its fault/reclaim paths: page migration, flag manipulation, tier
+/// exchange, and the UIO block interface. Attribute queries stay
+/// synchronous calls — they return data the manager branches on
+/// immediately, so there is nothing to amortize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingOp {
+    /// [`Kernel::migrate_pages`](crate::kernel::Kernel::migrate_pages).
+    MigratePages {
+        /// Source segment.
+        src: SegmentId,
+        /// Destination segment.
+        dst: SegmentId,
+        /// First source page.
+        src_page: PageNumber,
+        /// First destination page.
+        dst_page: PageNumber,
+        /// Pages to move.
+        count: u64,
+        /// Flags to set on each migrated page.
+        set: PageFlags,
+        /// Flags to clear on each migrated page.
+        clear: PageFlags,
+    },
+    /// [`Kernel::modify_page_flags`](crate::kernel::Kernel::modify_page_flags).
+    ModifyPageFlags {
+        /// Target segment.
+        seg: SegmentId,
+        /// First page.
+        page: PageNumber,
+        /// Pages to modify.
+        count: u64,
+        /// Flags to set.
+        set: PageFlags,
+        /// Flags to clear.
+        clear: PageFlags,
+    },
+    /// [`Kernel::migrate_frame`](crate::kernel::Kernel::migrate_frame)
+    /// — the tier-exchange primitive.
+    MigrateFrame {
+        /// Segment holding the page to move.
+        seg: SegmentId,
+        /// The page to move.
+        page: PageNumber,
+        /// Destination physical frame.
+        dst: FrameId,
+    },
+    /// [`Kernel::uio_read`](crate::kernel::Kernel::uio_read); the bytes
+    /// come back as [`RingOutput::Data`].
+    UioRead {
+        /// Cached-file segment.
+        seg: SegmentId,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// [`Kernel::uio_write`](crate::kernel::Kernel::uio_write).
+    UioWrite {
+        /// Cached-file segment.
+        seg: SegmentId,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+}
+
+/// A manager-submitted operation: a caller-chosen correlation token plus
+/// the operation itself. Tokens are echoed verbatim in the matching
+/// [`CompletionEntry`]; the kernel assigns no meaning to them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmissionEntry {
+    /// Caller-chosen correlation token.
+    pub token: u64,
+    /// The operation to execute.
+    pub op: RingOp,
+}
+
+/// Successful payload of a completed [`RingOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingOutput {
+    /// The operation completed with no data to return.
+    Done,
+    /// A [`RingOp::UioRead`] completed; these are the bytes read.
+    Data(Vec<u8>),
+    /// A UIO operation faulted: the fault must be routed to the segment
+    /// manager and the operation resubmitted, exactly as a synchronous
+    /// [`AccessOutcome::Fault`](crate::kernel::AccessOutcome) would be.
+    Fault(FaultEvent),
+}
+
+/// One entry posted to the [`CompletionRing`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletionEntry {
+    /// A submitted operation was executed (successfully or not).
+    Op {
+        /// The submitter's correlation token, echoed.
+        token: u64,
+        /// The operation's result.
+        result: Result<RingOutput, KernelError>,
+    },
+    /// A submitted operation was *not* executed because an earlier
+    /// operation in the same batch failed; resubmit if still wanted.
+    Cancelled {
+        /// The submitter's correlation token, echoed.
+        token: u64,
+    },
+    /// An asynchronous writeback completed
+    /// ([`epcm_sim::writeback::WritebackPipeline`] rides the same
+    /// completion ring as the batched ABI).
+    Writeback {
+        /// The pipeline's ticket for the completed write.
+        ticket: u64,
+        /// Device service time the completed write occupied.
+        service: Micros,
+    },
+}
+
+/// The manager→kernel submission ring.
+pub type SubmissionRing = Ring<SubmissionEntry>;
+
+/// The kernel→manager completion ring.
+pub type CompletionRing = Ring<CompletionEntry>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut r: Ring<u32> = Ring::with_capacity(4);
+        for i in 0..4 {
+            r.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn push_on_full_is_rejected_and_lossless() {
+        let mut r: Ring<u32> = Ring::with_capacity(2);
+        r.push(1).unwrap();
+        r.push(2).unwrap();
+        assert_eq!(r.push(3), Err(RingFull { capacity: 2 }));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), Some(2));
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let mut r: Ring<u32> = Ring::with_capacity(3);
+        for round in 0..10u32 {
+            r.push(round).unwrap();
+            assert_eq!(r.pop(), Some(round));
+        }
+        assert_eq!(r.head(), 10);
+        assert_eq!(r.tail(), 10);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r: Ring<u32> = Ring::with_capacity(2);
+        assert_eq!(r.peek(), None);
+        r.push(7).unwrap();
+        assert_eq!(r.peek(), Some(&7));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.pop(), Some(7));
+    }
+
+    #[test]
+    fn drain_all_empties_in_order() {
+        let mut r: Ring<u32> = Ring::with_capacity(4);
+        // Offset head so the drain crosses the wrap point.
+        r.push(0).unwrap();
+        r.push(1).unwrap();
+        r.pop();
+        r.pop();
+        for i in 2..6 {
+            r.push(i).unwrap();
+        }
+        assert_eq!(r.drain_all(), vec![2, 3, 4, 5]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = Ring::<u32>::with_capacity(0);
+    }
+}

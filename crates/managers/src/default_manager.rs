@@ -29,6 +29,9 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use epcm_core::fault::{FaultEvent, FaultKind};
 use epcm_core::flags::PageFlags;
 use epcm_core::kernel::Kernel;
+use epcm_core::ring::{
+    CompletionEntry, CompletionRing, RingOp, SubmissionEntry, SubmissionRing, DEFAULT_RING_CAPACITY,
+};
 use epcm_core::tier::MemTier;
 use epcm_core::types::{FrameId, ManagerId, PageNumber, SegmentId, SegmentKind, BASE_PAGE_SIZE};
 use epcm_sim::clock::Micros;
@@ -178,6 +181,17 @@ pub struct DefaultManagerConfig {
     /// Disk arms serving the asynchronous writeback pipeline (clamped to
     /// at least 1).
     pub writeback_servers: usize,
+    /// Route kernel page operations through the batched
+    /// submission/completion rings ([`epcm_core::ring`]) instead of one
+    /// synchronous call each. Batch sites (the 16-page protection
+    /// restore, the sampling sweep) pay one doorbell crossing per batch;
+    /// single-op sites enqueue and drain immediately, which charges
+    /// exactly what the synchronous call would. Off by default: flat
+    /// runs are byte-identical with the flag off.
+    pub batched_abi: bool,
+    /// Capacity of the submission and completion rings, in entries
+    /// (clamped to at least 1; only meaningful with `batched_abi` on).
+    pub ring_capacity: usize,
 }
 
 impl Default for DefaultManagerConfig {
@@ -195,6 +209,8 @@ impl Default for DefaultManagerConfig {
             async_writeback: false,
             writeback_window: 4,
             writeback_servers: 1,
+            batched_abi: false,
+            ring_capacity: DEFAULT_RING_CAPACITY,
         }
     }
 }
@@ -258,6 +274,16 @@ pub struct DefaultSegmentManager {
     /// Reverse index of `unclean` for completion-time lookup.
     unclean_by_ticket: BTreeMap<TicketId, (u32, u64)>,
     wb_stats: WritebackStats,
+    /// Batched-ABI submission ring; empty between handler runs (every
+    /// enqueue site flushes before returning).
+    sq: SubmissionRing,
+    /// Batched-ABI completion ring, shared with the writeback pipeline's
+    /// completion events.
+    cq: CompletionRing,
+    /// Next correlation token for submitted ring ops.
+    ring_token: u64,
+    /// Ops this manager has submitted through the ring.
+    ring_submitted: u64,
     tracer: Option<SharedTracer>,
 }
 
@@ -289,6 +315,7 @@ impl DefaultSegmentManager {
     /// Full control over mode and tuning.
     pub fn with_config(mode: ManagerMode, config: DefaultManagerConfig) -> Self {
         let wb = WritebackPipeline::new(config.writeback_servers, config.writeback_window);
+        let ring_cap = config.ring_capacity.max(1);
         DefaultSegmentManager {
             id: ManagerId(u32::MAX),
             mode,
@@ -309,8 +336,18 @@ impl DefaultSegmentManager {
             unclean: BTreeMap::new(),
             unclean_by_ticket: BTreeMap::new(),
             wb_stats: WritebackStats::default(),
+            sq: SubmissionRing::with_capacity(ring_cap),
+            cq: CompletionRing::with_capacity(ring_cap),
+            ring_token: 0,
+            ring_submitted: 0,
             tracer: None,
         }
+    }
+
+    /// Ops this manager has submitted through the batched ABI rings
+    /// (0 with `batched_abi` off).
+    pub fn ring_ops_submitted(&self) -> u64 {
+        self.ring_submitted
     }
 
     /// Records `kind` at the current virtual time, if tracing is on.
@@ -420,8 +457,7 @@ impl DefaultSegmentManager {
         seg: SegmentId,
         page: PageNumber,
     ) -> Result<(), ManagerError> {
-        env.kernel
-            .modify_page_flags(seg, page, 1, PageFlags::PINNED, PageFlags::empty())?;
+        self.op_modify_flags(env, seg, page, 1, PageFlags::PINNED, PageFlags::empty())?;
         if self.quarantined.insert((seg.as_u32(), page.as_u64())) {
             self.io_stats.quarantined_pages += 1;
             self.trace(
@@ -607,29 +643,231 @@ impl DefaultSegmentManager {
         self.drain_writebacks(env);
     }
 
+    /// Books one writeback completion: bills its service time and market
+    /// I/O charge, clears the "promised free but not yet clean" mark, and
+    /// traces it. Shared by the direct poll path and the completion-ring
+    /// path — the booking is identical either way.
+    fn writeback_completed(&mut self, env: &mut Env<'_>, ticket: TicketId, service: Micros) {
+        self.wb_stats.completed += 1;
+        self.wb_stats.billed_us += service.as_micros();
+        env.spcm.charge_manager_io(self.id, 1);
+        if let Some(key) = self.unclean_by_ticket.remove(&ticket) {
+            self.unclean.remove(&key);
+        }
+        self.trace(
+            env.kernel,
+            EventKind::WritebackCompleted {
+                manager: self.id.0,
+                ticket,
+                service_us: service.as_micros(),
+            },
+        );
+    }
+
     /// Bills every writeback completion due by now: its service time and
     /// market I/O charge land here, not at issue, and its "promised free
-    /// but not yet clean" mark clears.
+    /// but not yet clean" mark clears. With the batched ABI on, the
+    /// pipeline's completions ride the completion ring
+    /// ([`CompletionEntry::Writeback`]) before being reaped, so a
+    /// batched manager has one place completions of every kind arrive.
     fn drain_writebacks(&mut self, env: &mut Env<'_>) {
         if self.wb.is_idle() {
             return;
         }
         let now = env.kernel.now();
         for c in self.wb.poll(now) {
-            self.wb_stats.completed += 1;
-            self.wb_stats.billed_us += c.service.as_micros();
-            env.spcm.charge_manager_io(self.id, 1);
-            if let Some(key) = self.unclean_by_ticket.remove(&c.ticket) {
-                self.unclean.remove(&key);
+            if self.config.batched_abi
+                && self
+                    .cq
+                    .push(CompletionEntry::Writeback {
+                        ticket: c.ticket,
+                        service: c.service,
+                    })
+                    .is_ok()
+            {
+                continue;
             }
-            self.trace(
-                env.kernel,
-                EventKind::WritebackCompleted {
-                    manager: self.id.0,
-                    ticket: c.ticket,
-                    service_us: c.service.as_micros(),
+            // Unbatched mode, or the completion ring is full: book it
+            // directly (never drop a completion).
+            self.writeback_completed(env, c.ticket, c.service);
+        }
+        if self.config.batched_abi {
+            let mut first_err = None;
+            self.reap_completions(env, &mut first_err);
+            debug_assert!(first_err.is_none(), "op completion outside a flush");
+        }
+    }
+
+    /// Pops every completion-ring entry: writeback completions are
+    /// booked, the first failed op is recorded for the caller, cancelled
+    /// entries need no action (their ops never executed — resubmission
+    /// is the enqueue site's choice, and every current site propagates
+    /// the batch's error instead).
+    fn reap_completions(&mut self, env: &mut Env<'_>, first_err: &mut Option<ManagerError>) {
+        while let Some(entry) = self.cq.pop() {
+            match entry {
+                CompletionEntry::Op { result: Ok(_), .. } | CompletionEntry::Cancelled { .. } => {}
+                CompletionEntry::Op { result: Err(e), .. } => {
+                    if first_err.is_none() {
+                        *first_err = Some(ManagerError::Kernel(e));
+                    }
+                }
+                CompletionEntry::Writeback { ticket, service } => {
+                    self.writeback_completed(env, ticket, service);
+                }
+            }
+        }
+    }
+
+    /// Enqueues one op on the submission ring, flushing first if it is
+    /// full (so an enqueue never fails and never loses an entry).
+    fn ring_submit(&mut self, env: &mut Env<'_>, op: RingOp) -> Result<(), ManagerError> {
+        if self.sq.is_full() {
+            self.ring_flush(env)?;
+        }
+        let token = self.ring_token;
+        self.ring_token += 1;
+        self.ring_submitted += 1;
+        self.sq
+            .push(SubmissionEntry { token, op })
+            .expect("submission ring has room after flush");
+        Ok(())
+    }
+
+    /// Rings the kernel's doorbell until the submission ring drains and
+    /// reaps every completion. One non-empty batch charges a single
+    /// `kernel_call` entry; each op then runs at its service cost. The
+    /// first op failure is returned — after the whole batch has been
+    /// reaped — matching the synchronous path, which also stops at the
+    /// first failing call (the kernel cancels the batch's remainder).
+    fn ring_flush(&mut self, env: &mut Env<'_>) -> Result<(), ManagerError> {
+        let mut first_err = None;
+        while !self.sq.is_empty() {
+            if env.kernel.drain_ring(&mut self.sq, &mut self.cq) == 0 {
+                break; // unreachable: the reap below always frees the cq
+            }
+            self.reap_completions(env, &mut first_err);
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// One op through the ring: enqueue plus an immediate flush. A
+    /// single-entry batch charges exactly what the synchronous call
+    /// would (one doorbell + the op's service cost), so sites that must
+    /// observe an op's effect before their next statement ride the ring
+    /// without cost or state divergence.
+    fn ring_call(&mut self, env: &mut Env<'_>, op: RingOp) -> Result<(), ManagerError> {
+        self.ring_submit(env, op)?;
+        self.ring_flush(env)
+    }
+
+    /// `MigratePages` via the configured ABI: a synchronous kernel call,
+    /// or a single-entry ring batch with `batched_abi` on.
+    #[allow(clippy::too_many_arguments)]
+    fn op_migrate_pages(
+        &mut self,
+        env: &mut Env<'_>,
+        src: SegmentId,
+        dst: SegmentId,
+        src_page: PageNumber,
+        dst_page: PageNumber,
+        count: u64,
+        set: PageFlags,
+        clear: PageFlags,
+    ) -> Result<(), ManagerError> {
+        if self.config.batched_abi {
+            self.ring_call(
+                env,
+                RingOp::MigratePages {
+                    src,
+                    dst,
+                    src_page,
+                    dst_page,
+                    count,
+                    set,
+                    clear,
                 },
-            );
+            )
+        } else {
+            env.kernel
+                .migrate_pages(src, dst, src_page, dst_page, count, set, clear)?;
+            Ok(())
+        }
+    }
+
+    /// `MigrateFrame` (the tier exchange) via the configured ABI.
+    fn op_migrate_frame(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: SegmentId,
+        page: PageNumber,
+        dst: FrameId,
+    ) -> Result<(), ManagerError> {
+        if self.config.batched_abi {
+            self.ring_call(env, RingOp::MigrateFrame { seg, page, dst })
+        } else {
+            env.kernel.migrate_frame(seg, page, dst)?;
+            Ok(())
+        }
+    }
+
+    /// `ModifyPageFlags` via the configured ABI, executed immediately.
+    fn op_modify_flags(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: SegmentId,
+        page: PageNumber,
+        count: u64,
+        set: PageFlags,
+        clear: PageFlags,
+    ) -> Result<(), ManagerError> {
+        if self.config.batched_abi {
+            self.ring_call(
+                env,
+                RingOp::ModifyPageFlags {
+                    seg,
+                    page,
+                    count,
+                    set,
+                    clear,
+                },
+            )
+        } else {
+            env.kernel.modify_page_flags(seg, page, count, set, clear)?;
+            Ok(())
+        }
+    }
+
+    /// `ModifyPageFlags`, deferred onto the ring with `batched_abi` on.
+    /// Batch sites (protection restore, sampling sweep) call this in
+    /// their loops and [`Self::ring_flush`] once at the end, collapsing
+    /// n crossings into one.
+    fn op_modify_flags_deferred(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: SegmentId,
+        page: PageNumber,
+        count: u64,
+        set: PageFlags,
+        clear: PageFlags,
+    ) -> Result<(), ManagerError> {
+        if self.config.batched_abi {
+            self.ring_submit(
+                env,
+                RingOp::ModifyPageFlags {
+                    seg,
+                    page,
+                    count,
+                    set,
+                    clear,
+                },
+            )
+        } else {
+            env.kernel.modify_page_flags(seg, page, count, set, clear)?;
+            Ok(())
         }
     }
 
@@ -786,7 +1024,8 @@ impl DefaultSegmentManager {
         }
         // Destination: first empty slot in the free segment.
         let slot = first_empty_slot(env.kernel, free_seg)?;
-        env.kernel.migrate_pages(
+        self.op_migrate_pages(
+            env,
             seg,
             free_seg,
             page,
@@ -893,7 +1132,7 @@ impl DefaultSegmentManager {
             self.zram_stats.raw_bytes += BASE_PAGE_SIZE;
             self.zram_stats.stored_bytes += stored;
         }
-        env.kernel.migrate_frame(seg, page, dst)?;
+        self.op_migrate_frame(env, seg, page, dst)?;
         self.stats.demotions += 1;
         Ok(Demotion::Done)
     }
@@ -1055,7 +1294,8 @@ impl DefaultSegmentManager {
         let key = (seg.as_u32(), page.as_u64());
         if let Some(slot) = self.laundry_remove(&key) {
             if env.kernel.segment(free_seg)?.entry(slot).is_some() {
-                env.kernel.migrate_pages(
+                self.op_migrate_pages(
+                    env,
                     free_seg,
                     seg,
                     slot,
@@ -1109,7 +1349,8 @@ impl DefaultSegmentManager {
                 }
                 env.kernel.manager_write_page(free_seg, slot, &buf)?;
                 env.kernel.charge(env.kernel.costs().page_copy_4k);
-                env.kernel.migrate_pages(
+                self.op_migrate_pages(
+                    env,
                     free_seg,
                     seg,
                     slot,
@@ -1167,7 +1408,8 @@ impl DefaultSegmentManager {
                 let run = find_free_run(env.kernel, free_seg, want, &self.laundry_slot_counts)?;
                 match run {
                     Some((start, len)) => {
-                        env.kernel.migrate_pages(
+                        self.op_migrate_pages(
+                            env,
                             free_seg,
                             seg,
                             start,
@@ -1194,7 +1436,8 @@ impl DefaultSegmentManager {
                     }
                     None => {
                         let slot = self.take_free_slot(env)?;
-                        env.kernel.migrate_pages(
+                        self.op_migrate_pages(
+                            env,
                             free_seg,
                             seg,
                             slot,
@@ -1233,21 +1476,36 @@ impl DefaultSegmentManager {
         // The faulting page was genuinely referenced.
         self.policy.note_referenced(seg, page);
         // Restore protection on a batch of contiguous resident pages to
-        // amortise fault cost (§2.3).
+        // amortise fault cost (§2.3). The resident prefix is scanned
+        // before any flags change — the scan reads only presence, which
+        // no ModifyPageFlags alters, so pre-scanning is equivalent to
+        // the interleaved check-then-modify loop in both ABI modes.
         let size = env.kernel.segment(seg)?.size_pages();
         let batch = self.config.protection_batch.max(1);
-        for i in 0..batch {
-            let p = page.offset(i);
-            if p.as_u64() >= size {
-                break;
+        let mut run = 0;
+        {
+            let segment = env.kernel.segment(seg)?;
+            for i in 0..batch {
+                let p = page.offset(i);
+                if p.as_u64() >= size || segment.entry(p).is_none() {
+                    break;
+                }
+                run += 1;
             }
-            if env.kernel.segment(seg)?.entry(p).is_none() {
-                break;
-            }
-            env.kernel
-                .modify_page_flags(seg, p, 1, PageFlags::RW, PageFlags::MANAGER_B)?;
         }
-        Ok(())
+        for i in 0..run {
+            self.op_modify_flags_deferred(
+                env,
+                seg,
+                page.offset(i),
+                1,
+                PageFlags::RW,
+                PageFlags::MANAGER_B,
+            )?;
+        }
+        // With the batched ABI this is the crossing collapse: one
+        // doorbell drains the whole restore batch.
+        self.ring_flush(env)
     }
 
     /// Handles a copy-on-write fault: provide a frame; the kernel copies.
@@ -1255,7 +1513,8 @@ impl DefaultSegmentManager {
         let free_seg = self.free_seg(env)?;
         env.kernel.charge(env.kernel.costs().manager_alloc);
         let slot = self.take_free_slot(env)?;
-        env.kernel.migrate_pages(
+        self.op_migrate_pages(
+            env,
             free_seg,
             fault.segment,
             slot,
@@ -1308,7 +1567,11 @@ impl DefaultSegmentManager {
                 .take(remaining as usize)
                 .collect();
             for p in pages {
-                env.kernel.modify_page_flags(
+                // Deferred onto the ring in batched mode: the page list
+                // was snapshotted above, so revoking flags later in the
+                // same sweep cannot change which pages are visited.
+                self.op_modify_flags_deferred(
+                    env,
                     seg,
                     p,
                     1,
@@ -1322,7 +1585,8 @@ impl DefaultSegmentManager {
         if remaining > 0 {
             self.sample_cursor = (0, 0); // wrap the sweep
         }
-        Ok(())
+        // One doorbell for the whole sweep's revocations.
+        self.ring_flush(env)
     }
 }
 
@@ -1506,7 +1770,8 @@ impl SegmentManager for DefaultSegmentManager {
                 self.writeback(env, segment, p)?;
             }
             let slot = first_empty_slot(env.kernel, free_seg)?;
-            env.kernel.migrate_pages(
+            self.op_migrate_pages(
+                env,
                 segment,
                 free_seg,
                 p,
@@ -1596,6 +1861,11 @@ impl SegmentManager for DefaultSegmentManager {
         m.set(&format!("manager.{id}.writeback.completed"), wb.completed);
         m.set(&format!("manager.{id}.writeback.billed_us"), wb.billed_us);
         m.set(&format!("manager.{id}.laundry_dropped"), wb.laundry_dropped);
+        // Ring keys are opt-in (same discipline as the kernel's ring
+        // metrics): batched-off runs export an unchanged key set.
+        if self.config.batched_abi {
+            m.set(&format!("manager.{id}.ring.submitted"), self.ring_submitted);
+        }
     }
 }
 

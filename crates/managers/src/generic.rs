@@ -17,6 +17,7 @@ use std::fmt;
 use epcm_core::fault::{FaultEvent, FaultKind};
 use epcm_core::flags::PageFlags;
 use epcm_core::kernel::Kernel;
+use epcm_core::ring::{CompletionEntry, CompletionRing, RingOp, SubmissionEntry, SubmissionRing};
 use epcm_core::types::{ManagerId, PageNumber, SegmentId, SegmentKind, BASE_PAGE_SIZE};
 
 use crate::manager::{Env, ManagerError, ManagerMode, SegmentManager};
@@ -167,6 +168,11 @@ pub struct GenericManager<S> {
     refill_batch: u64,
     managed: BTreeSet<u32>,
     stats: GenericStats,
+    /// Batched-ABI rings, present when [`GenericManager::batched_abi`]
+    /// enabled them. Specialised managers (prefetch, discard, coloring)
+    /// then issue their page operations as single-entry ring batches —
+    /// cost-identical to synchronous calls, but riding the shared ABI.
+    ring: Option<(SubmissionRing, CompletionRing, u64)>,
 }
 
 impl<S: Specialization> GenericManager<S> {
@@ -189,7 +195,132 @@ impl<S: Specialization> GenericManager<S> {
             refill_batch: 32,
             managed: BTreeSet::new(),
             stats: GenericStats::default(),
+            ring: None,
         }
+    }
+
+    /// Routes this manager's page operations through batched
+    /// submission/completion rings of `capacity` entries (clamped to at
+    /// least 1). Builder-style; off unless called.
+    #[must_use]
+    pub fn batched_abi(mut self, capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        self.ring = Some((
+            SubmissionRing::with_capacity(cap),
+            CompletionRing::with_capacity(cap),
+            0,
+        ));
+        self
+    }
+
+    /// Whether the batched ABI is on.
+    pub fn is_batched(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// One op through the ring (enqueue + immediate doorbell): charges
+    /// exactly what the synchronous call would. Falls back to the
+    /// direct call with the ring off.
+    fn ring_op(&mut self, env: &mut Env<'_>, op: RingOp) -> Result<(), ManagerError> {
+        let Some((sq, cq, token)) = self.ring.as_mut() else {
+            return match op {
+                RingOp::MigratePages {
+                    src,
+                    dst,
+                    src_page,
+                    dst_page,
+                    count,
+                    set,
+                    clear,
+                } => {
+                    env.kernel
+                        .migrate_pages(src, dst, src_page, dst_page, count, set, clear)?;
+                    Ok(())
+                }
+                RingOp::ModifyPageFlags {
+                    seg,
+                    page,
+                    count,
+                    set,
+                    clear,
+                } => {
+                    env.kernel.modify_page_flags(seg, page, count, set, clear)?;
+                    Ok(())
+                }
+                RingOp::MigrateFrame { seg, page, dst } => {
+                    env.kernel.migrate_frame(seg, page, dst)?;
+                    Ok(())
+                }
+                RingOp::UioRead { .. } | RingOp::UioWrite { .. } => {
+                    unreachable!("generic managers issue no UIO ops")
+                }
+            };
+        };
+        sq.push(SubmissionEntry { token: *token, op })
+            .expect("single-entry batch on an empty ring");
+        *token += 1;
+        env.kernel.drain_ring(sq, cq);
+        let mut first_err = None;
+        while let Some(entry) = cq.pop() {
+            if let CompletionEntry::Op { result: Err(e), .. } = entry {
+                if first_err.is_none() {
+                    first_err = Some(ManagerError::Kernel(e));
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// `MigratePages` via the configured ABI.
+    #[allow(clippy::too_many_arguments)]
+    fn op_migrate_pages(
+        &mut self,
+        env: &mut Env<'_>,
+        src: SegmentId,
+        dst: SegmentId,
+        src_page: PageNumber,
+        dst_page: PageNumber,
+        count: u64,
+        set: PageFlags,
+        clear: PageFlags,
+    ) -> Result<(), ManagerError> {
+        self.ring_op(
+            env,
+            RingOp::MigratePages {
+                src,
+                dst,
+                src_page,
+                dst_page,
+                count,
+                set,
+                clear,
+            },
+        )
+    }
+
+    /// `ModifyPageFlags` via the configured ABI.
+    fn op_modify_flags(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: SegmentId,
+        page: PageNumber,
+        count: u64,
+        set: PageFlags,
+        clear: PageFlags,
+    ) -> Result<(), ManagerError> {
+        self.ring_op(
+            env,
+            RingOp::ModifyPageFlags {
+                seg,
+                page,
+                count,
+                set,
+                clear,
+            },
+        )
     }
 
     /// The specialisation, for reading its state.
@@ -324,7 +455,8 @@ impl<S: Specialization> GenericManager<S> {
             }
         }
         let slot = first_empty(env.kernel, free_seg)?;
-        env.kernel.migrate_pages(
+        self.op_migrate_pages(
+            env,
             seg,
             free_seg,
             page,
@@ -439,7 +571,8 @@ impl<S: Specialization + 'static> SegmentManager for GenericManager<S> {
                         self.stats.fills += 1;
                     }
                 }
-                env.kernel.migrate_pages(
+                self.op_migrate_pages(
+                    env,
                     free_seg,
                     seg,
                     slot,
@@ -458,8 +591,7 @@ impl<S: Specialization + 'static> SegmentManager for GenericManager<S> {
                 }
                 // Otherwise generic managers keep their segments fully
                 // accessible.
-                env.kernel
-                    .modify_page_flags(seg, page, 1, PageFlags::RW, PageFlags::empty())?;
+                self.op_modify_flags(env, seg, page, 1, PageFlags::RW, PageFlags::empty())?;
                 self.policy.note_referenced(seg, page);
                 Ok(())
             }
@@ -468,7 +600,8 @@ impl<S: Specialization + 'static> SegmentManager for GenericManager<S> {
                 let constraint = self.spec.frame_constraint(seg, page);
                 let free_seg = self.free_seg(env)?;
                 let slot = self.take_free_slot(env, constraint)?;
-                env.kernel.migrate_pages(
+                self.op_migrate_pages(
+                    env,
                     free_seg,
                     seg,
                     slot,
@@ -523,7 +656,8 @@ impl<S: Specialization + 'static> SegmentManager for GenericManager<S> {
                 self.stats.writebacks += 1;
             }
             let slot = first_empty(env.kernel, free_seg)?;
-            env.kernel.migrate_pages(
+            self.op_migrate_pages(
+                env,
                 segment,
                 free_seg,
                 p,

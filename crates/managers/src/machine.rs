@@ -1142,6 +1142,11 @@ impl Machine {
             });
         }
         let costs = self.kernel.costs().clone();
+        // Both dispatch legs of the upcall cross a protection boundary
+        // (kernel→manager delivery, manager→kernel resume); the ringed ABI
+        // amortizes the per-op kernel calls *inside* the handler, never
+        // these two.
+        self.kernel.note_crossings(2);
         match mode {
             ManagerMode::FaultingProcess => self.kernel.charge(costs.fault_dispatch_inprocess),
             ManagerMode::Server => self

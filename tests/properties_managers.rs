@@ -193,6 +193,74 @@ proptest! {
             "async fault path charged writeback time inline");
     }
 
+    /// Batched-ABI equivalence: routing the default manager's page
+    /// operations through the submission/completion rings is a transport
+    /// change, not a policy change — any random overcommitted workload
+    /// produces identical resident sets, frame assignments and fault
+    /// counts, preserves every written byte, and bills less by exactly
+    /// the amortized per-call entry charge (`kernel_call × (ring_ops -
+    /// ring_batches)`).
+    #[test]
+    fn batched_abi_matches_unbatched_on_random_workloads(
+        accesses in proptest::collection::vec((0u64..48, any::<u8>(), any::<bool>()), 1..150),
+    ) {
+        let run = |batched_abi: bool| {
+            let mut m = Machine::new(40);
+            let id = m.register_manager(Box::new(DefaultSegmentManager::with_config(
+                ManagerMode::Server,
+                DefaultManagerConfig {
+                    target_free: 4,
+                    low_water: 1,
+                    refill_batch: 4,
+                    sample_batch: 8,
+                    batched_abi,
+                    ..DefaultManagerConfig::default()
+                },
+            )));
+            m.set_default_manager(id);
+            let seg = m.create_segment(SegmentKind::Anonymous, 48).expect("segment");
+            for (i, &(page, byte, write)) in accesses.iter().enumerate() {
+                if write {
+                    m.store_bytes(seg, page * BASE_PAGE_SIZE, &[byte]).expect("store");
+                } else {
+                    let mut buf = [0u8; 1];
+                    m.load(seg, page * BASE_PAGE_SIZE, &mut buf).expect("load");
+                }
+                if i % 16 == 15 {
+                    // Sampling sweeps and protection-restore faults are
+                    // the multi-op batch sites.
+                    m.kernel_mut().charge(Micros::from_secs(1));
+                    m.tick().expect("tick");
+                }
+            }
+            // Flatten the whole machine's page tables for comparison.
+            let kernel = m.kernel();
+            let mut tables = Vec::new();
+            let segs: Vec<SegmentId> = kernel.segment_ids().collect();
+            for s in segs {
+                for (p, e) in kernel.segment(s).expect("segment").resident() {
+                    tables.push((s.as_u32(), p.as_u64(), e.frame.index(), e.flags.bits()));
+                }
+            }
+            (tables, m.kernel_stats(), m.now())
+        };
+        let (sync_tables, sync_stats, sync_now) = run(false);
+        let (ring_tables, ring_stats, ring_now) = run(true);
+        prop_assert_eq!(sync_tables, ring_tables, "page tables diverged");
+        prop_assert_eq!(sync_stats.faults_missing, ring_stats.faults_missing);
+        prop_assert_eq!(sync_stats.faults_protection, ring_stats.faults_protection);
+        prop_assert_eq!(sync_stats.migrate_calls, ring_stats.migrate_calls);
+        prop_assert_eq!(sync_stats.modify_calls, ring_stats.modify_calls);
+        prop_assert_eq!(sync_stats.pages_migrated, ring_stats.pages_migrated);
+        prop_assert_eq!(sync_stats.ring_ops, 0, "direct mode must not touch the ring");
+        let call = epcm::sim::cost::CostModel::decstation_5000_200().kernel_call;
+        prop_assert_eq!(
+            sync_now.duration_since(ring_now),
+            call * (ring_stats.ring_ops - ring_stats.ring_batches),
+            "billing may differ only by the amortized entry charges"
+        );
+    }
+
     /// Invariant 6: the clock policy never evicts a page referenced since
     /// the last sweep while an unreferenced candidate exists.
     #[test]

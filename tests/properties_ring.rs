@@ -1,0 +1,532 @@
+//! Property-based tests of the batched manager ABI
+//! ([`epcm::core::ring`]): the ring container against a bounded-FIFO
+//! reference model, [`Kernel::drain_ring`] against the equivalent
+//! sequence of synchronous calls, and whole-machine batched-vs-direct
+//! equivalence — identical kernel state and trace multisets, with
+//! billing differing by exactly the amortized per-call crossing charge.
+//! Plus the edge models (wraparound, full rings, empty drains) and the
+//! cost-attribution regression pins referenced from `kernel.rs`.
+
+use std::collections::VecDeque;
+
+use epcm::core::ring::{
+    CompletionEntry, CompletionRing, Ring, RingFull, RingOp, RingOutput, SubmissionEntry,
+    SubmissionRing,
+};
+use epcm::core::{
+    AccessKind, Kernel, ManagerId, PageFlags, PageNumber, SegmentId, SegmentKind, UserId,
+    BASE_PAGE_SIZE,
+};
+use epcm::managers::default_manager::{DefaultManagerConfig, DefaultSegmentManager};
+use epcm::managers::{Machine, ManagerMode};
+use epcm::sim::clock::Micros;
+use proptest::prelude::*;
+
+// ----- helpers --------------------------------------------------------------
+
+/// Flattens every segment's resident table into a comparable value:
+/// `(segment, page, physical frame, flags bits)` per resident page.
+fn kernel_fingerprint(kernel: &Kernel) -> Vec<(u32, u64, usize, u16)> {
+    let mut out = Vec::new();
+    let segs: Vec<SegmentId> = kernel.segment_ids().collect();
+    for s in segs {
+        for (p, e) in kernel.segment(s).expect("live segment").resident() {
+            out.push((s.as_u32(), p.as_u64(), e.frame.index(), e.flags.bits()));
+        }
+    }
+    out
+}
+
+/// The fault/call counters that must be identical across ABI modes
+/// (everything in `KernelStats` except the crossing/ring accounting the
+/// batched ABI exists to change).
+fn fault_counters(kernel: &Kernel) -> [u64; 10] {
+    let s = kernel.stats();
+    [
+        s.references,
+        s.faults_missing,
+        s.faults_protection,
+        s.faults_cow,
+        s.migrate_calls,
+        s.pages_migrated,
+        s.modify_calls,
+        s.zero_fills,
+        s.uio_reads,
+        s.uio_writes,
+    ]
+}
+
+/// A modify-flags submission for boot-pool page `page..page+count`.
+fn modify_op(page: u64, count: u64) -> RingOp {
+    RingOp::ModifyPageFlags {
+        seg: SegmentId::FRAME_POOL,
+        page: PageNumber(page),
+        count,
+        set: PageFlags::MANAGER_B,
+        clear: PageFlags::empty(),
+    }
+}
+
+/// Runs a random store/load/tick workload on a pressured machine under
+/// one ABI mode and returns the machine for inspection.
+fn run_workload(accesses: &[(u8, u64, u8)], batched: bool) -> Machine {
+    let mut m = Machine::new(40);
+    let id = m.register_manager(Box::new(DefaultSegmentManager::with_config(
+        ManagerMode::Server,
+        DefaultManagerConfig {
+            target_free: 4,
+            low_water: 1,
+            refill_batch: 4,
+            sample_batch: 8,
+            batched_abi: batched,
+            ..DefaultManagerConfig::default()
+        },
+    )));
+    m.set_default_manager(id);
+    let seg = m
+        .create_segment(SegmentKind::Anonymous, 48)
+        .expect("segment");
+    for &(op, page, byte) in accesses {
+        match op % 3 {
+            0 => m
+                .store_bytes(seg, page * BASE_PAGE_SIZE, &[byte])
+                .expect("store"),
+            1 => {
+                let mut buf = [0u8; 1];
+                m.load(seg, page * BASE_PAGE_SIZE, &mut buf).expect("load");
+            }
+            _ => {
+                // A tick runs the sampling sweep (a multi-op batch site);
+                // later accesses then take protection-restore faults.
+                m.kernel_mut().charge(Micros::from_secs(1));
+                m.tick().expect("tick");
+            }
+        }
+    }
+    m
+}
+
+// ----- proptest models ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Model 1: the ring is a bounded FIFO. Against a `VecDeque`
+    /// reference, every interleaving of pushes and pops preserves order,
+    /// loses nothing, duplicates nothing, and rejects enqueue-on-full
+    /// with the typed error — across arbitrarily many wraparounds.
+    #[test]
+    fn ring_behaves_like_a_bounded_fifo(
+        capacity in 1usize..9,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1000), 1..200),
+    ) {
+        let mut ring: Ring<u64> = Ring::with_capacity(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for (push, v) in ops {
+            if push {
+                if model.len() < capacity {
+                    prop_assert_eq!(ring.push(v), Ok(()));
+                    model.push_back(v);
+                } else {
+                    prop_assert_eq!(ring.push(v), Err(RingFull { capacity }));
+                }
+            } else {
+                prop_assert_eq!(ring.pop(), model.pop_front());
+            }
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert_eq!(ring.is_empty(), model.is_empty());
+            prop_assert_eq!(ring.is_full(), model.len() == capacity);
+            prop_assert_eq!(ring.free(), capacity - model.len());
+            prop_assert_eq!(ring.peek(), model.front());
+            // Monotonic counters: occupancy is tail - head.
+            prop_assert_eq!(ring.tail() - ring.head(), model.len() as u64);
+        }
+        let expected: Vec<u64> = model.into_iter().collect();
+        prop_assert_eq!(ring.drain_all(), expected);
+        prop_assert!(ring.is_empty());
+    }
+
+    /// Model 2: one `drain_ring` of n operations leaves the kernel in
+    /// exactly the state of the n equivalent synchronous calls (stopping
+    /// at the first failure), posts the right completion per entry, and
+    /// bills exactly `kernel_call × (ops_executed - 1)` less — the
+    /// amortized crossing charge and nothing else.
+    #[test]
+    fn drain_matches_synchronous_calls_exactly(
+        ops in proptest::collection::vec((0u64..60, 1u64..4), 1..40),
+        fail_at in 0usize..80, // >= ops.len() means no injected failure
+    ) {
+        let build = || {
+            let mut ops: Vec<RingOp> =
+                ops.iter().map(|&(p, c)| modify_op(p, c)).collect();
+            if fail_at < ops.len() {
+                ops[fail_at] = modify_op(1_000, 1); // out of range: fails
+            }
+            (Kernel::new(64), ops)
+        };
+
+        // Synchronous reference: call until the first failure.
+        let (mut direct, ops_list) = build();
+        let d0 = direct.now();
+        let mut executed = 0u64;
+        for op in &ops_list {
+            let RingOp::ModifyPageFlags { seg, page, count, set, clear } = op.clone() else {
+                unreachable!("model only emits modify ops");
+            };
+            executed += 1;
+            if direct.modify_page_flags(seg, page, count, set, clear).is_err() {
+                break;
+            }
+        }
+        let direct_elapsed = direct.now().duration_since(d0);
+
+        // Batched: enqueue everything, one doorbell.
+        let (mut ringed, ops_list) = build();
+        let n = ops_list.len();
+        let mut sq: SubmissionRing = Ring::with_capacity(n);
+        let mut cq: CompletionRing = Ring::with_capacity(n);
+        for (i, op) in ops_list.into_iter().enumerate() {
+            sq.push(SubmissionEntry { token: i as u64, op }).expect("sized to fit");
+        }
+        let r0 = ringed.now();
+        prop_assert_eq!(ringed.drain_ring(&mut sq, &mut cq), n, "whole batch consumed");
+        let ring_elapsed = ringed.now().duration_since(r0);
+
+        // Identical end state, identical call counters.
+        prop_assert_eq!(kernel_fingerprint(&direct), kernel_fingerprint(&ringed));
+        prop_assert_eq!(fault_counters(&direct), fault_counters(&ringed));
+        let rs = ringed.stats();
+        prop_assert_eq!(rs.ring_batches, 1);
+        prop_assert_eq!(rs.ring_ops, executed, "drain executed the same prefix");
+        prop_assert_eq!(rs.crossings, 1, "one doorbell crossing for the batch");
+        prop_assert_eq!(direct.stats().crossings, executed, "one crossing per call");
+        // Billing: the batch saves exactly the amortized entry charges.
+        let call = ringed.costs().kernel_call;
+        prop_assert_eq!(
+            direct_elapsed + call,
+            ring_elapsed + call * executed,
+            "batch must save kernel_call x (executed - 1) exactly"
+        );
+        // Completions: Ok prefix, at most one Err, Cancelled remainder,
+        // tokens echoed in order.
+        let completions = cq.drain_all();
+        prop_assert_eq!(completions.len(), n);
+        for (i, c) in completions.into_iter().enumerate() {
+            match c {
+                CompletionEntry::Op { token, result } => {
+                    prop_assert_eq!(token, i as u64);
+                    prop_assert!((i as u64) < executed);
+                    if (i as u64) < executed - 1 {
+                        prop_assert_eq!(result, Ok(RingOutput::Done));
+                    } else if executed < n as u64 || fail_at == n - 1 {
+                        prop_assert!(result.is_err(), "last executed op was the failure");
+                    }
+                }
+                CompletionEntry::Cancelled { token } => {
+                    prop_assert_eq!(token, i as u64);
+                    prop_assert!((i as u64) >= executed, "cancelled op was executed");
+                }
+                CompletionEntry::Writeback { .. } => {
+                    prop_assert!(false, "kernel never posts writeback entries");
+                }
+            }
+        }
+    }
+
+    /// Model 3: the batched ABI is state-invisible. Any random pressured
+    /// workload (stores, loads, sampling ticks) leaves byte-identical
+    /// resident tables, frame assignments, page flags and fault counters
+    /// in both modes; only the ring counters (and time) may differ.
+    #[test]
+    fn batched_abi_preserves_kernel_state_on_random_workloads(
+        accesses in proptest::collection::vec((0u8..3, 0u64..48, any::<u8>()), 1..120),
+    ) {
+        let direct = run_workload(&accesses, false);
+        let batched = run_workload(&accesses, true);
+        prop_assert_eq!(
+            kernel_fingerprint(direct.kernel()),
+            kernel_fingerprint(batched.kernel())
+        );
+        prop_assert_eq!(
+            fault_counters(direct.kernel()),
+            fault_counters(batched.kernel())
+        );
+        prop_assert_eq!(
+            direct.stats().manager_calls,
+            batched.stats().manager_calls
+        );
+        prop_assert_eq!(direct.kernel_stats().ring_ops, 0);
+    }
+
+    /// Model 4: billing differs by exactly the amortized crossing
+    /// charge. `direct - batched = kernel_call × (ring_ops -
+    /// ring_batches)`, to the microsecond, for any workload — singleton
+    /// batches are free, multi-op batches save `(n-1)` entry charges.
+    #[test]
+    fn batched_abi_billing_differs_only_by_doorbell_amortization(
+        accesses in proptest::collection::vec((0u8..3, 0u64..48, any::<u8>()), 1..120),
+    ) {
+        let direct = run_workload(&accesses, false);
+        let batched = run_workload(&accesses, true);
+        let k = batched.kernel_stats();
+        let call = batched.kernel().costs().kernel_call;
+        let saved = call * (k.ring_ops - k.ring_batches);
+        prop_assert_eq!(
+            direct.now().duration_since(batched.now()),
+            saved,
+            "billing delta must be the amortized entry charges: ops={} batches={}",
+            k.ring_ops,
+            k.ring_batches
+        );
+        // Crossings collapse by exactly the same count.
+        prop_assert_eq!(
+            direct.kernel_stats().crossings - batched.kernel_stats().crossings,
+            k.ring_ops - k.ring_batches
+        );
+    }
+
+    /// Model 5: the batched ABI is trace-invisible. Both modes emit the
+    /// same multiset of trace events (kind and payload; timestamps are
+    /// the one permitted difference).
+    #[test]
+    fn batched_abi_preserves_trace_multiset(
+        accesses in proptest::collection::vec((0u8..3, 0u64..48, any::<u8>()), 1..80),
+    ) {
+        let run = |batched: bool| {
+            let mut m = Machine::new(40);
+            let tracer = m.enable_event_tracing(64 * 1024);
+            let id = m.register_manager(Box::new(DefaultSegmentManager::with_config(
+                ManagerMode::Server,
+                DefaultManagerConfig {
+                    target_free: 4,
+                    low_water: 1,
+                    refill_batch: 4,
+                    sample_batch: 8,
+                    batched_abi: batched,
+                    ..DefaultManagerConfig::default()
+                },
+            )));
+            m.set_default_manager(id);
+            let seg = m.create_segment(SegmentKind::Anonymous, 48).expect("segment");
+            for &(op, page, byte) in &accesses {
+                match op % 3 {
+                    0 => m.store_bytes(seg, page * BASE_PAGE_SIZE, &[byte]).expect("store"),
+                    1 => {
+                        let mut buf = [0u8; 1];
+                        m.load(seg, page * BASE_PAGE_SIZE, &mut buf).expect("load");
+                    }
+                    _ => {
+                        m.kernel_mut().charge(Micros::from_secs(1));
+                        m.tick().expect("tick");
+                    }
+                }
+            }
+            let mut kinds: Vec<String> = tracer
+                .events()
+                .into_iter()
+                .map(|e| format!("{:?}", e.kind))
+                .collect();
+            kinds.sort_unstable();
+            kinds
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}
+
+// ----- edge models ----------------------------------------------------------
+
+/// An empty drain — nothing submitted — consumes nothing, charges
+/// nothing, and counts nothing.
+#[test]
+fn empty_drain_charges_nothing() {
+    let mut k = Kernel::new(16);
+    let mut sq: SubmissionRing = Ring::with_capacity(4);
+    let mut cq: CompletionRing = Ring::with_capacity(4);
+    let t0 = k.now();
+    assert_eq!(k.drain_ring(&mut sq, &mut cq), 0);
+    assert_eq!(k.now(), t0);
+    assert_eq!(k.stats().ring_batches, 0);
+    assert_eq!(k.stats().crossings, 0);
+    assert!(cq.is_empty());
+}
+
+/// A full completion ring applies backpressure: the drain consumes only
+/// what it can complete, and a drain with no completion space at all is
+/// an empty drain. Nothing is ever dropped.
+#[test]
+fn full_completion_ring_applies_backpressure() {
+    let mut k = Kernel::new(16);
+    let mut sq: SubmissionRing = Ring::with_capacity(8);
+    let mut cq: CompletionRing = Ring::with_capacity(3);
+    for i in 0..5u64 {
+        sq.push(SubmissionEntry {
+            token: i,
+            op: modify_op(i, 1),
+        })
+        .expect("room");
+    }
+    // Only 3 completion slots: 3 consumed, 2 still queued.
+    assert_eq!(k.drain_ring(&mut sq, &mut cq), 3);
+    assert_eq!(sq.len(), 2);
+    assert!(cq.is_full());
+    // No space at all: an empty drain, charged nothing.
+    let t0 = k.now();
+    assert_eq!(k.drain_ring(&mut sq, &mut cq), 0);
+    assert_eq!(k.now(), t0);
+    // Reap, then the rest flows.
+    cq.drain_all();
+    assert_eq!(k.drain_ring(&mut sq, &mut cq), 2);
+    assert!(sq.is_empty());
+    assert_eq!(k.stats().ring_ops, 5);
+    assert_eq!(k.stats().ring_batches, 2);
+}
+
+/// The first failing operation cancels the rest of the batch without
+/// executing it — the synchronous stop-at-first-error semantics.
+#[test]
+fn first_failure_cancels_the_rest() {
+    let mut k = Kernel::new(16);
+    let mut sq: SubmissionRing = Ring::with_capacity(4);
+    let mut cq: CompletionRing = Ring::with_capacity(4);
+    for (i, op) in [modify_op(0, 1), modify_op(999, 1), modify_op(1, 1)]
+        .into_iter()
+        .enumerate()
+    {
+        sq.push(SubmissionEntry {
+            token: i as u64,
+            op,
+        })
+        .expect("room");
+    }
+    assert_eq!(k.drain_ring(&mut sq, &mut cq), 3);
+    let completions = cq.drain_all();
+    assert!(matches!(
+        completions[0],
+        CompletionEntry::Op {
+            token: 0,
+            result: Ok(RingOutput::Done)
+        }
+    ));
+    assert!(matches!(
+        completions[1],
+        CompletionEntry::Op {
+            token: 1,
+            result: Err(_)
+        }
+    ));
+    assert!(matches!(
+        completions[2],
+        CompletionEntry::Cancelled { token: 2 }
+    ));
+    // The cancelled op did not run: page 1 keeps its boot flags.
+    assert_eq!(k.stats().ring_ops, 2, "cancelled entries are not executed");
+    let entry = k
+        .segment(SegmentId::FRAME_POOL)
+        .expect("boot pool")
+        .entry(PageNumber(1))
+        .expect("resident");
+    assert!(!entry.flags.contains(PageFlags::MANAGER_B));
+}
+
+// ----- cost-attribution regression pins -------------------------------------
+// The ring work audited every call path's `kernel_call` entry charge;
+// these pin the two sites that folded the charge into a composite cost
+// (`CostModel::migrate_pages`) and must NOT add another on top.
+
+/// `compose_page` charges exactly one kernel call: the composite
+/// `migrate_pages(k)` cost and nothing else (referenced from the
+/// comment in `Kernel::compose_page`).
+#[test]
+fn single_kernel_call_charged_per_compose() {
+    let mut k = Kernel::new(64);
+    let staging = k
+        .create_segment(SegmentKind::FramePool, UserId::SYSTEM, ManagerId(1), 1, 64)
+        .expect("staging");
+    let big = k
+        .create_segment(SegmentKind::Anonymous, UserId::SYSTEM, ManagerId(1), 4, 4)
+        .expect("large-page segment");
+    // Boot pages 8..12 are physically contiguous by construction.
+    k.migrate_pages(
+        SegmentId::FRAME_POOL,
+        staging,
+        PageNumber(8),
+        PageNumber(8),
+        4,
+        PageFlags::RW,
+        PageFlags::empty(),
+    )
+    .expect("stage");
+    let costs = k.costs().clone();
+    let t0 = k.now();
+    k.compose_page(
+        staging,
+        big,
+        PageNumber(8),
+        PageNumber(0),
+        PageFlags::RW,
+        PageFlags::empty(),
+    )
+    .expect("compose");
+    let elapsed = k.now().duration_since(t0);
+    // The composite already folds the entry cost in — exactly once.
+    assert_eq!(elapsed, costs.migrate_pages(4));
+    assert_eq!(
+        costs.migrate_pages(4),
+        costs.kernel_call + costs.migrate_base + costs.migrate_per_page * 4
+    );
+}
+
+/// `modify_page_flags` charges exactly one kernel call plus the base +
+/// per-page service cost (referenced from the comment on
+/// `Kernel::modify_page_flags_at`).
+#[test]
+fn single_kernel_call_charged_per_modify() {
+    let mut k = Kernel::new(16);
+    let costs = k.costs().clone();
+    let t0 = k.now();
+    k.modify_page_flags(
+        SegmentId::FRAME_POOL,
+        PageNumber(0),
+        3,
+        PageFlags::MANAGER_B,
+        PageFlags::empty(),
+    )
+    .expect("modify");
+    assert_eq!(
+        k.now().duration_since(t0),
+        costs.kernel_call + costs.modify_flags_base + costs.modify_flags_per_page * 3
+    );
+}
+
+/// The server-mode fault path charges its IPC pair exactly once (Table
+/// 1's 379 µs), and a singleton ring batch reproduces it to the
+/// microsecond — the cost-neutrality that makes single-op ring sites
+/// safe everywhere.
+#[test]
+fn server_fault_charges_one_ipc_pair_in_both_modes() {
+    let measure = |batched: bool| {
+        let mut m = Machine::new(256);
+        let id = m.register_manager(Box::new(DefaultSegmentManager::with_config(
+            ManagerMode::Server,
+            DefaultManagerConfig {
+                batched_abi: batched,
+                ..DefaultManagerConfig::default()
+            },
+        )));
+        m.set_default_manager(id);
+        let seg = m
+            .create_segment(SegmentKind::Anonymous, 8)
+            .expect("segment");
+        m.touch(seg, 0, AccessKind::Write).expect("warm fault");
+        let t0 = m.now();
+        m.touch(seg, 1, AccessKind::Write).expect("measured fault");
+        (
+            m.now().duration_since(t0),
+            m.kernel().costs().vpp_minimal_fault_server(),
+        )
+    };
+    let (direct, expected) = measure(false);
+    assert_eq!(direct, expected, "one IPC pair, one kernel call: 379 us");
+    let (batched, _) = measure(true);
+    assert_eq!(batched, expected, "a singleton batch is cost-neutral");
+}

@@ -1,0 +1,93 @@
+//! Determinism of the batched-ABI benchmark (`reproduce --batched-abi`).
+//!
+//! `BENCH_ring.json` must be byte-identical regardless of the
+//! `--jobs`/`--shards` worker counts (every point owns its machine; the
+//! [`ScenarioPool`] joins in declared order, and the ring section never
+//! reads the shard spec at all). And with the flag *off*, the seed
+//! benchmark documents must be untouched: the batched ABI is opt-in, so
+//! `BENCH_table1.json`, `BENCH_tables23.json` and `BENCH_table4.json`
+//! stay byte-identical to the last `reproduce --quick --json` run
+//! whether or not the ring section also ran.
+
+use epcm_bench::json_report::{table1_json, table4_json, tables23_json, traced_results_with};
+use epcm_bench::pool::ScenarioPool;
+use epcm_bench::{ring, table4};
+
+const JOB_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Renders the full ring report (text + JSON) under one pool size.
+fn ring_output(jobs: usize) -> String {
+    let report = ring::results_with(&ScenarioPool::new(jobs));
+    let mut out = ring::render(&report);
+    out.push_str(&ring::ring_json(&report));
+    out
+}
+
+#[test]
+fn ring_report_is_jobs_invariant() {
+    let serial = ring_output(JOB_COUNTS[0]);
+    for &jobs in &JOB_COUNTS[1..] {
+        assert_eq!(
+            serial,
+            ring_output(jobs),
+            "BENCH_ring.json: --jobs {jobs} diverged from --jobs 1"
+        );
+    }
+}
+
+/// Reads a benchmark document from the repository root, if a previous
+/// `reproduce --quick --json` run left one (they are gitignored build
+/// artifacts; on a fresh checkout the comparison is skipped).
+fn last_written(name: &str) -> Option<String> {
+    let path = format!("{}/{}", env!("CARGO_MANIFEST_DIR"), name);
+    std::fs::read_to_string(path).ok()
+}
+
+fn assert_matches_last_run(name: &str, json: &str) {
+    match last_written(name) {
+        Some(on_disk) => assert_eq!(
+            format!("{json}\n"),
+            on_disk,
+            "{name} drifted after the ring section ran — the batched ABI must be opt-in"
+        ),
+        None => eprintln!("{name} not present (fresh checkout); skipping byte comparison"),
+    }
+}
+
+/// Running the ring section must not perturb the seed tables: regenerate
+/// all three documents *after* a full ring run in the same process and
+/// compare them byte-for-byte with the last reproduce run's files.
+#[test]
+fn batched_off_tables_are_untouched_by_a_ring_run() {
+    let _ = ring::results_with(&ScenarioPool::serial());
+    assert_matches_last_run("BENCH_table1.json", &table1_json());
+    let traced = traced_results_with(&ScenarioPool::serial());
+    assert_matches_last_run("BENCH_tables23.json", &tables23_json(&traced));
+    let results = table4::quick_results_with(&ScenarioPool::serial());
+    assert_matches_last_run("BENCH_table4.json", &table4_json(&results, true));
+}
+
+/// The direct-mode rows of the ring report reproduce the seed cost
+/// model: the app reruns must carry zero ring activity, and the batched
+/// rows must match their elapsed times exactly (single-op batches are
+/// cost-neutral).
+#[test]
+fn direct_rows_reproduce_the_seed_path() {
+    let report = ring::results_with(&ScenarioPool::serial());
+    for pair in report.apps.chunks(2) {
+        let (direct, batched) = (&pair[0], &pair[1]);
+        assert_eq!(direct.app, batched.app);
+        assert_eq!(direct.mode, "direct");
+        assert_eq!(batched.mode, "batched");
+        assert_eq!(
+            direct.ring_ops, 0,
+            "{}: direct rerun touched the ring",
+            direct.app
+        );
+        assert_eq!(
+            direct.elapsed_us, batched.elapsed_us,
+            "{}: batched rerun drifted from the seed timeline",
+            direct.app
+        );
+    }
+}
