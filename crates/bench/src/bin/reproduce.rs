@@ -29,6 +29,12 @@
 //!                            # the given per-epoch rate, plus tenant
 //!                            # churn (BENCH_chaos.json with --json);
 //!                            # byte-identical across --shards/--jobs
+//! reproduce --economy both   # add the memory-market scenarios
+//!                            # (quick, stress or both): market-funded
+//!                            # tenant classes over a tiered machine
+//!                            # with dynamic price discovery
+//!                            # (BENCH_economy.json with --json);
+//!                            # byte-identical across --shards/--jobs
 //! ```
 //!
 //! `--tiers dram:ALL` runs the sweep around the single-tier degenerate
@@ -53,11 +59,12 @@ use std::time::Instant;
 use epcm_bench::json_report::WallClockEntry;
 use epcm_bench::pool::ScenarioPool;
 use epcm_bench::{
-    ablations, chaos, json_report, ring, shards, table1, table23, table4, tiers, writeback,
+    ablations, chaos, economy, json_report, ring, shards, table1, table23, table4, tiers, writeback,
 };
 use epcm_core::shard::ShardSpec;
 use epcm_core::tier::{TierLayout, TierSpec};
 use epcm_dbms::config::{DbmsConfig, IndexStrategy};
+use epcm_economy::EconomyConfig;
 use epcm_sim::chaos::ChaosPlan;
 
 /// Total frame budget of the tier sweep when `--tiers dram:ALL` leaves
@@ -173,6 +180,14 @@ fn main() {
             std::process::exit(2);
         }
     });
+    let economy_cfgs: Option<Vec<EconomyConfig>> =
+        arg_value("--economy").map(|v| match EconomyConfig::parse(v) {
+            Ok(cfgs) => cfgs,
+            Err(e) => {
+                eprintln!("error: --economy {v}: {e}");
+                std::process::exit(2);
+            }
+        });
     let jobs: usize = arg_value("--jobs")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
@@ -277,6 +292,17 @@ fn main() {
         print!("{}", chaos::render(&plan, &report));
         if json {
             write_json("BENCH_chaos.json", &chaos::chaos_json(&plan, &report));
+        }
+    }
+    if let Some(cfgs) = economy_cfgs {
+        // As with --chaos, the worker count is presentation-free: any
+        // --shards value produces the identical report (pinned by the
+        // economy-smoke CI job, which cmp's the JSON across counts).
+        let workers = shard_spec.as_ref().map_or(1, |s| s.count());
+        let reports = wall.time("economy", || economy::run_reports(&cfgs, workers));
+        print!("{}", economy::render(&reports));
+        if json {
+            write_json("BENCH_economy.json", &economy::economy_json(&reports));
         }
     }
     wall.finish(pool.jobs());

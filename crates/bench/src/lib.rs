@@ -29,6 +29,10 @@
 //!   the sharded engine under seeded manager crash/hang/byzantine
 //!   injection and tenant churn, as `BENCH_chaos.json` — byte-identical
 //!   for every worker count.
+//! * [`economy`] — the memory-market scenarios (`--economy`): hundreds
+//!   of market-funded tenants in premium/standard/spot income classes
+//!   over a tiered machine with dynamic per-tier price discovery, as
+//!   `BENCH_economy.json` — byte-identical for every worker count.
 //! * [`json_report`] — the same tables as machine-readable `BENCH_*.json`
 //!   documents (with per-run event counts) for CI archival.
 //! * [`pool`] — the deterministic worker pool that fans independent
@@ -40,6 +44,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod economy;
 pub mod json_report;
 pub mod pool;
 pub mod ring;

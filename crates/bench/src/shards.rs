@@ -137,6 +137,7 @@ mod tests {
             seed: 11,
             chaos: None,
             churn: false,
+            economy: None,
         };
         run_report_with(&cfg, 2)
     }

@@ -1,0 +1,137 @@
+//! Income classes and deterministic income sampling.
+//!
+//! Every tenant lane is assigned an income class — premium, standard or
+//! spot — and an individual income drawn from a log-normal distribution
+//! around its class median. Both draws are pure functions of
+//! `(seed, lane)`, never of the worker grouping, so the population is
+//! shard-count invariant by construction.
+
+use epcm_sim::rng::Rng;
+
+/// A tenant's funding class in the memory market. The weights follow
+/// the usual cloud shape: a small premium head, a standard middle and a
+/// long spot tail (roughly 20% / 50% / 30%).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IncomeClass {
+    /// Heavily funded tenants; expected to stay solvent and resident.
+    Premium,
+    /// The bulk of the population, funded near break-even.
+    Standard,
+    /// Thinly funded tenants; expected to go bankrupt under stress and
+    /// survive — if at all — by demoting down the tier ladder.
+    Spot,
+}
+
+impl IncomeClass {
+    /// Number of classes.
+    pub const COUNT: usize = 3;
+
+    /// All classes, in display order.
+    pub fn all() -> [IncomeClass; IncomeClass::COUNT] {
+        [
+            IncomeClass::Premium,
+            IncomeClass::Standard,
+            IncomeClass::Spot,
+        ]
+    }
+
+    /// Stable lowercase name (used as a JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            IncomeClass::Premium => "premium",
+            IncomeClass::Standard => "standard",
+            IncomeClass::Spot => "spot",
+        }
+    }
+
+    /// Dense index for per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            IncomeClass::Premium => 0,
+            IncomeClass::Standard => 1,
+            IncomeClass::Spot => 2,
+        }
+    }
+}
+
+/// 16-point quantile table of a log-normal multiplier with `σ = 0.6`:
+/// `exp(0.6 · Φ⁻¹((i + 0.5) / 16))`, precomputed so income sampling
+/// needs no `exp`/`ln` at run time (libm calls are not IEEE-exact
+/// across platforms; literal constants are). Mean multiplier ≈ 1.18.
+pub const LOG_NORMAL_16: [f64; 16] = [
+    0.327051, 0.453479, 0.545532, 0.627599, 0.706467, 0.785567, 0.867343, 0.954042, 1.048172,
+    1.152947, 1.272967, 1.415495, 1.593373, 1.833074, 2.205174, 3.057627,
+];
+
+/// Domain-separation constant for the income stream (distinct from the
+/// engine's churn and workload streams).
+const INCOME_STREAM: u64 = 0x1_c0_1e_ab_1e;
+
+/// The class of `lane` under `seed`: premium with weight 2/10, standard
+/// 5/10, spot 3/10. Pure function of its arguments.
+pub fn class_of(seed: u64, lane: u64) -> IncomeClass {
+    let (class, _) = draw(seed, lane);
+    class
+}
+
+/// The class and income (drams per second) of `lane` under `seed`,
+/// given per-class median incomes indexed by [`IncomeClass::index`].
+/// The income is `median · m` with `m` drawn from [`LOG_NORMAL_16`].
+pub fn income_of(seed: u64, lane: u64, medians: [f64; IncomeClass::COUNT]) -> (IncomeClass, f64) {
+    let (class, mult) = draw(seed, lane);
+    (class, medians[class.index()] * mult)
+}
+
+fn draw(seed: u64, lane: u64) -> (IncomeClass, f64) {
+    let mut rng = Rng::seed_from(seed ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ INCOME_STREAM);
+    let class = match rng.below(10) {
+        0..=1 => IncomeClass::Premium,
+        2..=6 => IncomeClass::Standard,
+        _ => IncomeClass::Spot,
+    };
+    let mult = LOG_NORMAL_16[rng.below(16) as usize];
+    (class, mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic() {
+        for lane in 0..64 {
+            assert_eq!(class_of(7, lane), class_of(7, lane));
+            assert_eq!(
+                income_of(7, lane, [400.0, 120.0, 35.0]),
+                income_of(7, lane, [400.0, 120.0, 35.0])
+            );
+        }
+    }
+
+    #[test]
+    fn class_weights_are_roughly_right() {
+        let mut counts = [0u32; IncomeClass::COUNT];
+        for lane in 0..2000 {
+            counts[class_of(3, lane).index()] += 1;
+        }
+        // 20% / 50% / 30% with generous slack.
+        assert!((300..=500).contains(&counts[0]), "premium {}", counts[0]);
+        assert!((800..=1200).contains(&counts[1]), "standard {}", counts[1]);
+        assert!((450..=750).contains(&counts[2]), "spot {}", counts[2]);
+    }
+
+    #[test]
+    fn incomes_scatter_around_the_median() {
+        let medians = [400.0, 120.0, 35.0];
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for lane in 0..500 {
+            let (class, income) = income_of(11, lane, medians);
+            let median = medians[class.index()];
+            assert!(income > 0.2 * median && income < 3.2 * median);
+            lo = lo.min(income / median);
+            hi = hi.max(income / median);
+        }
+        assert!(lo < 0.6 && hi > 1.6, "no spread: {lo}..{hi}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Fixed log-spaced latency histograms for per-class tail accounting.
+//!
+//! The buckets are a compile-time constant ladder — `16 µs · 2^(i/4)`
+//! for `i = 0..64`, i.e. four buckets per octave from 16 µs to ~880 ms
+//! — so recording and quantile extraction are pure integer operations:
+//! two histograms fed the same samples in any order are identical, and
+//! a quantile is a deterministic function of the counts alone. That is
+//! what lets per-class p50/p99/p999 appear in byte-compared bench
+//! output.
+
+/// Upper bounds (inclusive, µs) of the 64 log-spaced buckets:
+/// `round(16 · 2^(i/4))`. The last bucket additionally absorbs every
+/// larger sample.
+pub const BUCKET_BOUNDS_US: [u64; 64] = [
+    16, 19, 23, 27, 32, 38, 45, 54, 64, 76, 91, 108, 128, 152, 181, 215, 256, 304, 362, 431, 512,
+    609, 724, 861, 1024, 1218, 1448, 1722, 2048, 2435, 2896, 3444, 4096, 4871, 5793, 6889, 8192,
+    9742, 11585, 13777, 16384, 19484, 23170, 27554, 32768, 38968, 46341, 55109, 65536, 77936,
+    92682, 110218, 131072, 155872, 185364, 220436, 262144, 311744, 370728, 440872, 524288, 623487,
+    741455, 881744,
+];
+
+/// A latency histogram over [`BUCKET_BOUNDS_US`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKET_BOUNDS_US.len()],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: [0; BUCKET_BOUNDS_US.len()],
+            total: 0,
+        }
+    }
+
+    /// Records one sample (µs). Samples above the last bound land in
+    /// the last bucket.
+    pub fn record(&mut self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The quantile `q_milli / 1000` as a bucket upper bound (µs): the
+    /// bound of the first bucket whose cumulative count reaches
+    /// `ceil(total · q_milli / 1000)`. Returns 0 for an empty
+    /// histogram. Integer arithmetic throughout.
+    pub fn quantile_milli(&self, q_milli: u64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (self.total * q_milli).div_ceil(1000).max(1);
+        let mut cum = 0;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            cum += count;
+            if cum >= target {
+                return BUCKET_BOUNDS_US[idx];
+            }
+        }
+        BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]
+    }
+
+    /// Convenience: the median, p99 and p999 bucket bounds (µs).
+    pub fn tail(&self) -> (u64, u64, u64) {
+        (
+            self.quantile_milli(500),
+            self.quantile_milli(990),
+            self.quantile_milli(999),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_increasing() {
+        assert!(BUCKET_BOUNDS_US.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn quantiles_are_order_independent_and_monotone() {
+        let samples = [20u64, 100, 100, 5_000, 70_000, 70_000, 70_000, 900_000];
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for &s in &samples {
+            a.record(s);
+        }
+        for &s in samples.iter().rev() {
+            b.record(s);
+        }
+        assert_eq!(a, b);
+        let (p50, p99, p999) = a.tail();
+        assert!(p50 <= p99 && p99 <= p999);
+        // The all-above-range sample lands in the last bucket.
+        assert_eq!(p999, BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]);
+    }
+
+    #[test]
+    fn single_sample_hits_its_own_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(65_000);
+        assert_eq!(h.quantile_milli(500), 65_536);
+        assert_eq!(h.quantile_milli(999), 65_536);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(LatencyHistogram::new().quantile_milli(990), 0);
+    }
+}

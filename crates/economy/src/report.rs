@@ -1,0 +1,191 @@
+//! Per-income-class outcome accounting over one economy run.
+
+use std::collections::BTreeMap;
+
+use epcm_core::tier::MemTier;
+use epcm_managers::shard::{LaneFate, ShardRunReport};
+
+use crate::classes::{class_of, IncomeClass};
+use crate::config::EconomyConfig;
+use crate::histogram::LatencyHistogram;
+
+/// Aggregated outcomes of one income class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassOutcome {
+    /// The class.
+    pub class: IncomeClass,
+    /// Lanes assigned to the class.
+    pub lanes: u64,
+    /// Per-(lane, epoch) latency samples recorded.
+    pub samples: u64,
+    /// Median epoch virtual time (µs, bucket bound).
+    pub p50_us: u64,
+    /// p99 epoch virtual time (µs, bucket bound).
+    pub p99_us: u64,
+    /// p999 epoch virtual time (µs, bucket bound).
+    pub p999_us: u64,
+    /// Samples whose lane-local ledger was in the red.
+    pub bankrupt_samples: u64,
+    /// Each lane's residency per tier at its last observed epoch,
+    /// summed over the class.
+    pub final_resident_by_tier: [u64; MemTier::COUNT],
+    /// Lanes still holding at least one frame at their last observed
+    /// epoch while bankrupt — the tenants the demotion ladder kept
+    /// resident instead of letting revocation empty them.
+    pub bankrupt_resident_lanes: u64,
+    /// Voluntary demotions down the tier ladder (class total).
+    pub demotions: u64,
+    /// Revocation demands issued against the class's managers.
+    pub revocations: u64,
+    /// Frames seized by force after revocation deadlines lapsed.
+    pub seized: u64,
+    /// Lanes that departed mid-run under churn.
+    pub departed: u64,
+    /// Sum of final lane-local balances (drams).
+    pub final_balance: f64,
+}
+
+/// Everything one economy scenario produced: the per-class outcomes,
+/// the price trajectory and the coordinator-ledger conservation data,
+/// plus the underlying engine report (whose bytes the determinism
+/// suite compares across worker counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EconomyReport {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Tenant lanes.
+    pub lanes: u32,
+    /// Epochs run.
+    pub epochs: u32,
+    /// Per-class outcomes, in [`IncomeClass::all`] order.
+    pub classes: Vec<ClassOutcome>,
+    /// Rents posted after each epoch, per tier.
+    pub rents: Vec<[f64; MemTier::COUNT]>,
+    /// DRAM utilization observed each epoch (milli-units).
+    pub util_milli: Vec<u64>,
+    /// Coordinator-ledger income total.
+    pub total_income: f64,
+    /// Coordinator-ledger charge total.
+    pub total_charged: f64,
+    /// Coordinator-ledger conservation residual.
+    pub residual: f64,
+    /// The documented bound `|residual|` stayed within.
+    pub residual_bound: f64,
+    /// Mid-run departures under churn.
+    pub departures: u64,
+    /// The raw engine report.
+    pub shard: ShardRunReport,
+}
+
+impl EconomyReport {
+    /// The DRAM rent in force after the last epoch.
+    pub fn final_dram_rent(&self) -> f64 {
+        self.rents.last().map_or(0.0, |r| r[MemTier::Dram.index()])
+    }
+
+    /// The highest DRAM rent posted at any epoch.
+    pub fn peak_dram_rent(&self) -> f64 {
+        self.rents
+            .iter()
+            .map(|r| r[MemTier::Dram.index()])
+            .fold(0.0, f64::max)
+    }
+
+    /// The outcome row of `class`.
+    pub fn class(&self, class: IncomeClass) -> &ClassOutcome {
+        &self.classes[class.index()]
+    }
+}
+
+/// Aggregates an engine report into per-class outcomes. Panics if the
+/// report carries no economy ledger (the scenario must have been run
+/// through [`crate::run`] or an equivalent economy-configured engine).
+pub fn aggregate(cfg: &EconomyConfig, shard: ShardRunReport) -> EconomyReport {
+    let ledger = shard
+        .economy
+        .clone()
+        .expect("an economy scenario report carries an economy ledger");
+    assert!(
+        ledger.residual.abs() < ledger.residual_bound,
+        "economy ledger residual {} exceeded its bound {}",
+        ledger.residual,
+        ledger.residual_bound
+    );
+
+    let mut hist: Vec<LatencyHistogram> = (0..IncomeClass::COUNT)
+        .map(|_| LatencyHistogram::new())
+        .collect();
+    let mut bankrupt_samples = [0u64; IncomeClass::COUNT];
+    // Each lane's last observed sample: (epoch, resident_by_tier, bankrupt).
+    let mut last_sample: BTreeMap<u64, ([u64; MemTier::COUNT], bool)> = BTreeMap::new();
+    for s in &ledger.samples {
+        let class = class_of(cfg.seed, s.lane);
+        hist[class.index()].record(s.epoch_us);
+        if s.bankrupt {
+            bankrupt_samples[class.index()] += 1;
+        }
+        last_sample.insert(s.lane, (s.resident_by_tier, s.bankrupt));
+    }
+
+    let classes = IncomeClass::all()
+        .into_iter()
+        .map(|class| {
+            let idx = class.index();
+            let (p50_us, p99_us, p999_us) = hist[idx].tail();
+            let mut outcome = ClassOutcome {
+                class,
+                lanes: 0,
+                samples: hist[idx].total(),
+                p50_us,
+                p99_us,
+                p999_us,
+                bankrupt_samples: bankrupt_samples[idx],
+                final_resident_by_tier: [0; MemTier::COUNT],
+                bankrupt_resident_lanes: 0,
+                demotions: 0,
+                revocations: 0,
+                seized: 0,
+                departed: 0,
+                final_balance: 0.0,
+            };
+            for l in &shard.lanes {
+                if class_of(cfg.seed, l.lane) != class {
+                    continue;
+                }
+                outcome.lanes += 1;
+                outcome.demotions += l.demotions;
+                outcome.revocations += l.revocations;
+                outcome.seized += l.seized;
+                outcome.final_balance += l.balance;
+                if l.fate == LaneFate::Departed {
+                    outcome.departed += 1;
+                }
+                if let Some((by_tier, bankrupt)) = last_sample.get(&l.lane) {
+                    for tier in MemTier::all() {
+                        outcome.final_resident_by_tier[tier.index()] += by_tier[tier.index()];
+                    }
+                    let resident: u64 = by_tier.iter().sum();
+                    if *bankrupt && resident > 0 {
+                        outcome.bankrupt_resident_lanes += 1;
+                    }
+                }
+            }
+            outcome
+        })
+        .collect();
+
+    EconomyReport {
+        name: cfg.name,
+        lanes: cfg.lanes,
+        epochs: cfg.epochs,
+        classes,
+        rents: ledger.rents,
+        util_milli: ledger.util_milli,
+        total_income: ledger.total_income,
+        total_charged: ledger.total_charged,
+        residual: ledger.residual,
+        residual_bound: ledger.residual_bound,
+        departures: shard.departures,
+        shard,
+    }
+}

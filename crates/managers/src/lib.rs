@@ -73,7 +73,7 @@ pub use default_manager::{
 };
 pub use machine::{Machine, MachineBuilder, MachineError, MachineStats, TraceStep};
 pub use manager::{Env, ManagerError, ManagerMode, SegmentManager};
-pub use market::{MarketConfig, MemoryMarket};
+pub use market::{MarketConfig, MemoryMarket, PriceSchedule};
 pub use shard::{
     CrossShardMsg, EpochPlan, EpochSummary, LaneFate, LaneReport, LaneResult, LaneStatus,
     ShardEngineConfig, ShardEngineError, ShardRunReport, SpillPool, TenantWorkload,

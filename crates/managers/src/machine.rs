@@ -20,7 +20,7 @@ use std::fmt;
 use epcm_core::fault::FaultEvent;
 use epcm_core::flags::PageFlags;
 use epcm_core::kernel::{AccessOutcome, Kernel, KernelStats};
-use epcm_core::tier::TierLayout;
+use epcm_core::tier::{MemTier, TierLayout};
 use epcm_core::types::{
     AccessKind, ManagerId, PageNumber, SegmentId, SegmentKind, UserId, BASE_PAGE_SIZE,
 };
@@ -1292,6 +1292,38 @@ impl Machine {
             }
         }
         Ok(())
+    }
+
+    /// Installs one epoch of a [`crate::market::PriceSchedule`] on the
+    /// machine's market ledger (market allocation policy only), emitting
+    /// one [`EventKind::PriceAdjusted`] per tier when tracing is
+    /// enabled. Returns `false` when the machine runs no market.
+    pub fn apply_tier_rents(&mut self, epoch: u32, rents: [f64; MemTier::COUNT]) -> bool {
+        let Some(market) = self.spcm.market_mut() else {
+            return false;
+        };
+        market.set_tier_rents(rents);
+        for tier in MemTier::all() {
+            self.emit(EventKind::PriceAdjusted {
+                epoch,
+                tier: tier.code(),
+                rent: (rents[tier.index()] * 1000.0).round() as u64,
+            });
+        }
+        true
+    }
+
+    /// Total frames resident per memory tier across every non-system
+    /// manager, derived from the frame table. On a dram-only machine
+    /// only index 0 is ever non-zero.
+    pub fn resident_by_tier(&self) -> [u64; MemTier::COUNT] {
+        let mut totals = [0u64; MemTier::COUNT];
+        for (_, by_tier) in self.spcm.holdings_by_tier(&self.kernel) {
+            for tier in MemTier::all() {
+                totals[tier.index()] += by_tier[tier.index()];
+            }
+        }
+        totals
     }
 }
 

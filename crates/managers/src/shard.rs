@@ -44,6 +44,7 @@ use std::sync::mpsc;
 use std::thread;
 
 use epcm_core::shard::{ShardId, ShardLayout};
+use epcm_core::tier::{MemTier, TierLayout};
 use epcm_core::types::{AccessKind, ManagerId, SegmentKind, UserId};
 use epcm_core::watchdog::WatchdogConfig;
 use epcm_sim::chaos::{ChaosEvent, ChaosPlan};
@@ -55,8 +56,8 @@ use epcm_sim::rng::Rng;
 use crate::chaotic::ChaoticManager;
 use crate::default_manager::DefaultSegmentManager;
 use crate::machine::Machine;
-use crate::market::{MarketConfig, MemoryMarket};
-use crate::spcm::RevocationConfig;
+use crate::market::{MarketConfig, MemoryMarket, PriceSchedule};
+use crate::spcm::{AllocationPolicy, RevocationConfig};
 
 /// Configures one sharded multi-tenant run. The *logical* workload —
 /// lanes, frames, pages, epochs — is fixed here; the worker shard count
@@ -87,6 +88,63 @@ pub struct ShardEngineConfig {
     /// drawn deterministically from the seed, exercising mid-run
     /// account settlement and lease reclamation.
     pub churn: bool,
+    /// The memory-market economy layer. `None` (every pre-economy
+    /// construction) leaves all output byte-identical to pre-economy
+    /// builds: the static [`shard_market`] is used, lanes are built
+    /// flat, and no [`EconomyLedger`] is attached to the report.
+    pub economy: Option<EconomyParams>,
+}
+
+/// The optional economy layer over a sharded run: heterogeneous
+/// per-lane incomes, a coordinator [`PriceSchedule`] posting per-tier
+/// rents each epoch, and (in tiered mode) lane-local market ledgers
+/// that make the demotion ladder and the revocation protocol live
+/// enforcement mechanisms.
+///
+/// Two ledgers exist in tiered mode, deliberately: the *coordinator*
+/// ledger prices the shared machine (it bills at epoch barriers in
+/// lane order, funds spill leases and settles departures — the f64
+/// serialization point, exactly as in a plain run), while each lane's
+/// *local* ledger is the paper's per-machine SPCM economy (§2.4): the
+/// machine bills it at tick time, the default manager demotes cold
+/// pages down the tier ladder when it is in the red, and
+/// [`Machine::tick`] revokes frames from bankrupt managers. Both are
+/// driven by the same posted rents.
+#[derive(Debug, Clone)]
+pub struct EconomyParams {
+    /// Per-lane income rates (drams per second), indexed by lane. Must
+    /// have exactly `lanes` entries. A lane's account is opened at its
+    /// *arrival* epoch with this income — mid-run churn arrivals join
+    /// the economy at their class rate, they do not bank income while
+    /// absent.
+    pub incomes: Vec<f64>,
+    /// Arrival stake, in seconds of the lane's own income: the one-off
+    /// credit a tenant brings, without which a zero-balance account
+    /// could not afford its first frame request.
+    pub stake_secs: f64,
+    /// Base market parameters for the coordinator ledger and (tiered
+    /// mode) each lane-local ledger.
+    pub market: MarketConfig,
+    /// The coordinator's price schedule. Its base rents are posted
+    /// before epoch 0; each epoch's observed DRAM utilization folds
+    /// into it and the updated rents are broadcast in the next
+    /// [`EpochPlan`].
+    pub schedule: PriceSchedule,
+    /// When set, every lane machine is built with this tier layout
+    /// (total must equal `frames_per_lane`) and a lane-local market
+    /// ledger. When `None`, lanes are built exactly as in a plain run
+    /// and the economy is observation-and-billing only.
+    pub tiers: Option<TierLayout>,
+    /// Affordability horizon for lane-local market admission (tiered
+    /// mode): a frame request must be affordable for this long.
+    pub horizon: Micros,
+}
+
+impl EconomyParams {
+    /// Whether lanes run tiered machines with local enforcement.
+    pub fn tiered(&self) -> bool {
+        self.tiers.is_some()
+    }
 }
 
 impl ShardEngineConfig {
@@ -104,6 +162,7 @@ impl ShardEngineConfig {
             seed: 0x5eed_cafe,
             chaos: None,
             churn: false,
+            economy: None,
         }
     }
 
@@ -120,6 +179,7 @@ impl ShardEngineConfig {
             seed: 0x57e5_5eed,
             chaos: None,
             churn: false,
+            economy: None,
         }
     }
 
@@ -213,6 +273,18 @@ pub struct LaneReport {
     /// Contained chaos events and churn transitions this epoch, in
     /// occurrence order; empty on every chaos-free run.
     pub incidents: Vec<String>,
+    /// Virtual time the lane consumed this epoch (µs). Worker-side
+    /// observation; shard-count invariant because a lane's clock is.
+    pub epoch_us: u64,
+    /// The lane's resident frames per memory tier at the barrier.
+    /// Computed only on economy runs; all-zero otherwise.
+    pub resident_by_tier: [u64; MemTier::COUNT],
+    /// Lane-local ledger balance at the barrier (tiered economy runs;
+    /// 0 otherwise).
+    pub local_balance: f64,
+    /// Whether the lane-local ledger was in the red at the barrier
+    /// (tiered economy runs; false otherwise).
+    pub bankrupt: bool,
 }
 
 /// The coordinator's broadcast after an epoch barrier: the merged,
@@ -225,6 +297,10 @@ pub struct EpochPlan {
     pub contended: bool,
     /// Spill frames currently leased to each lane (indexed by lane).
     pub leases: Vec<u64>,
+    /// Per-tier rents posted by the coordinator's price schedule for
+    /// the next epoch (`None` outside economy runs). Workers install
+    /// them on each live lane's local ledger before the next epoch.
+    pub rents: Option<[f64; MemTier::COUNT]>,
 }
 
 /// Coordinator-side summary of one epoch, for reporting.
@@ -287,6 +363,15 @@ pub struct LaneResult {
     pub fate: LaneFate,
     /// Watchdog-driven manager failovers the lane's machine performed.
     pub failovers: u64,
+    /// Voluntary demotions the lane's default manager performed down
+    /// the tier ladder (tiered economy runs; 0 otherwise).
+    pub demotions: u64,
+    /// Revocation demands the lane's SPCM issued against bankrupt
+    /// managers (tiered economy runs; 0 otherwise).
+    pub revocations: u64,
+    /// Frames the lane's SPCM seized by force after a revocation
+    /// grace deadline expired unmet (tiered economy runs; 0 otherwise).
+    pub seized: u64,
 }
 
 /// Everything one sharded run produced. Contains no trace of the worker
@@ -317,6 +402,56 @@ pub struct ShardRunReport {
     /// Release messages asking back more frames than the lane held;
     /// the pool clamps them, the coordinator counts and traces them.
     pub spill_over_releases: u64,
+    /// The economy ledger — present exactly when the run was
+    /// configured with [`ShardEngineConfig::economy`].
+    pub economy: Option<EconomyLedger>,
+}
+
+/// Everything the economy layer observed across one sharded run: the
+/// coordinator's rent trajectory, the utilization sequence that drove
+/// it, per-(epoch, lane) samples, and the coordinator-ledger totals.
+/// The `epcm-economy` crate aggregates this into per-income-class
+/// outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EconomyLedger {
+    /// Rents posted after each epoch's utilization was observed
+    /// (epoch-indexed; entry `e` governs epoch `e + 1`).
+    pub rents: Vec<[f64; MemTier::COUNT]>,
+    /// DRAM utilization fed to the schedule each epoch, in milli-units
+    /// (`1000 · demand / capacity`, integer arithmetic).
+    pub util_milli: Vec<u64>,
+    /// Per-epoch samples of every *active* lane, epoch-major and
+    /// lane-ascending within an epoch.
+    pub samples: Vec<LaneEpochSample>,
+    /// Coordinator-ledger income total at the end of the run.
+    pub total_income: f64,
+    /// Coordinator-ledger charge total at the end of the run.
+    pub total_charged: f64,
+    /// Coordinator-ledger conservation residual (see
+    /// [`MemoryMarket::ledger_residual`]).
+    pub residual: f64,
+    /// The documented f64 bound the residual must stay within (see
+    /// [`MemoryMarket::residual_bound`]); economy runs assert it.
+    pub residual_bound: f64,
+}
+
+/// One active lane's economy observation at one epoch barrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneEpochSample {
+    /// The epoch.
+    pub epoch: u32,
+    /// The lane.
+    pub lane: u64,
+    /// Virtual time the lane consumed this epoch (µs) — the per-class
+    /// latency histograms are built from these.
+    pub epoch_us: u64,
+    /// The lane's resident frames per memory tier at the barrier.
+    pub resident_by_tier: [u64; MemTier::COUNT],
+    /// The lane's ledger balance: lane-local in tiered mode, the
+    /// coordinator account otherwise.
+    pub balance: f64,
+    /// Whether that ledger was in the red at the barrier.
+    pub bankrupt: bool,
 }
 
 /// Why a sharded run could not produce a report.
@@ -539,6 +674,9 @@ struct Tenant {
     base_faults: u64,
     crashed: bool,
     failovers_seen: u64,
+    /// Lane-local market accounts (tiered economy runs): the default
+    /// manager's, plus the chaotic manager's when chaos is armed.
+    local_accounts: Vec<ManagerId>,
 }
 
 /// A lane slot as the worker sees it across churn: the tenant machine
@@ -558,7 +696,24 @@ fn total_faults(m: &Machine) -> u64 {
 }
 
 fn build_tenant(cfg: &ShardEngineConfig, lane: u64) -> Tenant {
-    let mut machine = Machine::builder(cfg.frames_per_lane as usize).build();
+    let eco = cfg.economy.as_ref();
+    let mut builder = Machine::builder(cfg.frames_per_lane as usize);
+    // Tiered economy: the lane machine carries the paper's per-machine
+    // SPCM economy — a tier ladder plus a lane-local market ledger
+    // enforcing admission (affordability), demotion (manager in the
+    // red) and revocation (bankruptcy) locally, at tick granularity.
+    if let Some(layout) = eco.and_then(|e| e.tiers) {
+        assert_eq!(
+            layout.total(),
+            cfg.frames_per_lane,
+            "economy tier layout must cover exactly the lane's frames"
+        );
+        builder = builder.tiers(layout).allocation(AllocationPolicy::Market {
+            market: MemoryMarket::new(eco.expect("tiers imply economy").market.clone()),
+            horizon: eco.expect("tiers imply economy").horizon,
+        });
+    }
+    let mut machine = builder.build();
     let id = machine.register_manager(Box::new(DefaultSegmentManager::server()));
     machine.set_default_manager(id);
     // Under chaos the tenant's segment is owned by a ChaoticManager and
@@ -576,6 +731,26 @@ fn build_tenant(cfg: &ShardEngineConfig, lane: u64) -> Tenant {
     } else {
         None
     };
+    // The Market admission policy refuses managers without accounts and
+    // defers the broke, so in tiered mode the local accounts must exist
+    // — opened at the lane's class income, primed with the posted base
+    // rents and the arrival stake — before the first warm-up touch.
+    let mut local_accounts = Vec::new();
+    if let Some(eco) = eco.filter(|e| e.tiered()) {
+        let income = eco.incomes[lane as usize];
+        let rents = eco.schedule.prices();
+        if let Some(market) = machine.spcm_mut().market_mut() {
+            market.set_tier_rents(rents);
+            market.open_account(id, Some(income));
+            market.credit(id, income * eco.stake_secs);
+            local_accounts.push(id);
+            if let Some(cid) = chaos_id {
+                market.open_account(cid, Some(income));
+                market.credit(cid, income * eco.stake_secs);
+                local_accounts.push(cid);
+            }
+        }
+    }
     let seg = match chaos_id {
         Some(cid) => machine
             .create_segment_with(
@@ -607,10 +782,37 @@ fn build_tenant(cfg: &ShardEngineConfig, lane: u64) -> Tenant {
         base_faults,
         crashed: false,
         failovers_seen: 0,
+        local_accounts,
     }
 }
 
-fn lane_result(t: &Tenant, fate: LaneFate) -> LaneResult {
+/// The sum of a tenant's lane-local ledger balances (tiered economy
+/// runs; 0.0 when the machine runs no local market).
+fn local_balance(t: &Tenant) -> f64 {
+    let Some(market) = t.machine.spcm().market() else {
+        return 0.0;
+    };
+    t.local_accounts
+        .iter()
+        .filter_map(|&id| market.balance(id))
+        .sum()
+}
+
+fn lane_result(cfg: &ShardEngineConfig, t: &Tenant, fate: LaneFate) -> LaneResult {
+    let tiered = cfg.economy.as_ref().is_some_and(|e| e.tiered());
+    let (demotions, revocations, seized, balance) = if tiered {
+        let demotions = t
+            .local_accounts
+            .first()
+            .and_then(|&id| t.machine.manager(id))
+            .and_then(|mgr| mgr.as_any().downcast_ref::<DefaultSegmentManager>())
+            .map_or(0, |mgr| mgr.manager_stats().demotions);
+        let (demands, frames_seized, _, _) = t.machine.spcm().revocation_stats();
+        (demotions, demands, frames_seized, local_balance(t))
+    } else {
+        // The market lives on the coordinator; balance filled in there.
+        (0, 0, 0, 0.0)
+    };
     LaneResult {
         lane: t.lane,
         faults: t.faults,
@@ -618,10 +820,12 @@ fn lane_result(t: &Tenant, fate: LaneFate) -> LaneResult {
         pages_migrated: t.machine.kernel_stats().pages_migrated,
         lease_peak: t.lease_peak,
         final_time_us: t.machine.now().as_micros(),
-        // The market lives on the coordinator; filled in there.
-        balance: 0.0,
+        balance,
         fate,
         failovers: t.failovers_seen,
+        demotions,
+        revocations,
+        seized,
     }
 }
 
@@ -648,6 +852,7 @@ fn run_tenant_epoch(
     epoch: u32,
     mut incidents: Vec<String>,
 ) -> LaneReport {
+    let t0 = t.machine.now();
     let before = total_faults(&t.machine);
     let mut byzantine = false;
     if let Some(plan) = &cfg.chaos {
@@ -672,13 +877,32 @@ fn run_tenant_epoch(
     let contained = catch_unwind(AssertUnwindSafe(|| {
         for round in 0..cfg.rounds_per_epoch {
             for (page, kind) in workload.round(t.lane, epoch, round, cfg.pages_per_lane, t.leased) {
-                t.machine
-                    .touch(t.seg, page, kind)
-                    .expect("tenant epoch access");
+                if cfg.economy.is_some() {
+                    // Economy runs: bankruptcy can revoke a tenant down
+                    // to zero frames, where no fault can be served.
+                    // That is starvation, not an engine bug — the lane
+                    // stalls for the rest of the epoch while income
+                    // accrues toward re-admission.
+                    if t.machine.touch(t.seg, page, kind).is_err() {
+                        return true;
+                    }
+                } else {
+                    t.machine
+                        .touch(t.seg, page, kind)
+                        .expect("tenant epoch access");
+                }
             }
             let _ = t.machine.tick();
         }
+        false
     }));
+    if let Ok(true) = contained {
+        // Bill the stalled remainder of the epoch so the ladder keeps
+        // moving: income accrues, and a recovered balance re-admits the
+        // lane next epoch.
+        let _ = t.machine.tick();
+        incidents.push("starved: no frames until balance recovers".to_string());
+    }
     if let Err(payload) = contained {
         if cfg.chaos.is_none() {
             // Without injected chaos a panic here is an engine bug;
@@ -758,6 +982,17 @@ fn run_tenant_epoch(
             },
         ));
     }
+    let eco = cfg.economy.as_ref();
+    let resident_by_tier = match eco {
+        Some(_) => t.machine.resident_by_tier(),
+        None => [0; MemTier::COUNT],
+    };
+    let (balance, bankrupt) = if eco.is_some_and(|e| e.tiered()) {
+        let b = local_balance(t);
+        (b, b < 0.0)
+    } else {
+        (0.0, false)
+    };
     LaneReport {
         lane: t.lane,
         now,
@@ -766,6 +1001,10 @@ fn run_tenant_epoch(
         msgs,
         status: LaneStatus::Active,
         incidents,
+        epoch_us: now.as_micros() - t0.as_micros(),
+        resident_by_tier,
+        local_balance: balance,
+        bankrupt,
     }
 }
 
@@ -795,12 +1034,20 @@ fn worker_loop(
             }
         })
         .collect();
+    // The rents the coordinator most recently posted: applied to every
+    // live lane when a plan arrives, and to a mid-run arrival the moment
+    // it is built (it must not run an epoch at stale base rents).
+    let mut last_rents: Option<[f64; MemTier::COUNT]> = None;
     for epoch in 0..cfg.epochs {
         let mut epoch_reports = Vec::with_capacity(slots.len());
         for slot in &mut slots {
             let mut incidents = Vec::new();
             if epoch == slot.arrive && slot.tenant.is_none() && slot.done.is_none() {
-                slot.tenant = Some(build_tenant(cfg, slot.lane));
+                let mut tenant = build_tenant(cfg, slot.lane);
+                if let Some(rents) = last_rents {
+                    tenant.machine.apply_tier_rents(epoch, rents);
+                }
+                slot.tenant = Some(tenant);
                 if cfg.churn {
                     incidents.push(format!("arrived (window {}..{})", slot.arrive, slot.depart));
                 }
@@ -812,7 +1059,7 @@ fn worker_loop(
                     } else {
                         LaneFate::Departed
                     };
-                    slot.done = Some(lane_result(&t, fate));
+                    slot.done = Some(lane_result(cfg, &t, fate));
                     incidents.push("departed".to_string());
                     epoch_reports.push(LaneReport {
                         lane: slot.lane,
@@ -822,6 +1069,10 @@ fn worker_loop(
                         msgs: Vec::new(),
                         status: LaneStatus::Departing,
                         incidents,
+                        epoch_us: 0,
+                        resident_by_tier: [0; MemTier::COUNT],
+                        local_balance: 0.0,
+                        bankrupt: false,
                     });
                     continue;
                 }
@@ -838,6 +1089,10 @@ fn worker_loop(
                     msgs: Vec::new(),
                     status: LaneStatus::Idle,
                     incidents,
+                    epoch_us: 0,
+                    resident_by_tier: [0; MemTier::COUNT],
+                    local_balance: 0.0,
+                    bankrupt: false,
                 }),
             }
         }
@@ -853,10 +1108,16 @@ fn worker_loop(
         let Ok(plan) = plans.recv() else {
             return;
         };
+        if plan.rents.is_some() {
+            last_rents = plan.rents;
+        }
         for slot in &mut slots {
             if let Some(t) = slot.tenant.as_mut() {
                 t.leased = plan.leases[t.lane as usize];
                 t.lease_peak = t.lease_peak.max(t.leased);
+                if let Some(rents) = plan.rents {
+                    t.machine.apply_tier_rents(plan.epoch, rents);
+                }
             }
         }
     }
@@ -869,7 +1130,7 @@ fn worker_loop(
                 } else {
                     LaneFate::Completed
                 };
-                lane_result(t, fate)
+                lane_result(cfg, t, fate)
             }
             (None, Some(r)) => r.clone(),
             (None, None) => LaneResult {
@@ -882,6 +1143,9 @@ fn worker_loop(
                 balance: 0.0,
                 fate: LaneFate::Departed,
                 failovers: 0,
+                demotions: 0,
+                revocations: 0,
+                seized: 0,
             },
         })
         .collect();
@@ -957,7 +1221,28 @@ pub fn try_run_with(
     let lanes = cfg.lanes as usize;
     let spill_base = layout.total_frames();
     let mut pool = SpillPool::new(spill_base..spill_base + cfg.spill_frames);
-    let mut market = shard_market(cfg.lanes);
+    let eco = cfg.economy.as_ref();
+    let tiered = eco.is_some_and(|e| e.tiered());
+    // The coordinator ledger: on economy runs accounts open lazily at
+    // each lane's arrival epoch (heterogeneous incomes); otherwise the
+    // pre-economy static market, byte for byte.
+    let mut market = match eco {
+        Some(eco) => {
+            assert_eq!(
+                eco.incomes.len(),
+                lanes,
+                "economy incomes must cover every lane"
+            );
+            let mut market = MemoryMarket::new(eco.market.clone());
+            market.set_tier_rents(eco.schedule.prices());
+            market
+        }
+        None => shard_market(cfg.lanes),
+    };
+    let mut schedule = eco.map(|e| e.schedule.clone());
+    let mut rents_hist: Vec<[f64; MemTier::COUNT]> = Vec::new();
+    let mut util_hist: Vec<u64> = Vec::new();
+    let mut samples: Vec<LaneEpochSample> = Vec::new();
     let mut trace: Vec<String> = Vec::new();
     let mut epochs: Vec<EpochSummary> = Vec::new();
     let mut results: Vec<Option<LaneResult>> = vec![None; lanes];
@@ -1040,6 +1325,22 @@ pub fn try_run_with(
                 })
                 .unwrap_or_default();
             debug_assert!(reports.iter().enumerate().all(|(i, r)| r.lane == i as u64));
+
+            // Economy: lanes join the coordinator ledger at their
+            // arrival epoch — the account must exist (income set, stake
+            // credited) before this epoch's I/O charges and billing land
+            // on it. Lane-ascending, so the open/credit order is
+            // grouping-invariant.
+            if let Some(eco) = eco {
+                for r in &reports {
+                    if cfg.churn_window(r.lane).0 == epoch {
+                        let mgr = ManagerId(r.lane as u32);
+                        let income = eco.incomes[r.lane as usize];
+                        market.open_account(mgr, Some(income));
+                        market.credit(mgr, income * eco.stake_secs);
+                    }
+                }
+            }
 
             // Merge the cross-shard messages into one global order.
             let mut queue = ShardedEventQueue::new(shard_count as usize);
@@ -1139,7 +1440,21 @@ pub fn try_run_with(
                     )
                 })
                 .collect();
-            let bankrupt = market.bill(barrier, &holdings, contended);
+            let bankrupt = if tiered {
+                // Tiered billing: each lane's barrier holdings priced
+                // per tier at the posted rents; spill leases are DRAM.
+                let by_tier: Vec<(ManagerId, [u64; MemTier::COUNT])> = reports
+                    .iter()
+                    .map(|r| {
+                        let mut frames = r.resident_by_tier;
+                        frames[MemTier::Dram.index()] += leases[r.lane as usize];
+                        (ManagerId(r.lane as u32), frames)
+                    })
+                    .collect();
+                market.bill_tiered_traced(barrier, &by_tier, contended, None)
+            } else {
+                market.bill(barrier, &holdings, contended)
+            };
             for mgr in &bankrupt {
                 let lane = u64::from(mgr.0);
                 let seized = pool.release_all(lane);
@@ -1168,10 +1483,47 @@ pub fn try_run_with(
                 leased: leased_total,
             });
 
+            // Price discovery: fold the epoch's integer DRAM utilization
+            // into the schedule, post the updated rents on the
+            // coordinator ledger and broadcast them in the plan. Pure
+            // integer → f64 pipeline, so the trajectory is a function of
+            // (seed, epoch, utilization) alone — never of the grouping.
+            let mut plan_rents = None;
+            if let Some(sched) = schedule.as_mut() {
+                let util_milli = demand.saturating_mul(1000) / capacity.max(1);
+                let new_rents = sched.observe(util_milli);
+                market.set_tier_rents(new_rents);
+                // Deliberately no trace line: the economy writes only to
+                // `report.economy`, so a neutral economy run (flat
+                // schedule, matching incomes) equals a plain run on
+                // every other field — pinned by tests.
+                rents_hist.push(new_rents);
+                util_hist.push(util_milli);
+                for r in &reports {
+                    if r.status == LaneStatus::Active {
+                        let balance = if tiered {
+                            r.local_balance
+                        } else {
+                            market.balance(ManagerId(r.lane as u32)).unwrap_or(0.0)
+                        };
+                        samples.push(LaneEpochSample {
+                            epoch,
+                            lane: r.lane,
+                            epoch_us: r.epoch_us,
+                            resident_by_tier: r.resident_by_tier,
+                            balance,
+                            bankrupt: if tiered { r.bankrupt } else { balance < 0.0 },
+                        });
+                    }
+                }
+                plan_rents = Some(new_rents);
+            }
+
             let plan = EpochPlan {
                 epoch,
                 contended,
                 leases: leases.clone(),
+                rents: plan_rents,
             };
             for plan_tx in &plan_txs {
                 // A send to a failed worker's closed channel is fine:
@@ -1217,14 +1569,36 @@ pub fn try_run_with(
         .into_iter()
         .map(|r| {
             let mut r = r.expect("every lane produced a result");
-            r.balance = market
-                .balance(ManagerId(r.lane as u32))
-                .expect("every lane has an account");
+            // Tiered economy: the worker already filled the lane-local
+            // ledger balance; the coordinator ledger is reported through
+            // the EconomyLedger totals instead.
+            if !tiered {
+                r.balance = market
+                    .balance(ManagerId(r.lane as u32))
+                    .expect("every lane has an account");
+            }
             r
         })
         .collect();
     let failovers = lanes.iter().map(|l| l.failovers).sum();
     let crashes = lanes.iter().filter(|l| l.fate == LaneFate::Crashed).count() as u64;
+    let economy = eco.map(|_| {
+        let residual = market.ledger_residual();
+        let residual_bound = market.residual_bound();
+        assert!(
+            residual.abs() < residual_bound,
+            "economy coordinator ledger residual {residual} exceeded its bound {residual_bound}"
+        );
+        EconomyLedger {
+            rents: rents_hist,
+            util_milli: util_hist,
+            samples,
+            total_income: market.total_income(),
+            total_charged: market.total_charged(),
+            residual,
+            residual_bound,
+        }
+    });
     Ok(ShardRunReport {
         lanes,
         epochs,
@@ -1236,6 +1610,7 @@ pub fn try_run_with(
         crashes,
         departures,
         spill_over_releases,
+        economy,
     })
 }
 
@@ -1254,6 +1629,7 @@ mod tests {
             seed: 7,
             chaos: None,
             churn: false,
+            economy: None,
         }
     }
 
@@ -1424,5 +1800,95 @@ mod tests {
         assert!(leased < unleased, "lease must absorb cold pages");
         // Determinism: same arguments, same plan.
         assert_eq!(w.round(3, 1, 0, 48, 2), w.round(3, 1, 0, 48, 2));
+    }
+
+    /// A tiered economy over [`tiny`]: steep rents against thin incomes,
+    /// so lane-local ledgers go red and the enforcement ladder runs.
+    fn eco_tiny() -> ShardEngineConfig {
+        let mut cfg = tiny();
+        cfg.churn = true;
+        cfg.epochs = 3;
+        cfg.economy = Some(EconomyParams {
+            incomes: (0..cfg.lanes).map(|l| 2.0 + f64::from(l)).collect(),
+            stake_secs: 30.0,
+            market: MarketConfig {
+                charge_per_mb_sec: 4_000.0,
+                io_charge_per_block: 0.05,
+                free_when_uncontended: false,
+                ..MarketConfig::default()
+            },
+            schedule: PriceSchedule::new([4_000.0, 1_000.0, 400.0])
+                .with_gain(0.002)
+                .with_target_util_milli(700),
+            tiers: Some(TierLayout::new(8, 6, 2)),
+            horizon: Micros::from_millis(1),
+        });
+        cfg
+    }
+
+    #[test]
+    fn economy_report_is_shard_count_invariant() {
+        let cfg = eco_tiny();
+        let serial = run(&cfg, 1);
+        for shards in [2u32, 3, 4] {
+            assert_eq!(
+                serial,
+                run(&cfg, shards),
+                "economy --shards {shards} diverged from --shards 1"
+            );
+        }
+    }
+
+    #[test]
+    fn economy_run_observes_prices_and_conserves() {
+        let cfg = eco_tiny();
+        let report = run(&cfg, 2);
+        let eco = report.economy.as_ref().expect("economy ledger");
+        assert_eq!(eco.rents.len(), cfg.epochs as usize);
+        assert_eq!(eco.util_milli.len(), cfg.epochs as usize);
+        assert!(!eco.samples.is_empty());
+        // The residual bound is asserted inside the run; re-check the
+        // surfaced values agree.
+        assert!(eco.residual.abs() < eco.residual_bound);
+        assert!(report.conserved, "spill ledger lost a frame");
+        // Steep rents against thin incomes must trip local enforcement
+        // somewhere: demotions down the ladder or revocation demands.
+        let demotions: u64 = report.lanes.iter().map(|l| l.demotions).sum();
+        let revocations: u64 = report.lanes.iter().map(|l| l.revocations).sum();
+        assert!(
+            demotions + revocations > 0,
+            "no lane ever hit the enforcement ladder (demotions={demotions}, revocations={revocations})"
+        );
+    }
+
+    #[test]
+    fn neutral_economy_equals_plain_run_except_ledger() {
+        // A flat schedule at the static market's rate, the static
+        // market's incomes, no tiers, no stake: the economy must add
+        // observation only — every report field except `economy` equals
+        // the plain run's, bit for bit.
+        let plain = tiny();
+        let mut neutral = tiny();
+        neutral.economy = Some(EconomyParams {
+            incomes: (0..neutral.lanes)
+                .map(|l| 20.0 + 3.0 * f64::from(l))
+                .collect(),
+            stake_secs: 0.0,
+            market: MarketConfig {
+                charge_per_mb_sec: 200.0,
+                io_charge_per_block: 0.05,
+                ..MarketConfig::default()
+            },
+            schedule: PriceSchedule::flat([200.0, 50.0, 20.0]),
+            tiers: None,
+            horizon: Micros::from_millis(1),
+        });
+        for shards in [1u32, 3] {
+            let a = run(&plain, shards);
+            let mut b = run(&neutral, shards);
+            let eco = b.economy.take().expect("economy ledger");
+            assert!(eco.rents.iter().all(|r| *r == [200.0, 50.0, 20.0]));
+            assert_eq!(a, b, "neutral economy diverged from the plain run");
+        }
     }
 }

@@ -741,6 +741,14 @@ impl SystemPageCacheManager {
         }
     }
 
+    /// Public view of [`SystemPageCacheManager::tiered_holdings`]: each
+    /// non-system manager's frame count per memory tier, derived from
+    /// the frame table. The economy engine reads this at every epoch
+    /// barrier to build residency-by-tier occupancy curves.
+    pub fn holdings_by_tier(&self, kernel: &Kernel) -> Vec<(ManagerId, [u64; MemTier::COUNT])> {
+        Self::tiered_holdings(kernel)
+    }
+
     /// Per-manager, per-tier frame holdings derived from the frame table:
     /// every frame outside the boot pool is attributed to the manager of
     /// the segment it currently sits in (free-page segments included —
@@ -794,6 +802,21 @@ impl SystemPageCacheManager {
                 "market.total_tax_millidrams",
                 (market.total_tax() * 1000.0).round() as u64,
             );
+            // Dynamic rents and the residual check only appear once a
+            // price schedule has been applied, so schedule-free runs
+            // export exactly the pre-economy key set.
+            if let Some(rents) = market.tier_rents() {
+                for tier in MemTier::all() {
+                    m.set(
+                        &format!("market.rent.{}_millidrams", tier.name()),
+                        (rents[tier.index()] * 1000.0).round() as u64,
+                    );
+                }
+                m.set(
+                    "market.ledger_residual_abs_nanodrams",
+                    (market.ledger_residual().abs() * 1e9).round() as u64,
+                );
+            }
         }
     }
 }

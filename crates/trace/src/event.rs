@@ -289,6 +289,16 @@ pub enum EventKind {
         /// [`tier_code`] encoding of the tier the page landed in.
         to_tier: u8,
     },
+    /// The coordinator's price schedule posted a new rent for one
+    /// memory tier (dynamic price discovery, DESIGN.md §15).
+    PriceAdjusted {
+        /// The epoch whose utilization produced this rent.
+        epoch: u32,
+        /// [`tier_code`] encoding of the repriced tier.
+        tier: u8,
+        /// New rent in millidrams per MB-second (drams × 1000, rounded).
+        rent: u64,
+    },
 }
 
 impl EventKind {
@@ -318,6 +328,7 @@ impl EventKind {
             EventKind::ByzantineReply { .. } => "byzantine_reply",
             EventKind::ManagerFailedOver { .. } => "manager_failed_over",
             EventKind::TierMigrated { .. } => "tier_migrated",
+            EventKind::PriceAdjusted { .. } => "price_adjusted",
         }
     }
 }
@@ -473,6 +484,9 @@ impl fmt::Display for TraceEvent {
                 from_tier,
                 to_tier,
             } => write!(f, "seg={segment} page={page} from={from_tier} to={to_tier}"),
+            EventKind::PriceAdjusted { epoch, tier, rent } => {
+                write!(f, "epoch={epoch} tier={tier} rent={rent}")
+            }
         }
     }
 }
@@ -601,6 +615,11 @@ mod tests {
                 from_tier: tier_code::DRAM,
                 to_tier: tier_code::SLOW,
             },
+            EventKind::PriceAdjusted {
+                epoch: 2,
+                tier: tier_code::DRAM,
+                rent: 200_000,
+            },
         ];
         let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(
@@ -628,6 +647,7 @@ mod tests {
                 "byzantine_reply",
                 "manager_failed_over",
                 "tier_migrated",
+                "price_adjusted",
             ]
         );
     }

@@ -20,6 +20,8 @@
 //! * [`baseline`] — the Ultrix 4.1-like monolithic comparator VM.
 //! * [`workloads`] — diff/uncompress/latex traces and the trace runners.
 //! * [`dbms`] — the simulated parallel transaction-processing system.
+//! * [`economy`] — the multi-tenant memory-market scenario engine:
+//!   income classes, dynamic price discovery, per-class tail latency.
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@
 pub use epcm_baseline as baseline;
 pub use epcm_core as core;
 pub use epcm_dbms as dbms;
+pub use epcm_economy as economy;
 pub use epcm_managers as managers;
 pub use epcm_sim as sim;
 pub use epcm_trace as trace;

@@ -119,6 +119,7 @@ proptest! {
             seed: chaos_seed ^ 0x5eed,
             chaos: Some(ChaosPlan::new(chaos_seed).with_rate(rate)),
             churn,
+            economy: None,
         };
         let flat = shard::run(&cfg, 1);
         let sharded = shard::run(&cfg, shards_tried);

@@ -1,0 +1,136 @@
+//! Byte-identity and conservation of the memory-market economy.
+//!
+//! The economy's contract (DESIGN.md §15): a scenario's report, its
+//! rendered tables and its `BENCH_economy.json` bytes are a pure
+//! function of the scenario config — any `--shards`/`--jobs` split
+//! produces identical output — and the engine's physical invariants
+//! survive the market: frames are conserved across the full tenant
+//! lifecycle (arrival, demotion, revocation, departure), and a neutral
+//! economy (flat prices at the static market's rate, no tiers, no
+//! stake) reproduces the plain sharded run bit for bit on every field
+//! except the observation ledger itself.
+
+use epcm::core::tier::TierLayout;
+use epcm::economy::EconomyConfig;
+use epcm::managers::shard::{EconomyParams, ShardEngineConfig};
+use epcm::managers::{MarketConfig, PriceSchedule};
+use epcm::sim::clock::Micros;
+use epcm_bench::economy as bench_economy;
+use epcm_bench::shards;
+
+const SHARD_COUNTS: [u32; 3] = [1, 2, 4];
+
+/// A debug-friendly scenario: small population, full market machinery
+/// (tiers, churn, price discovery) so every moving part is exercised.
+fn scenario(seed: u64) -> EconomyConfig {
+    EconomyConfig {
+        name: "test",
+        lanes: 18,
+        frames_per_lane: 16,
+        pages_per_lane: 24,
+        epochs: 3,
+        spill_frames: 16,
+        seed,
+        tiers: TierLayout::new(8, 6, 2),
+        ..EconomyConfig::quick()
+    }
+}
+
+#[test]
+fn economy_output_is_shard_count_invariant_across_seeds() {
+    for seed in [0xec0_aaa1u64, 0xec0_bbb2, 0xec0_ccc3] {
+        let cfg = scenario(seed);
+        let serial = epcm::economy::run(&cfg, 1);
+        let serial_json = bench_economy::economy_json(std::slice::from_ref(&serial));
+        let serial_text = bench_economy::render(std::slice::from_ref(&serial));
+        for shards in SHARD_COUNTS {
+            let report = epcm::economy::run(&cfg, shards);
+            assert_eq!(
+                serial, report,
+                "seed {seed:#x}: --shards {shards} report diverged"
+            );
+            let json = bench_economy::economy_json(std::slice::from_ref(&report));
+            assert_eq!(
+                serial_json, json,
+                "seed {seed:#x}: --shards {shards} JSON bytes diverged"
+            );
+            assert_eq!(
+                serial_text,
+                bench_economy::render(std::slice::from_ref(&report)),
+                "seed {seed:#x}: --shards {shards} rendered bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn frames_are_conserved_across_the_tenant_lifecycle() {
+    // Churn is on, rents bite, the ladder fires: tenants arrive, demote,
+    // get revoked and depart — and through all of it no lane may hold
+    // more frames than it owns, and the engine's global frame
+    // conservation check must hold at the end of the run.
+    let cfg = scenario(0xec0_11fe);
+    let report = epcm::economy::run(&cfg, 2);
+    assert!(report.shard.conserved, "spill-pool frames not conserved");
+    assert!(report.departures > 0, "churn produced no departures");
+    let ledger = report.shard.economy.as_ref().expect("economy ledger");
+    assert!(!ledger.samples.is_empty());
+    for s in &ledger.samples {
+        let resident: u64 = s.resident_by_tier.iter().sum();
+        assert!(
+            resident <= cfg.frames_per_lane,
+            "lane {} epoch {}: {} frames resident out of {} owned",
+            s.lane,
+            s.epoch,
+            resident,
+            cfg.frames_per_lane
+        );
+    }
+    assert!(ledger.residual.abs() < ledger.residual_bound);
+}
+
+#[test]
+fn neutral_zero_churn_economy_matches_the_plain_sharded_run() {
+    // A flat schedule at the static market's rate, the static market's
+    // incomes, no tiers, no stake, no churn: the economy must be pure
+    // observation. Every field except `economy` equals the plain run's.
+    let plain = ShardEngineConfig {
+        lanes: 6,
+        frames_per_lane: 16,
+        pages_per_lane: 24,
+        epochs: 2,
+        rounds_per_epoch: 1,
+        spill_frames: 12,
+        seed: 0xec0_0fff,
+        chaos: None,
+        churn: false,
+        economy: None,
+    };
+    let mut neutral = plain.clone();
+    neutral.economy = Some(EconomyParams {
+        incomes: (0..plain.lanes)
+            .map(|l| 20.0 + 3.0 * f64::from(l))
+            .collect(),
+        stake_secs: 0.0,
+        market: MarketConfig {
+            charge_per_mb_sec: 200.0,
+            io_charge_per_block: 0.05,
+            ..MarketConfig::default()
+        },
+        schedule: PriceSchedule::flat([200.0, 50.0, 20.0]),
+        tiers: None,
+        horizon: Micros::from_millis(1),
+    });
+    for workers in SHARD_COUNTS {
+        let a = shards::run_report_with(&plain, workers);
+        let mut b = shards::run_report_with(&neutral, workers);
+        let eco = b.economy.take().expect("economy ledger");
+        assert!(eco.rents.iter().all(|r| *r == [200.0, 50.0, 20.0]));
+        assert_eq!(
+            a, b,
+            "--shards {workers}: neutral economy diverged from the plain run"
+        );
+        assert_eq!(shards::render(&a), shards::render(&b));
+        assert_eq!(shards::shards_json(&a), shards::shards_json(&b));
+    }
+}

@@ -509,3 +509,73 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// §2.4 affordability queries: the wait reported by
+    /// `time_until_affordable` is zero exactly when `can_afford` says
+    /// yes, and asking for more frames never shortens the wait.
+    #[test]
+    fn affordability_wait_is_monotone_and_consistent(
+        income in 0.5f64..80.0,
+        start_balance in 0.0f64..500.0,
+        frames in 1u64..512,
+        extra in 1u64..512,
+        duration_us in 1_000u64..10_000_000,
+    ) {
+        let mut market = MemoryMarket::new(MarketConfig {
+            charge_per_mb_sec: 300.0,
+            ..MarketConfig::default()
+        });
+        let mgr = ManagerId(1);
+        market.open_account(mgr, Some(income));
+        market.credit(mgr, start_balance);
+        let duration = Micros::new(duration_us);
+        let wait = market
+            .time_until_affordable(mgr, frames, duration)
+            .expect("funded account always gets a wait");
+        prop_assert_eq!(
+            wait == Micros::ZERO,
+            market.can_afford(mgr, frames, duration),
+            "wait {:?} disagrees with can_afford", wait
+        );
+        let wait_more = market
+            .time_until_affordable(mgr, frames + extra, duration)
+            .expect("funded account always gets a wait");
+        prop_assert!(
+            wait_more >= wait,
+            "asking for {} more frames shortened the wait: {:?} < {:?}",
+            extra, wait_more, wait
+        );
+        // An account that never existed has no wait at all.
+        prop_assert!(market.time_until_affordable(ManagerId(99), frames, duration).is_none());
+    }
+
+    /// Tier degeneracy: pricing an all-DRAM holding through the tiered
+    /// quote is bit-identical to the flat quote, with or without a
+    /// posted rent schedule.
+    #[test]
+    fn tiered_quote_degenerates_to_flat_quote(
+        frames in 0u64..4096,
+        duration_us in 1u64..50_000_000,
+        rent in 1.0f64..5_000.0,
+        set_rents in any::<bool>(),
+    ) {
+        let mut market = MemoryMarket::new(MarketConfig {
+            charge_per_mb_sec: rent,
+            ..MarketConfig::default()
+        });
+        if set_rents {
+            // A posted schedule whose DRAM rate matches the flat rate.
+            market.set_tier_rents([rent, rent / 4.0, rent / 10.0]);
+        }
+        let duration = Micros::new(duration_us);
+        let all_dram = [frames, 0, 0];
+        prop_assert_eq!(
+            market.quote_tiered(&all_dram, duration),
+            market.quote(frames, duration),
+            "all-DRAM tiered quote diverged from the flat quote"
+        );
+    }
+}

@@ -76,6 +76,7 @@ fn oversubscribed_shard_count_clamps_to_lanes() {
         seed: 7,
         chaos: None,
         churn: false,
+        economy: None,
     };
     let flat = shards::run_report_with(&cfg, 1);
     let wide = shards::run_report_with(&cfg, 64);
@@ -179,6 +180,7 @@ proptest! {
             seed,
             chaos: None,
             churn: false,
+            economy: None,
         };
         let flat = shard::run(&cfg, 1);
         let sharded = shard::run(&cfg, shards_tried);
