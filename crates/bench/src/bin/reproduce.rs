@@ -13,6 +13,11 @@
 //! reproduce --tiers dram:64,slow:256,zram:64
 //!                            # add the tiered-memory sweep
 //!                            # (BENCH_tiers.json with --json)
+//! reproduce --promotion      # add the hot-page promotion ablation:
+//!                            # the tiers workload with the manager's
+//!                            # promotion stage off and on
+//!                            # (BENCH_promotion.json with --json);
+//!                            # byte-identical across --shards/--jobs
 //! reproduce --async-writeback
 //!                            # add the sync-vs-async laundry ablation
 //!                            # (BENCH_writeback.json with --json)
@@ -59,7 +64,8 @@ use std::time::Instant;
 use epcm_bench::json_report::WallClockEntry;
 use epcm_bench::pool::ScenarioPool;
 use epcm_bench::{
-    ablations, chaos, economy, json_report, ring, shards, table1, table23, table4, tiers, writeback,
+    ablations, chaos, economy, json_report, promotion, ring, shards, table1, table23, table4,
+    tiers, writeback,
 };
 use epcm_core::shard::ShardSpec;
 use epcm_core::tier::{TierLayout, TierSpec};
@@ -260,6 +266,22 @@ fn main() {
         print!("{}", tiers::render(&points));
         if json {
             write_json("BENCH_tiers.json", &tiers::tiers_json(requested, &points));
+        }
+    }
+    if args.iter().any(|a| a == "--promotion") {
+        // The promotion ablation reuses the tier sweep's frame budget:
+        // a --tiers layout steers it, otherwise the default split.
+        let requested = match tiers_spec {
+            Some(TierSpec::Layout(layout)) => layout,
+            _ => TierLayout::new(64, 256, 64),
+        };
+        let pairs = wall.time("promotion", || promotion::results_with(&pool, requested));
+        print!("{}", promotion::render(&pairs));
+        if json {
+            write_json(
+                "BENCH_promotion.json",
+                &promotion::promotion_json(requested, &pairs),
+            );
         }
     }
     if args.iter().any(|a| a == "--async-writeback") {

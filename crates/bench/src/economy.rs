@@ -122,30 +122,36 @@ pub fn render(reports: &[EconomyReport]) -> String {
 fn class_json(r: &EconomyReport) -> String {
     let mut classes = JsonArray::new();
     for c in &r.classes {
+        let mut obj = JsonObject::new()
+            .string("class", c.class.name())
+            .u64("lanes", c.lanes)
+            .u64("samples", c.samples)
+            .u64("p50_us", c.p50_us)
+            .u64("p99_us", c.p99_us)
+            .u64("p999_us", c.p999_us)
+            .u64("bankrupt_samples", c.bankrupt_samples)
+            .u64("bankrupt_resident_lanes", c.bankrupt_resident_lanes)
+            .u64(
+                "resident_dram",
+                c.final_resident_by_tier[MemTier::Dram.index()],
+            )
+            .u64(
+                "resident_slow",
+                c.final_resident_by_tier[MemTier::SlowMem.index()],
+            )
+            .u64(
+                "resident_zram",
+                c.final_resident_by_tier[MemTier::CompressedRam.index()],
+            )
+            .u64("demotions", c.demotions);
+        // Promotions are only emitted for promotion-enabled scenarios —
+        // same opt-in key discipline as the ring metrics — so committed
+        // BENCH_economy.json bytes are untouched by the feature.
+        if c.promotions > 0 {
+            obj = obj.u64("promotions", c.promotions);
+        }
         classes.push_raw(
-            JsonObject::new()
-                .string("class", c.class.name())
-                .u64("lanes", c.lanes)
-                .u64("samples", c.samples)
-                .u64("p50_us", c.p50_us)
-                .u64("p99_us", c.p99_us)
-                .u64("p999_us", c.p999_us)
-                .u64("bankrupt_samples", c.bankrupt_samples)
-                .u64("bankrupt_resident_lanes", c.bankrupt_resident_lanes)
-                .u64(
-                    "resident_dram",
-                    c.final_resident_by_tier[MemTier::Dram.index()],
-                )
-                .u64(
-                    "resident_slow",
-                    c.final_resident_by_tier[MemTier::SlowMem.index()],
-                )
-                .u64(
-                    "resident_zram",
-                    c.final_resident_by_tier[MemTier::CompressedRam.index()],
-                )
-                .u64("demotions", c.demotions)
-                .u64("revocations", c.revocations)
+            obj.u64("revocations", c.revocations)
                 .u64("seized", c.seized)
                 .u64("departed", c.departed)
                 .f64("final_balance", c.final_balance)

@@ -15,6 +15,10 @@
 //!   market, and DBMS fault-latency sweeps.
 //! * [`tiers`] — the tiered-memory sweep (`--tiers`): tier-size ratio
 //!   vs. fault handling and DBMS throughput, as `BENCH_tiers.json`.
+//! * [`promotion`] — the hot-page promotion ablation (`--promotion`):
+//!   the tiers workload with the default manager's promotion stage off
+//!   and on, gating that the steady-state hot pass gets strictly
+//!   cheaper, as `BENCH_promotion.json`.
 //! * [`writeback`] — the sync-vs-async laundry ablation
 //!   (`--async-writeback`): fault-path dirty-victim time and total
 //!   billed I/O per application, as `BENCH_writeback.json`.
@@ -47,6 +51,7 @@ pub mod chaos;
 pub mod economy;
 pub mod json_report;
 pub mod pool;
+pub mod promotion;
 pub mod ring;
 pub mod shards;
 pub mod table1;

@@ -108,6 +108,10 @@ pub struct KernelStats {
     pub cow_copies: u64,
     /// `MigrateFrame` tier exchanges performed.
     pub tier_migrations: u64,
+    /// The subset of [`KernelStats::tier_migrations`] whose page landed
+    /// on a strictly faster tier — the promotion direction of the
+    /// exchange.
+    pub tier_promotions: u64,
     /// Completed references that touched a [`MemTier::SlowMem`] frame.
     pub slow_accesses: u64,
     /// Completed references that touched a [`MemTier::CompressedRam`]
@@ -390,6 +394,13 @@ impl Kernel {
         m.set("tier.migrations", s.tier_migrations);
         m.set("tier.slow_accesses", s.slow_accesses);
         m.set("tier.zram_accesses", s.zram_accesses);
+        // Promotions only happen when a manager opts into the promotion
+        // ladder, so the key appears only once one has occurred —
+        // promotion-off runs export byte-identical documents (the same
+        // discipline as the ring metrics below).
+        if s.tier_promotions > 0 {
+            m.set("tier.promotions", s.tier_promotions);
+        }
         // Ring metrics appear only once a batch has actually been drained,
         // so flat (batched-off) runs export byte-identical documents to
         // pre-ring builds — same discipline as the opt-in watchdog.
@@ -1189,13 +1200,18 @@ impl Kernel {
         self.tlb.invalidate(dst_seg, dst_pg);
 
         self.stats.tier_migrations += 1;
+        let from_tier = self.tiers.tier_of(src);
+        let to_tier = self.tiers.tier_of(dst);
+        if from_tier.is_promotion_to(to_tier) {
+            self.stats.tier_promotions += 1;
+        }
         self.clock.advance(call_cost + self.costs.page_copy_4k);
         self.charge_tier_access(dst);
         self.trace(EventKind::TierMigrated {
             segment: seg.0 as u64,
             page: page.as_u64(),
-            from_tier: self.tiers.tier_of(src).code(),
-            to_tier: self.tiers.tier_of(dst).code(),
+            from_tier: from_tier.code(),
+            to_tier: to_tier.code(),
         });
         Ok(())
     }

@@ -65,6 +65,22 @@ impl MemTier {
         }
     }
 
+    /// The next rung up the promotion ladder, if any — the exact
+    /// inverse of [`MemTier::demotion_target`].
+    pub fn promotion_target(self) -> Option<MemTier> {
+        match self {
+            MemTier::Dram => None,
+            MemTier::SlowMem => Some(MemTier::Dram),
+            MemTier::CompressedRam => Some(MemTier::SlowMem),
+        }
+    }
+
+    /// True when moving a page from `self` onto a `to` frame is a
+    /// promotion (strictly faster tier).
+    pub fn is_promotion_to(self, to: MemTier) -> bool {
+        to < self
+    }
+
     /// Index into per-tier arrays (`[T; MemTier::COUNT]`).
     pub fn index(self) -> usize {
         self as usize
@@ -251,6 +267,23 @@ mod tests {
             Some(MemTier::CompressedRam)
         );
         assert_eq!(MemTier::CompressedRam.demotion_target(), None);
+    }
+
+    #[test]
+    fn promotion_ladder_inverts_demotion() {
+        for tier in MemTier::all() {
+            if let Some(down) = tier.demotion_target() {
+                assert_eq!(down.promotion_target(), Some(tier));
+            }
+            if let Some(up) = tier.promotion_target() {
+                assert_eq!(up.demotion_target(), Some(tier));
+                assert!(tier.is_promotion_to(up));
+                assert!(!up.is_promotion_to(tier));
+            }
+        }
+        assert_eq!(MemTier::Dram.promotion_target(), None);
+        assert!(MemTier::CompressedRam.is_promotion_to(MemTier::Dram));
+        assert!(!MemTier::Dram.is_promotion_to(MemTier::Dram));
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub struct EconomyConfig {
     pub horizon: Micros,
     /// Drams charged per spill frame exchanged cross-shard.
     pub io_charge_per_block: f64,
+    /// Per-tick hot-page promotion budget for each lane's manager
+    /// (0 disables promotion entirely, which keeps committed scenario
+    /// bytes identical to pre-promotion builds).
+    pub promotion_budget: u64,
+    /// Heat threshold a page must reach before it is promotion-eligible.
+    pub promotion_threshold: u64,
 }
 
 impl EconomyConfig {
@@ -77,6 +83,8 @@ impl EconomyConfig {
             target_util_milli: 800,
             horizon: Micros::from_millis(1),
             io_charge_per_block: 0.05,
+            promotion_budget: 0,
+            promotion_threshold: 2,
         }
     }
 
@@ -104,6 +112,8 @@ impl EconomyConfig {
             target_util_milli: 800,
             horizon: Micros::from_millis(1),
             io_charge_per_block: 0.05,
+            promotion_budget: 0,
+            promotion_threshold: 2,
         }
     }
 
@@ -157,6 +167,8 @@ impl EconomyConfig {
                     .with_target_util_milli(self.target_util_milli),
                 tiers: Some(self.tiers),
                 horizon: self.horizon,
+                promotion_budget: self.promotion_budget,
+                promotion_threshold: self.promotion_threshold,
             }),
         }
     }

@@ -44,10 +44,13 @@ impl LatencyHistogram {
     /// Records one sample (µs). Samples above the last bound land in
     /// the last bucket.
     pub fn record(&mut self, us: u64) {
+        // The bounds are strictly increasing, so the first bucket with
+        // `us <= bound` is exactly the partition point of `bound < us`;
+        // the clamp realises the last-bucket-absorbs rule for samples
+        // above every bound.
         let idx = BUCKET_BOUNDS_US
-            .iter()
-            .position(|&b| us <= b)
-            .unwrap_or(BUCKET_BOUNDS_US.len() - 1);
+            .partition_point(|&b| b < us)
+            .min(BUCKET_BOUNDS_US.len() - 1);
         self.counts[idx] += 1;
         self.total += 1;
     }
@@ -65,10 +68,13 @@ impl LatencyHistogram {
         if self.total == 0 {
             return 0;
         }
-        let target = (self.total * q_milli).div_ceil(1000).max(1);
-        let mut cum = 0;
+        // The multiply can exceed u64 (total near u64::MAX, q_milli up
+        // to 1000); widen to u128 so the rank never wraps. The result
+        // fits back in u64 because q_milli ≤ 1000 and we divide by 1000.
+        let target = ((self.total as u128 * q_milli as u128).div_ceil(1000)).max(1);
+        let mut cum: u128 = 0;
         for (idx, &count) in self.counts.iter().enumerate() {
-            cum += count;
+            cum += count as u128;
             if cum >= target {
                 return BUCKET_BOUNDS_US[idx];
             }
@@ -124,5 +130,47 @@ mod tests {
     #[test]
     fn empty_histogram_quantile_is_zero() {
         assert_eq!(LatencyHistogram::new().quantile_milli(990), 0);
+    }
+
+    #[test]
+    fn quantile_rank_does_not_overflow_for_huge_totals() {
+        // Regression: `total * q_milli` used to be computed in u64, so a
+        // total of u64::MAX / 500 overflowed at q_milli = 990 and the
+        // rank wrapped to a tiny value, reporting the first non-empty
+        // bucket as every quantile.
+        let total = u64::MAX / 500;
+        let mut h = LatencyHistogram::new();
+        h.counts[4] = total / 2;
+        h.counts[40] = total - total / 2;
+        h.total = total;
+        assert_eq!(h.quantile_milli(500), BUCKET_BOUNDS_US[4]);
+        assert_eq!(h.quantile_milli(990), BUCKET_BOUNDS_US[40]);
+        assert_eq!(h.quantile_milli(999), BUCKET_BOUNDS_US[40]);
+    }
+
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// The reference bucket rule `record` must match: first bucket
+        /// whose inclusive bound holds the sample, last bucket absorbs.
+        fn linear_scan_bucket(us: u64) -> usize {
+            BUCKET_BOUNDS_US
+                .iter()
+                .position(|&b| us <= b)
+                .unwrap_or(BUCKET_BOUNDS_US.len() - 1)
+        }
+
+        proptest! {
+            #[test]
+            fn partition_point_matches_linear_scan(
+                us in 0u64..=2 * BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]
+            ) {
+                let mut h = LatencyHistogram::new();
+                h.record(us);
+                prop_assert_eq!(h.counts[linear_scan_bucket(us)], 1);
+                prop_assert_eq!(h.total(), 1);
+            }
+        }
     }
 }

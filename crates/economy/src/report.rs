@@ -35,6 +35,9 @@ pub struct ClassOutcome {
     pub bankrupt_resident_lanes: u64,
     /// Voluntary demotions down the tier ladder (class total).
     pub demotions: u64,
+    /// Hot-page promotions back up the ladder (class total). Zero
+    /// unless the scenario enables a promotion budget.
+    pub promotions: u64,
     /// Revocation demands issued against the class's managers.
     pub revocations: u64,
     /// Frames seized by force after revocation deadlines lapsed.
@@ -143,6 +146,7 @@ pub fn aggregate(cfg: &EconomyConfig, shard: ShardRunReport) -> EconomyReport {
                 final_resident_by_tier: [0; MemTier::COUNT],
                 bankrupt_resident_lanes: 0,
                 demotions: 0,
+                promotions: 0,
                 revocations: 0,
                 seized: 0,
                 departed: 0,
@@ -154,6 +158,7 @@ pub fn aggregate(cfg: &EconomyConfig, shard: ShardRunReport) -> EconomyReport {
                 }
                 outcome.lanes += 1;
                 outcome.demotions += l.demotions;
+                outcome.promotions += l.promotions;
                 outcome.revocations += l.revocations;
                 outcome.seized += l.seized;
                 outcome.final_balance += l.balance;

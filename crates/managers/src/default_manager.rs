@@ -102,6 +102,26 @@ pub struct DefaultManagerStats {
     /// Pages demoted to a cheaper memory tier instead of being written
     /// back and evicted (tier exchange via `MigrateFrame`).
     pub demotions: u64,
+    /// Hot pages promoted to a faster memory tier by the promotion
+    /// ladder (tier exchange via `MigrateFrame`; 0 with the ladder off).
+    pub promotions: u64,
+}
+
+/// Counters for the hot-page promotion ladder (all zero with
+/// `promotion_budget` 0).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PromotionStats {
+    /// Heat events accumulated from the fault / sampling / writeback-
+    /// completion streams for pages resident below DRAM.
+    pub heat_events: u64,
+    /// Promotions that landed on a spare free-pool DRAM frame.
+    pub to_free: u64,
+    /// Promotions that displaced a cold DRAM victim (exchange with a
+    /// resident page, victim demoted to the hot page's old frame).
+    pub swapped: u64,
+    /// Promotion attempts dropped because no free DRAM frame and no
+    /// cold unpinned DRAM victim existed that tick.
+    pub no_target: u64,
 }
 
 /// Counters for the writeback path, synchronous and pipelined.
@@ -192,6 +212,16 @@ pub struct DefaultManagerConfig {
     /// Capacity of the submission and completion rings, in entries
     /// (clamped to at least 1; only meaningful with `batched_abi` on).
     pub ring_capacity: usize,
+    /// Upper bound on hot-page promotions per tick (0 disables the
+    /// promotion ladder entirely — no heat is tracked and no exchange is
+    /// attempted, so default runs are byte-identical with pre-promotion
+    /// builds). Only meaningful on tiered machines; dram-only layouts
+    /// never promote.
+    pub promotion_budget: u64,
+    /// Access-heat a non-DRAM-resident page must accumulate (fault-time
+    /// re-references, sampling hits, writeback completions) before it is
+    /// a promotion candidate.
+    pub promotion_threshold: u64,
 }
 
 impl Default for DefaultManagerConfig {
@@ -211,6 +241,8 @@ impl Default for DefaultManagerConfig {
             writeback_servers: 1,
             batched_abi: false,
             ring_capacity: DEFAULT_RING_CAPACITY,
+            promotion_budget: 0,
+            promotion_threshold: 2,
         }
     }
 }
@@ -284,6 +316,17 @@ pub struct DefaultSegmentManager {
     ring_token: u64,
     /// Ops this manager has submitted through the ring.
     ring_submitted: u64,
+    /// Access heat per non-DRAM-resident page, `(segment, page) ->
+    /// count`, fed by fault-time re-references, sampling-window hits and
+    /// writeback completions. Empty (never written) with the promotion
+    /// ladder off. Entries for pages that leave residency or reach DRAM
+    /// on their own are pruned lazily during the tick scan.
+    heat: BTreeMap<(u32, u64), u64>,
+    /// Ticket -> page map for in-flight writebacks, maintained only with
+    /// the promotion ladder on, so a completion can heat its page even
+    /// after a laundry rescue cleared the `unclean` mark.
+    wb_keys: BTreeMap<TicketId, (SegmentId, PageNumber)>,
+    promo_stats: PromotionStats,
     tracer: Option<SharedTracer>,
 }
 
@@ -340,6 +383,9 @@ impl DefaultSegmentManager {
             cq: CompletionRing::with_capacity(ring_cap),
             ring_token: 0,
             ring_submitted: 0,
+            heat: BTreeMap::new(),
+            wb_keys: BTreeMap::new(),
+            promo_stats: PromotionStats::default(),
             tracer: None,
         }
     }
@@ -390,6 +436,43 @@ impl DefaultSegmentManager {
     /// Compression accounting for pages demoted into CompressedRam frames.
     pub fn zram_stats(&self) -> CompressStats {
         self.zram_stats
+    }
+
+    /// Promotion-ladder counters (all zero with `promotion_budget` 0).
+    pub fn promotion_stats(&self) -> PromotionStats {
+        self.promo_stats
+    }
+
+    /// True when the hot-page promotion ladder is configured on.
+    fn promotion_on(&self) -> bool {
+        self.config.promotion_budget > 0
+    }
+
+    /// Accumulates one unit of access heat for `(seg, page)` if the
+    /// promotion ladder is on and the page is currently resident on a
+    /// non-DRAM frame. Called from the three event streams the ladder
+    /// rides: fault-time re-references ([`Self::handle_missing`]),
+    /// sampling-window hits ([`Self::handle_protection`]) and writeback
+    /// completions ([`Self::writeback_completed`]).
+    fn note_heat(&mut self, kernel: &Kernel, seg: SegmentId, page: PageNumber) {
+        if !self.promotion_on() {
+            return;
+        }
+        let tiers = *kernel.tiers();
+        if tiers.is_dram_only() {
+            return;
+        }
+        let Ok(segment) = kernel.segment(seg) else {
+            return;
+        };
+        let Some(entry) = segment.entry(page) else {
+            return;
+        };
+        if tiers.tier_of(entry.frame) == MemTier::Dram {
+            return;
+        }
+        *self.heat.entry((seg.as_u32(), page.as_u64())).or_insert(0) += 1;
+        self.promo_stats.heat_events += 1;
     }
 
     /// Runs one backing-store operation with bounded retry and exponential
@@ -653,6 +736,13 @@ impl DefaultSegmentManager {
         env.spcm.charge_manager_io(self.id, 1);
         if let Some(key) = self.unclean_by_ticket.remove(&ticket) {
             self.unclean.remove(&key);
+        }
+        // Promotion heat from the completion ring: a page that is
+        // re-resident below DRAM by the time its writeback completes was
+        // rescued while the disk was still in flight — it is cycling,
+        // the strongest re-reference signal the event stream carries.
+        if let Some((s, p)) = self.wb_keys.remove(&ticket) {
+            self.note_heat(env.kernel, s, p);
         }
         self.trace(
             env.kernel,
@@ -1112,16 +1202,7 @@ impl DefaultSegmentManager {
         // must be dropped first (the same invariant take_free_slot uses —
         // laundered data was already written back at reclaim time), and
         // an in-flight writeback must complete before the clobber.
-        let stale: Vec<(u32, u64)> = self
-            .laundry
-            .iter()
-            .filter(|(_, e)| e.slot.as_u64() == slot.as_u64())
-            .map(|(key, _)| *key)
-            .collect();
-        for key in stale {
-            self.stall_until_clean(env, key);
-            self.laundry_remove(&key);
-        }
+        self.drop_slot_laundry(env, slot);
         if dst_tier == MemTier::CompressedRam {
             // The refitted compress.rs scheme backs this tier: account
             // the RLE work a real zram device would do on the way in.
@@ -1176,6 +1257,250 @@ impl DefaultSegmentManager {
             }
         }
         Ok(demoted)
+    }
+
+    /// Drops every laundry entry held by free-pool `slot` before its
+    /// bytes are clobbered by a tier exchange: an in-flight writeback
+    /// completes first (the clean copy must land on the store), then the
+    /// rescue mapping is removed — laundered data was already written
+    /// back at reclaim time, so nothing is lost but the no-I/O rescue
+    /// opportunity.
+    fn drop_slot_laundry(&mut self, env: &mut Env<'_>, slot: PageNumber) {
+        let stale: Vec<(u32, u64)> = self
+            .laundry
+            .iter()
+            .filter(|(_, e)| e.slot.as_u64() == slot.as_u64())
+            .map(|(key, _)| *key)
+            .collect();
+        for key in stale {
+            self.stall_until_clean(env, key);
+            self.laundry_remove(&key);
+        }
+    }
+
+    /// Picks a free-pool slot whose frame is DRAM as the promotion
+    /// exchange partner — the mirror of [`Self::demotion_target`].
+    /// Laundry-free slots are preferred over laundered ones (the
+    /// exchange clobbers the slot's bytes, costing rescue entries), and
+    /// slots whose writeback is still in flight are skipped outright.
+    fn promotion_target(
+        &self,
+        kernel: &Kernel,
+        free_seg: SegmentId,
+    ) -> Option<(PageNumber, FrameId)> {
+        let tiers = *kernel.tiers();
+        let seg = kernel.segment(free_seg).ok()?;
+        let mut fallback: Option<(PageNumber, FrameId)> = None;
+        for (p, e) in seg.resident() {
+            if tiers.tier_of(e.frame) != MemTier::Dram {
+                continue;
+            }
+            if self
+                .unclean
+                .values()
+                .any(|&(_, s)| s.as_u64() == p.as_u64())
+            {
+                continue;
+            }
+            if !self.laundry_slot_counts.contains_key(&p.as_u64()) {
+                return Some((p, e.frame));
+            }
+            if fallback.is_none() {
+                fallback = Some((p, e.frame));
+            }
+        }
+        fallback
+    }
+
+    /// The coldest DRAM victim for a promotion swap: the first resident,
+    /// unpinned, clock-unreferenced page on a DRAM frame, scanning
+    /// managed segments in id order (deterministic). Pages the clock has
+    /// seen referenced keep their frames — promotion never steals hot
+    /// DRAM — but, exactly like the reclaim probe, they get a second
+    /// chance: when every DRAM page carries its reference bit, the scan
+    /// strips the bits and returns nothing, so a page that stays cold
+    /// is pickable on the next pass while anything re-referenced in
+    /// between survives.
+    fn find_promotion_victim(
+        &self,
+        kernel: &mut Kernel,
+    ) -> Option<(SegmentId, PageNumber, FrameId)> {
+        let tiers = *kernel.tiers();
+        let mut referenced: Vec<(SegmentId, PageNumber)> = Vec::new();
+        let segs: Vec<SegmentId> = kernel
+            .segment_ids()
+            .filter(|s| self.managed.contains_key(&s.as_u32()))
+            .collect();
+        for seg in segs {
+            let Ok(segment) = kernel.segment(seg) else {
+                continue;
+            };
+            for (p, e) in segment.resident() {
+                if e.flags.contains(PageFlags::PINNED) || tiers.tier_of(e.frame) != MemTier::Dram {
+                    continue;
+                }
+                if e.flags.contains(PageFlags::REFERENCED) {
+                    referenced.push((seg, p));
+                    continue;
+                }
+                return Some((seg, p, e.frame));
+            }
+        }
+        for (seg, p) in referenced {
+            let _ = kernel.modify_page_flags(seg, p, 1, PageFlags::empty(), PageFlags::REFERENCED);
+        }
+        None
+    }
+
+    /// Promotes one hot page onto a DRAM frame via tier exchange.
+    ///
+    /// Preference order matches the ISSUE contract: a spare free-pool
+    /// DRAM frame first (the free slot inherits the hot page's old
+    /// lower-tier frame), else an exchange with the coldest DRAM victim.
+    /// Either way frame conservation is an exchange invariant — no
+    /// allocation ever happens.
+    ///
+    /// The swap path needs one extra copy: `MigrateFrame`'s one-way copy
+    /// moves the hot page's bytes up, leaving the victim's landing frame
+    /// with stale bytes, so the victim's page is saved before the
+    /// exchange and restored (one charged page copy) after it.
+    fn promote_page(
+        &mut self,
+        env: &mut Env<'_>,
+        seg: SegmentId,
+        page: PageNumber,
+        heat: u64,
+    ) -> Result<bool, ManagerError> {
+        let tiers = *env.kernel.tiers();
+        let Some(entry) = env.kernel.segment(seg)?.entry(page) else {
+            return Ok(false);
+        };
+        let hot_frame = entry.frame;
+        let from = tiers.tier_of(hot_frame);
+        if from == MemTier::Dram || entry.flags.contains(PageFlags::PINNED) {
+            return Ok(false);
+        }
+        let free_seg = self.free_seg(env)?;
+        let swapped = match self.promotion_target(env.kernel, free_seg) {
+            Some((slot, dst)) => {
+                // The exchange clobbers the slot's bytes (the hot page's
+                // old frame moves in residually): laundry there drops
+                // first, exactly as on the demotion path.
+                self.drop_slot_laundry(env, slot);
+                self.op_migrate_frame(env, seg, page, dst)?;
+                false
+            }
+            None => {
+                let Some((vseg, vpage, vframe)) = self.find_promotion_victim(env.kernel) else {
+                    self.promo_stats.no_target += 1;
+                    return Ok(false);
+                };
+                let mut buf = vec![0u8; BASE_PAGE_SIZE as usize];
+                env.kernel.manager_read_page(vseg, vpage, &mut buf)?;
+                if from == MemTier::CompressedRam {
+                    // The victim lands in the zram tier: account the RLE
+                    // work a real compressed-RAM device would do, same as
+                    // the demotion ladder.
+                    let stored = rle_compress(&buf).len() as u64;
+                    self.zram_stats.compressed += 1;
+                    self.zram_stats.raw_bytes += BASE_PAGE_SIZE;
+                    self.zram_stats.stored_bytes += stored;
+                }
+                self.op_migrate_frame(env, seg, page, vframe)?;
+                env.kernel.manager_write_page(vseg, vpage, &buf)?;
+                env.kernel.charge(env.kernel.costs().page_copy_4k);
+                true
+            }
+        };
+        self.stats.promotions += 1;
+        if swapped {
+            self.promo_stats.swapped += 1;
+        } else {
+            self.promo_stats.to_free += 1;
+        }
+        // The promotion copy is billed like a 4 KB transfer on the
+        // market ledger, so a manager cannot thrash pages up the ladder
+        // for free — the same anti-dodge role as the re-read I/O charge.
+        env.spcm.charge_manager_io(self.id, 1);
+        self.trace(
+            env.kernel,
+            EventKind::PagePromoted {
+                manager: self.id.0,
+                segment: seg.as_u32() as u64,
+                page: page.as_u64(),
+                from_tier: from.code(),
+                heat,
+                swapped,
+            },
+        );
+        Ok(true)
+    }
+
+    /// One tick's promotion pass: prune stale heat, rank the live
+    /// candidates (heat descending, page ascending — a total order, so
+    /// the pass is a pure function of the run), and promote the top
+    /// `promotion_budget`.
+    fn promote_hot(&mut self, env: &mut Env<'_>) -> Result<u64, ManagerError> {
+        if !self.promotion_on() || env.kernel.tiers().is_dram_only() || self.heat.is_empty() {
+            return Ok(0);
+        }
+        // A bankrupt manager is shedding DRAM, not acquiring it: the
+        // rebalance ladder runs instead (tick order: demote, then skip
+        // promotion until solvent again).
+        if env
+            .spcm
+            .market()
+            .and_then(|mk| mk.balance(self.id))
+            .is_some_and(|b| b < 0.0)
+        {
+            return Ok(0);
+        }
+        let tiers = *env.kernel.tiers();
+        let segs: BTreeMap<u32, SegmentId> = env
+            .kernel
+            .segment_ids()
+            .filter(|s| self.managed.contains_key(&s.as_u32()))
+            .map(|s| (s.as_u32(), s))
+            .collect();
+        let threshold = self.config.promotion_threshold.max(1);
+        let mut stale: Vec<(u32, u64)> = Vec::new();
+        let mut cands: Vec<(u64, (u32, u64))> = Vec::new();
+        for (&key, &heat) in &self.heat {
+            let Some(&seg) = segs.get(&key.0) else {
+                stale.push(key); // segment closed or unmanaged
+                continue;
+            };
+            let Some(entry) = env.kernel.segment(seg)?.entry(PageNumber(key.1)) else {
+                stale.push(key); // no longer resident
+                continue;
+            };
+            if tiers.tier_of(entry.frame) == MemTier::Dram {
+                stale.push(key); // reached DRAM on its own
+                continue;
+            }
+            if entry.flags.contains(PageFlags::PINNED) {
+                continue; // quarantined in place; keep the heat
+            }
+            if heat >= threshold {
+                cands.push((heat, key));
+            }
+        }
+        for key in stale {
+            self.heat.remove(&key);
+        }
+        cands.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        cands.truncate(self.config.promotion_budget as usize);
+        let mut promoted = 0;
+        for (heat, key) in cands {
+            let Some(&seg) = segs.get(&key.0) else {
+                continue;
+            };
+            if self.promote_page(env, seg, PageNumber(key.1), heat)? {
+                self.heat.remove(&key);
+                promoted += 1;
+            }
+        }
+        Ok(promoted)
     }
 
     /// Resolves `seg`'s writeback destination (file, or lazily created
@@ -1265,6 +1590,9 @@ impl DefaultSegmentManager {
         };
         let service = env.kernel.costs().page_copy_4k + latency;
         let ticket = self.wb.submit(env.kernel.now(), service);
+        if self.promotion_on() {
+            self.wb_keys.insert(ticket, (seg, page));
+        }
         self.trace(
             env.kernel,
             EventKind::WritebackIssued {
@@ -1307,6 +1635,10 @@ impl DefaultSegmentManager {
                 self.policy.note_resident(seg, page);
                 self.stats.laundry_rescues += 1;
                 self.stats.migrate_calls += 1;
+                // A rescue IS a fault-time re-reference: the page came
+                // back before its frame was reused. Heat it if it landed
+                // below DRAM.
+                self.note_heat(env.kernel, seg, page);
                 return Ok(());
             }
         }
@@ -1370,6 +1702,10 @@ impl DefaultSegmentManager {
                 } else {
                     self.stats.file_fills += 1;
                 }
+                // A refill is a re-reference of a previously evicted
+                // page; if it landed on a non-DRAM pool frame it is a
+                // promotion candidate.
+                self.note_heat(env.kernel, seg, page);
                 Ok(())
             }
             None => {
@@ -1475,6 +1811,9 @@ impl DefaultSegmentManager {
         self.stats.sampling_faults += 1;
         // The faulting page was genuinely referenced.
         self.policy.note_referenced(seg, page);
+        // Sampling-window hit: the same reference signal feeds the
+        // promotion ladder when the page sits below DRAM.
+        self.note_heat(env.kernel, seg, page);
         // Restore protection on a batch of contiguous resident pages to
         // amortise fault cost (§2.3). The resident prefix is scanned
         // before any flags change — the scan reads only presence, which
@@ -1804,6 +2143,8 @@ impl SegmentManager for DefaultSegmentManager {
         {
             let _ = self.rebalance_demote(env, self.config.demote_batch);
         }
+        // The symmetric pass: top-K hot pages earn DRAM back each tick.
+        self.promote_hot(env)?;
         self.sampling_sweep(env)
     }
 
@@ -1865,6 +2206,19 @@ impl SegmentManager for DefaultSegmentManager {
         // metrics): batched-off runs export an unchanged key set.
         if self.config.batched_abi {
             m.set(&format!("manager.{id}.ring.submitted"), self.ring_submitted);
+        }
+        // Promotion keys follow the same opt-in discipline: off-by-
+        // default runs export byte-identical documents.
+        if self.config.promotion_budget > 0 {
+            let p = &self.promo_stats;
+            m.set(&format!("manager.{id}.promotions.count"), s.promotions);
+            m.set(
+                &format!("manager.{id}.promotions.heat_events"),
+                p.heat_events,
+            );
+            m.set(&format!("manager.{id}.promotions.to_free"), p.to_free);
+            m.set(&format!("manager.{id}.promotions.swapped"), p.swapped);
+            m.set(&format!("manager.{id}.promotions.no_target"), p.no_target);
         }
     }
 }

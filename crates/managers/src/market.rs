@@ -239,6 +239,26 @@ pub struct MemoryMarket {
     tier_rents: Option<[f64; MemTier::COUNT]>,
 }
 
+/// Renders a period charge as the milli-dram integer the trace carries.
+///
+/// Rents and holdings are non-negative, so a billed charge must be a
+/// non-negative finite float; anything else is a pricing bug upstream,
+/// caught here by the debug assert. The release-mode clamp keeps the
+/// traced `charged` field honest regardless: a NaN or negative input
+/// would otherwise saturate to 0 silently in the `as u64` cast, making
+/// the billing trace understate what the ledger actually moved.
+fn charge_milli(charge: f64) -> u64 {
+    debug_assert!(
+        charge.is_finite() && charge >= 0.0,
+        "market charge must be non-negative finite, got {charge}"
+    );
+    if charge.is_finite() && charge > 0.0 {
+        (charge * 1000.0).round() as u64
+    } else {
+        0
+    }
+}
+
 impl MemoryMarket {
     /// Creates an empty ledger.
     pub fn new(config: MarketConfig) -> Self {
@@ -442,7 +462,7 @@ impl MemoryMarket {
                             now.as_micros(),
                             EventKind::MarketCharge {
                                 manager: mgr.0,
-                                charged: (charge * 1000.0).round() as u64,
+                                charged: charge_milli(charge),
                                 balance: (a.balance * 1000.0).round() as i64,
                             },
                         ));
@@ -523,7 +543,7 @@ impl MemoryMarket {
                             now.as_micros(),
                             EventKind::MarketCharge {
                                 manager: mgr.0,
-                                charged: (charge * 1000.0).round() as u64,
+                                charged: charge_milli(charge),
                                 balance: (a.balance * 1000.0).round() as i64,
                             },
                         ));

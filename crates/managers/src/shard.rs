@@ -54,8 +54,9 @@ use epcm_sim::events::ShardedEventQueue;
 use epcm_sim::rng::Rng;
 
 use crate::chaotic::ChaoticManager;
-use crate::default_manager::DefaultSegmentManager;
+use crate::default_manager::{DefaultManagerConfig, DefaultSegmentManager};
 use crate::machine::Machine;
+use crate::manager::ManagerMode;
 use crate::market::{MarketConfig, MemoryMarket, PriceSchedule};
 use crate::spcm::{AllocationPolicy, RevocationConfig};
 
@@ -138,6 +139,15 @@ pub struct EconomyParams {
     /// Affordability horizon for lane-local market admission (tiered
     /// mode): a frame request must be affordable for this long.
     pub horizon: Micros,
+    /// Per-tick hot-page promotion budget for each lane's default
+    /// manager (tiered mode; see
+    /// [`DefaultManagerConfig::promotion_budget`]). 0 — the default in
+    /// every committed preset — disables the ladder, keeping existing
+    /// economy output byte-identical.
+    pub promotion_budget: u64,
+    /// Heat threshold for the lanes' promotion ladder (only meaningful
+    /// with a nonzero `promotion_budget`).
+    pub promotion_threshold: u64,
 }
 
 impl EconomyParams {
@@ -366,6 +376,10 @@ pub struct LaneResult {
     /// Voluntary demotions the lane's default manager performed down
     /// the tier ladder (tiered economy runs; 0 otherwise).
     pub demotions: u64,
+    /// Hot-page promotions the lane's default manager performed up the
+    /// tier ladder (tiered economy runs with a promotion budget; 0
+    /// otherwise).
+    pub promotions: u64,
     /// Revocation demands the lane's SPCM issued against bankrupt
     /// managers (tiered economy runs; 0 otherwise).
     pub revocations: u64,
@@ -714,7 +728,18 @@ fn build_tenant(cfg: &ShardEngineConfig, lane: u64) -> Tenant {
         });
     }
     let mut machine = builder.build();
-    let id = machine.register_manager(Box::new(DefaultSegmentManager::server()));
+    let manager = match eco.filter(|e| e.tiered() && e.promotion_budget > 0) {
+        Some(e) => DefaultSegmentManager::with_config(
+            ManagerMode::Server,
+            DefaultManagerConfig {
+                promotion_budget: e.promotion_budget,
+                promotion_threshold: e.promotion_threshold,
+                ..DefaultManagerConfig::default()
+            },
+        ),
+        None => DefaultSegmentManager::server(),
+    };
+    let id = machine.register_manager(Box::new(manager));
     machine.set_default_manager(id);
     // Under chaos the tenant's segment is owned by a ChaoticManager and
     // the kernel arms the upcall watchdog, with a short revocation
@@ -800,18 +825,27 @@ fn local_balance(t: &Tenant) -> f64 {
 
 fn lane_result(cfg: &ShardEngineConfig, t: &Tenant, fate: LaneFate) -> LaneResult {
     let tiered = cfg.economy.as_ref().is_some_and(|e| e.tiered());
-    let (demotions, revocations, seized, balance) = if tiered {
-        let demotions = t
+    let (demotions, promotions, revocations, seized, balance) = if tiered {
+        let (demotions, promotions) = t
             .local_accounts
             .first()
             .and_then(|&id| t.machine.manager(id))
             .and_then(|mgr| mgr.as_any().downcast_ref::<DefaultSegmentManager>())
-            .map_or(0, |mgr| mgr.manager_stats().demotions);
+            .map_or((0, 0), |mgr| {
+                let s = mgr.manager_stats();
+                (s.demotions, s.promotions)
+            });
         let (demands, frames_seized, _, _) = t.machine.spcm().revocation_stats();
-        (demotions, demands, frames_seized, local_balance(t))
+        (
+            demotions,
+            promotions,
+            demands,
+            frames_seized,
+            local_balance(t),
+        )
     } else {
         // The market lives on the coordinator; balance filled in there.
-        (0, 0, 0, 0.0)
+        (0, 0, 0, 0, 0.0)
     };
     LaneResult {
         lane: t.lane,
@@ -824,6 +858,7 @@ fn lane_result(cfg: &ShardEngineConfig, t: &Tenant, fate: LaneFate) -> LaneResul
         fate,
         failovers: t.failovers_seen,
         demotions,
+        promotions,
         revocations,
         seized,
     }
@@ -1144,6 +1179,7 @@ fn worker_loop(
                 fate: LaneFate::Departed,
                 failovers: 0,
                 demotions: 0,
+                promotions: 0,
                 revocations: 0,
                 seized: 0,
             },
@@ -1822,6 +1858,8 @@ mod tests {
                 .with_target_util_milli(700),
             tiers: Some(TierLayout::new(8, 6, 2)),
             horizon: Micros::from_millis(1),
+            promotion_budget: 0,
+            promotion_threshold: 2,
         });
         cfg
     }
@@ -1882,6 +1920,8 @@ mod tests {
             schedule: PriceSchedule::flat([200.0, 50.0, 20.0]),
             tiers: None,
             horizon: Micros::from_millis(1),
+            promotion_budget: 0,
+            promotion_threshold: 2,
         });
         for shards in [1u32, 3] {
             let a = run(&plain, shards);

@@ -289,6 +289,25 @@ pub enum EventKind {
         /// [`tier_code`] encoding of the tier the page landed in.
         to_tier: u8,
     },
+    /// A manager's promotion ladder moved a hot page to a faster tier
+    /// (the policy-level record; the kernel's `tier_migrated` event
+    /// carries the mechanism-level exchange).
+    PagePromoted {
+        /// The promoting manager.
+        manager: u32,
+        /// Segment of the promoted page.
+        segment: u64,
+        /// Page that was promoted, in `segment`'s numbering.
+        page: u64,
+        /// [`tier_code`] encoding of the tier the page left.
+        from_tier: u8,
+        /// Accumulated access heat that earned the promotion.
+        heat: u64,
+        /// True when the promotion displaced a cold DRAM victim
+        /// (exchange with a resident page) rather than landing on a
+        /// free-pool DRAM frame.
+        swapped: bool,
+    },
     /// The coordinator's price schedule posted a new rent for one
     /// memory tier (dynamic price discovery, DESIGN.md §15).
     PriceAdjusted {
@@ -328,6 +347,7 @@ impl EventKind {
             EventKind::ByzantineReply { .. } => "byzantine_reply",
             EventKind::ManagerFailedOver { .. } => "manager_failed_over",
             EventKind::TierMigrated { .. } => "tier_migrated",
+            EventKind::PagePromoted { .. } => "page_promoted",
             EventKind::PriceAdjusted { .. } => "price_adjusted",
         }
     }
@@ -484,6 +504,17 @@ impl fmt::Display for TraceEvent {
                 from_tier,
                 to_tier,
             } => write!(f, "seg={segment} page={page} from={from_tier} to={to_tier}"),
+            EventKind::PagePromoted {
+                manager,
+                segment,
+                page,
+                from_tier,
+                heat,
+                swapped,
+            } => write!(
+                f,
+                "mgr={manager} seg={segment} page={page} from={from_tier} heat={heat} swapped={swapped}"
+            ),
             EventKind::PriceAdjusted { epoch, tier, rent } => {
                 write!(f, "epoch={epoch} tier={tier} rent={rent}")
             }
@@ -615,6 +646,14 @@ mod tests {
                 from_tier: tier_code::DRAM,
                 to_tier: tier_code::SLOW,
             },
+            EventKind::PagePromoted {
+                manager: 0,
+                segment: 1,
+                page: 4,
+                from_tier: tier_code::SLOW,
+                heat: 3,
+                swapped: false,
+            },
             EventKind::PriceAdjusted {
                 epoch: 2,
                 tier: tier_code::DRAM,
@@ -647,6 +686,7 @@ mod tests {
                 "byzantine_reply",
                 "manager_failed_over",
                 "tier_migrated",
+                "page_promoted",
                 "price_adjusted",
             ]
         );

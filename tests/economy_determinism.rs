@@ -120,6 +120,8 @@ fn neutral_zero_churn_economy_matches_the_plain_sharded_run() {
         schedule: PriceSchedule::flat([200.0, 50.0, 20.0]),
         tiers: None,
         horizon: Micros::from_millis(1),
+        promotion_budget: 0,
+        promotion_threshold: 2,
     });
     for workers in SHARD_COUNTS {
         let a = shards::run_report_with(&plain, workers);
